@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench doc examples clean artifacts
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Regenerate every paper table/figure + ablations (writes bench_output.txt)
+bench:
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+doc:
+	dune build @doc
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/wrapper_sim.exe
+	dune exec examples/datasheet.exe
+	dune exec examples/audio_codec.exe
+	dune exec examples/virtual_ate.exe
+	dune exec examples/baseband_phone.exe
+
+# Re-emit the checked-in synthetic benchmark (deterministic)
+artifacts:
+	dune exec bin/msoc_plan.exe -- generate --bottleneck data/p93791s.soc
+
+clean:
+	dune clean
