@@ -1,0 +1,1 @@
+bench/ablations.ml: Array List Msoc_analog Msoc_itc02 Msoc_tam Msoc_testplan Msoc_util Msoc_wrapper Printf String Sys

@@ -1,0 +1,1 @@
+bench/figures.ml: Array Float Fun List Msoc_analog Msoc_mixedsig Msoc_signal Msoc_util Printf

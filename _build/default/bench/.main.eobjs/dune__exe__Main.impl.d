@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Figures List Printf String Sys Tables Timings Unix

@@ -1,0 +1,1 @@
+bench/tables.ml: Float Lazy List Msoc_analog Msoc_mixedsig Msoc_testplan Msoc_util Printf Sys

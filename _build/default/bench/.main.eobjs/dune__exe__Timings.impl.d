@@ -1,0 +1,1 @@
+bench/timings.ml: Analyze Bechamel Benchmark Figures Float Hashtbl Instance List Measure Msoc_analog Msoc_mixedsig Msoc_testplan Msoc_util Printf Staged Test Time Toolkit

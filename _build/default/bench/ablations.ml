@@ -1,0 +1,563 @@
+(* Ablation and scaling studies beyond the paper's tables:
+   A1 - pruning threshold delta: evaluations vs optimality gap;
+   A2 - serial analog testing baseline (the [5]-style approach the
+        paper's flexible-width packing improves on);
+   A3 - heuristic vs exhaustive as the analog core count grows. *)
+
+module Table = Msoc_util.Ascii_table
+module Spec = Msoc_analog.Spec
+module Sharing = Msoc_analog.Sharing
+module Problem = Msoc_testplan.Problem
+module Evaluate = Msoc_testplan.Evaluate
+module Exhaustive = Msoc_testplan.Exhaustive
+module Cost_optimizer = Msoc_testplan.Cost_optimizer
+module Instances = Msoc_testplan.Instances
+module Job = Msoc_tam.Job
+module Packer = Msoc_tam.Packer
+module Schedule = Msoc_tam.Schedule
+
+let header title = Printf.printf "\n=== %s ===\n\n" title
+
+(* ------------------------------------------------------------------ *)
+
+let ablation_delta () =
+  header "Ablation A1: Cost_Optimizer pruning threshold delta (p93791m, W=64)";
+  let problem = Instances.p93791m ~tam_width:64 () in
+  let prepared = Evaluate.prepare problem in
+  let exhaustive = Exhaustive.run prepared in
+  let columns =
+    [
+      Table.column ~align:Table.Right "delta";
+      Table.column ~align:Table.Right "evaluations";
+      Table.column ~align:Table.Right "cost";
+      Table.column ~align:Table.Right "gap vs opt (%)";
+      Table.column "selected";
+    ]
+  in
+  let rows =
+    List.map
+      (fun delta ->
+        let r = Cost_optimizer.run ~delta prepared in
+        let gap =
+          100.0
+          *. (r.Cost_optimizer.best.Evaluate.cost
+             -. exhaustive.Exhaustive.best.Evaluate.cost)
+          /. exhaustive.Exhaustive.best.Evaluate.cost
+        in
+        [
+          Table.float_cell delta;
+          string_of_int r.Cost_optimizer.evaluations;
+          Table.float_cell r.Cost_optimizer.best.Evaluate.cost;
+          Table.float_cell ~decimals:2 gap;
+          Sharing.short_name r.Cost_optimizer.best.Evaluate.combination;
+        ])
+      [ 0.0; 0.5; 1.0; 2.0; 5.0; 10.0; 100.0 ]
+  in
+  Table.print ~columns ~rows;
+  Printf.printf
+    "\nexhaustive: %d evaluations, cost %.1f (%s). A small delta buys back \
+     optimality for a few extra evaluations.\n"
+    exhaustive.Exhaustive.evaluations exhaustive.Exhaustive.best.Evaluate.cost
+    (Sharing.short_name exhaustive.Exhaustive.best.Evaluate.combination)
+
+(* ------------------------------------------------------------------ *)
+(* A2: analog cores tested serially on a full-width TAM partition — the
+   pre-[6] baseline. We model it by forcing each analog test rectangle
+   to the full SOC TAM width, so nothing can run beside it. *)
+
+let serial_baseline_jobs prepared ~tam_width combo =
+  let digital = Evaluate.digital_jobs prepared in
+  let analog =
+    Evaluate.jobs_for prepared combo
+    |> List.filter (fun j -> j.Job.exclusion <> None)
+    |> List.map (fun j ->
+           {
+             j with
+             Job.staircase =
+               Msoc_wrapper.Pareto.fixed ~width:tam_width
+                 ~time:(Job.min_time j);
+           })
+  in
+  digital @ analog
+
+let ablation_serial () =
+  header "Ablation A2: flexible-width packing vs serial full-width analog testing";
+  let columns =
+    [
+      Table.column ~align:Table.Right "W";
+      Table.column ~align:Table.Right "flexible (cycles)";
+      Table.column ~align:Table.Right "serial [5]-style";
+      Table.column ~align:Table.Right "penalty (%)";
+    ]
+  in
+  let rows =
+    List.map
+      (fun tam_width ->
+        let problem = Instances.p93791m ~tam_width () in
+        let prepared = Evaluate.prepare problem in
+        let combo = Sharing.no_sharing Msoc_analog.Catalog.all in
+        let flexible =
+          (Evaluate.evaluate prepared combo).Evaluate.makespan
+        in
+        let serial_jobs = serial_baseline_jobs prepared ~tam_width combo in
+        let serial = Schedule.makespan (Packer.pack ~width:tam_width serial_jobs) in
+        [
+          string_of_int tam_width;
+          Table.int_cell flexible;
+          Table.int_cell serial;
+          Table.float_cell
+            (100.0 *. float_of_int (serial - flexible) /. float_of_int flexible);
+        ])
+      [ 16; 32; 64 ]
+  in
+  Table.print ~columns ~rows;
+  Printf.printf
+    "\nThe disparity the paper exploits: analog tests need 1-10 wires, so \
+     testing them serially with the digital cores on a whole TAM partition \
+     wastes the remaining wires.\n"
+
+(* ------------------------------------------------------------------ *)
+
+let ablation_scaling () =
+  header "Ablation A3: scaling with the number of analog cores (W=48)";
+  let columns =
+    [
+      Table.column ~align:Table.Right "cores";
+      Table.column ~align:Table.Right "partitions";
+      Table.column ~align:Table.Right "candidates";
+      Table.column ~align:Table.Right "N_exh";
+      Table.column ~align:Table.Right "N_heur";
+      Table.column ~align:Table.Right "dN (%)";
+      Table.column ~align:Table.Right "gap (%)";
+      Table.column ~align:Table.Right "t_exh (s)";
+      Table.column ~align:Table.Right "t_heur (s)";
+    ]
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let analog_cores = Instances.scaled_analog ~n in
+        let problem = Instances.with_analog ~tam_width:48 ~analog_cores () in
+        (* beyond ~6 cores the paper-style enumeration explodes; use
+           every distinct partition as the candidate set *)
+        let candidates = Problem.all_combinations problem in
+        let prepared = Evaluate.prepare problem in
+        let t0 = Sys.time () in
+        let exh = Exhaustive.run ~combinations:candidates prepared in
+        let t1 = Sys.time () in
+        let heur = Cost_optimizer.run ~combinations:candidates prepared in
+        let t2 = Sys.time () in
+        let gap =
+          100.0
+          *. (heur.Cost_optimizer.best.Evaluate.cost -. exh.Exhaustive.best.Evaluate.cost)
+          /. exh.Exhaustive.best.Evaluate.cost
+        in
+        [
+          string_of_int n;
+          Table.int_cell (Msoc_util.Combinat.bell_number n);
+          Table.int_cell (List.length candidates);
+          string_of_int exh.Exhaustive.evaluations;
+          string_of_int heur.Cost_optimizer.evaluations;
+          Table.float_cell
+            (Cost_optimizer.evaluation_reduction_pct heur ~exhaustive:exh);
+          Table.float_cell ~decimals:2 gap;
+          Table.float_cell ~decimals:2 (t1 -. t0);
+          Table.float_cell ~decimals:2 (t2 -. t1);
+        ])
+      [ 4; 5; 6; 7 ]
+  in
+  Table.print ~columns ~rows;
+  Printf.printf
+    "\nThe evaluation reduction grows with the Bell-number blow-up, which is \
+     the heuristic's reason to exist (paper: 'computationally expensive for a \
+     larger problem instance').\n"
+
+(* ------------------------------------------------------------------ *)
+(* A4: placement-aware routing (the paper's stated future work).      *)
+
+let ablation_placement () =
+  header "Ablation A4: placement-aware routing overhead (W=48, w_T=0.25)";
+  let module Placement = Msoc_analog.Placement in
+  let cores = Msoc_analog.Catalog.all in
+  let scenarios =
+    [
+      ("uniform k=0.12 (paper)", None);
+      ( "clustered {A,B} {D,E}",
+        Some (Placement.clustered ~die_mm:12.0 ~groups:[ [ "A"; "B" ]; [ "D"; "E" ] ] cores) );
+      ("spread on 12mm die", Some (Placement.spread ~die_mm:12.0 cores));
+      ( "C isolated far corner",
+        Some
+          (Placement.create
+             [ ("A", (1.0, 1.0)); ("B", (1.8, 1.0)); ("C", (11.0, 11.0));
+               ("D", (1.0, 2.2)); ("E", (1.8, 2.2)) ]) );
+    ]
+  in
+  let columns =
+    [
+      Table.column "floorplan";
+      Table.column "chosen sharing";
+      Table.column ~align:Table.Right "C_A";
+      Table.column ~align:Table.Right "C_T";
+      Table.column ~align:Table.Right "cost";
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, placement) ->
+        let area_model =
+          match placement with
+          | None -> Msoc_analog.Area.default_model
+          | Some p -> Placement.area_model ~k_per_mm:0.12 p
+        in
+        let problem =
+          Msoc_testplan.Problem.make ~area_model
+            ~soc:(Msoc_itc02.Synthetic.p93791s ())
+            ~analog_cores:cores ~tam_width:48 ~weight_time:0.25 ()
+        in
+        let plan =
+          Msoc_testplan.Plan.run ~search:Msoc_testplan.Plan.Exhaustive_search problem
+        in
+        let e = plan.Msoc_testplan.Plan.best in
+        [
+          name;
+          Sharing.short_name (Msoc_testplan.Plan.sharing plan);
+          Table.float_cell e.Evaluate.c_a;
+          Table.float_cell e.Evaluate.c_t;
+          Table.float_cell e.Evaluate.cost;
+        ])
+      scenarios
+  in
+  Table.print ~columns ~rows;
+  Printf.printf
+    "\nWith routing cost tied to distance, the optimizer only shares wrappers \
+     between cores that actually sit together; an isolated core (C in the \
+     last row) keeps its own wrapper.\n"
+
+(* ------------------------------------------------------------------ *)
+(* A5: charging the wrapper converter self-test (future work #2).     *)
+
+let ablation_selftest () =
+  header "Ablation A5: converter self-test cost vs sharing degree (W=48)";
+  let base_problem self_test =
+    Msoc_testplan.Problem.make ?self_test
+      ~soc:(Msoc_itc02.Synthetic.p93791s ())
+      ~analog_cores:Msoc_analog.Catalog.all ~tam_width:48 ~weight_time:0.5 ()
+  in
+  let with_st =
+    Evaluate.prepare (base_problem (Some { Msoc_testplan.Problem.hits_per_code = 64 }))
+  in
+  let without = Evaluate.prepare (base_problem None) in
+  let columns =
+    [
+      Table.column "combination";
+      Table.column ~align:Table.Right "wrappers";
+      Table.column ~align:Table.Right "self-test cycles";
+      Table.column ~align:Table.Right "makespan";
+      Table.column ~align:Table.Right "vs no self-test";
+    ]
+  in
+  let representative =
+    [
+      Sharing.no_sharing Msoc_analog.Catalog.all;
+      Sharing.make
+        [ [ Msoc_analog.Catalog.core_a; Msoc_analog.Catalog.core_b ];
+          [ Msoc_analog.Catalog.core_c ];
+          [ Msoc_analog.Catalog.core_d; Msoc_analog.Catalog.core_e ] ];
+      Sharing.make
+        [ [ Msoc_analog.Catalog.core_a; Msoc_analog.Catalog.core_b ];
+          [ Msoc_analog.Catalog.core_c; Msoc_analog.Catalog.core_d;
+            Msoc_analog.Catalog.core_e ] ];
+      Sharing.full_sharing Msoc_analog.Catalog.all;
+    ]
+  in
+  let rows =
+    List.map
+      (fun combo ->
+        let with_e = Evaluate.evaluate with_st combo in
+        let base_e = Evaluate.evaluate without combo in
+        let st_cycles =
+          Evaluate.jobs_for with_st combo
+          |> List.filter (fun j ->
+                 String.length j.Job.label >= 8
+                 && String.sub j.Job.label 0 8 = "selftest")
+          |> List.map Job.min_time |> List.fold_left ( + ) 0
+        in
+        [
+          Sharing.full_name combo;
+          string_of_int (Sharing.wrappers combo);
+          Table.int_cell st_cycles;
+          Table.int_cell with_e.Evaluate.makespan;
+          Printf.sprintf "+%.2f%%"
+            (100.0
+            *. float_of_int (with_e.Evaluate.makespan - base_e.Evaluate.makespan)
+            /. float_of_int base_e.Evaluate.makespan);
+        ])
+      representative
+  in
+  Table.print ~columns ~rows;
+  Printf.printf
+    "\nEach wrapper self-tests its converters (code-density ramp, 64 hits per \
+     code) before its first core test; fewer wrappers = less self-test work, \
+     one more reason sharing pays beyond silicon area.\n"
+
+(* ------------------------------------------------------------------ *)
+(* A6: flexible-width packing vs a fixed-width partitioned TAM.       *)
+
+let ablation_fixed_partition () =
+  header "Ablation A6: flexible-width packing vs fixed-width partitioned TAM";
+  let soc = Msoc_itc02.Synthetic.p93791s () in
+  let columns =
+    [
+      Table.column ~align:Table.Right "W";
+      Table.column ~align:Table.Right "flexible";
+      Table.column ~align:Table.Right "fixed (best #buses)";
+      Table.column ~align:Table.Right "buses";
+      Table.column ~align:Table.Right "penalty (%)";
+    ]
+  in
+  let rows =
+    List.map
+      (fun width ->
+        let jobs =
+          List.map (Job.of_core ~max_width:width) soc.Msoc_itc02.Types.cores
+          @ (Evaluate.jobs_for
+               (Evaluate.prepare
+                  (Msoc_testplan.Problem.make ~soc
+                     ~analog_cores:Msoc_analog.Catalog.all ~tam_width:width
+                     ~weight_time:0.5 ()))
+               (Sharing.no_sharing Msoc_analog.Catalog.all)
+            |> List.filter (fun j -> j.Job.exclusion <> None))
+        in
+        let flexible = Schedule.makespan (Packer.pack ~width jobs) in
+        let fixed = Msoc_tam.Fixed_partition.optimize ~max_buses:8 ~width jobs in
+        let fixed_ms = Msoc_tam.Fixed_partition.makespan fixed in
+        [
+          string_of_int width;
+          Table.int_cell flexible;
+          Table.int_cell fixed_ms;
+          string_of_int (Array.length fixed.Msoc_tam.Fixed_partition.bus_widths);
+          Table.float_cell
+            (100.0 *. float_of_int (fixed_ms - flexible) /. float_of_int flexible);
+        ])
+      [ 16; 32; 64 ]
+  in
+  Table.print ~columns ~rows;
+  Printf.printf
+    "\nThe fixed architecture cannot reuse a bus's idle wires while a narrow \
+     analog test runs, nor resize cores per-test - the gap the flexible-width \
+     architecture closes.\n"
+
+(* ------------------------------------------------------------------ *)
+(* A7: power-constrained scheduling.                                  *)
+
+let ablation_power () =
+  header "Ablation A7: power-constrained test scheduling (p93791m, W=32)";
+  let problem = Instances.p93791m ~tam_width:32 () in
+  let prepared = Evaluate.prepare problem in
+  let combo = Sharing.no_sharing Msoc_analog.Catalog.all in
+  (* Power model: a digital core burns roughly in proportion to its
+     active scan width; analog tests burn little. *)
+  let jobs =
+    Evaluate.jobs_for prepared combo
+    |> List.map (fun j ->
+           match j.Job.exclusion with
+           | Some _ -> Job.with_power j 1
+           | None -> Job.with_power j (2 + (Job.min_width j / 4)))
+  in
+  let unconstrained = Packer.pack ~width:32 jobs in
+  let peak = Schedule.peak_power unconstrained in
+  let columns =
+    [
+      Table.column "budget";
+      Table.column ~align:Table.Right "makespan";
+      Table.column ~align:Table.Right "peak power";
+      Table.column ~align:Table.Right "vs unconstrained (%)";
+    ]
+  in
+  let base = Schedule.makespan unconstrained in
+  let rows =
+    ("none", unconstrained)
+    :: List.map
+         (fun pct ->
+           let budget = max 1 (peak * pct / 100) in
+           (Printf.sprintf "%d%% of peak (%d)" pct budget,
+            Packer.pack ~power_budget:budget ~width:32 jobs))
+         [ 90; 75; 60; 45 ]
+    |> List.map (fun (name, s) ->
+           [
+             name;
+             Table.int_cell (Schedule.makespan s);
+             string_of_int (Schedule.peak_power s);
+             Table.float_cell
+               (100.0 *. float_of_int (Schedule.makespan s - base) /. float_of_int base);
+           ])
+  in
+  Table.print ~columns ~rows;
+  Printf.printf
+    "\nTest power caps serialize the hungriest digital tests; the schedules \
+     remain valid (checker-verified in the test suite) and degrade gracefully.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Trade-off frontier: the (C_T, C_A) Pareto front over combinations. *)
+
+let tradeoff () =
+  header "Trade-off: (C_T, C_A) Pareto frontier over sharing combinations (W=64)";
+  let problem = Instances.p93791m ~tam_width:64 () in
+  let prepared = Evaluate.prepare problem in
+  let exh = Exhaustive.run prepared in
+  let dominated (e : Evaluate.evaluation) =
+    List.exists
+      (fun (o : Evaluate.evaluation) ->
+        o != e
+        && o.Evaluate.c_t <= e.Evaluate.c_t
+        && o.Evaluate.c_a <= e.Evaluate.c_a
+        && (o.Evaluate.c_t < e.Evaluate.c_t || o.Evaluate.c_a < e.Evaluate.c_a))
+      exh.Exhaustive.all
+  in
+  let front =
+    exh.Exhaustive.all
+    |> List.filter (fun e -> not (dominated e))
+    |> List.sort (fun (a : Evaluate.evaluation) b -> compare a.Evaluate.c_t b.Evaluate.c_t)
+  in
+  let columns =
+    [
+      Table.column "combination";
+      Table.column ~align:Table.Right "wrappers";
+      Table.column ~align:Table.Right "C_T";
+      Table.column ~align:Table.Right "C_A";
+      Table.column ~align:Table.Right "wins at w_T in";
+    ]
+  in
+  (* the weight range over which each frontier point is the optimum of
+     w_T*C_T + (1-w_T)*C_A: derived from neighboring frontier slopes *)
+  let rows =
+    List.map
+      (fun (e : Evaluate.evaluation) ->
+        let cost w = (w *. e.Evaluate.c_t) +. ((1.0 -. w) *. e.Evaluate.c_a) in
+        let wins =
+          List.filter
+            (fun w ->
+              List.for_all
+                (fun (o : Evaluate.evaluation) ->
+                  cost w
+                  <= (w *. o.Evaluate.c_t) +. ((1.0 -. w) *. o.Evaluate.c_a) +. 1e-9)
+                exh.Exhaustive.all)
+            (List.init 101 (fun i -> float_of_int i /. 100.0))
+        in
+        let span =
+          match wins with
+          | [] -> "-"
+          | ws ->
+            Printf.sprintf "[%.2f, %.2f]" (List.hd ws)
+              (List.nth ws (List.length ws - 1))
+        in
+        [
+          Sharing.short_name e.Evaluate.combination;
+          string_of_int (Sharing.wrappers e.Evaluate.combination);
+          Table.float_cell e.Evaluate.c_t;
+          Table.float_cell e.Evaluate.c_a;
+          span;
+        ])
+      front
+  in
+  Table.print ~columns ~rows;
+  Printf.printf
+    "\n%d of %d combinations are Pareto-optimal; the weight column shows \
+     which w_T range makes each the scalarized optimum (combinations winning \
+     nowhere are kept for the frontier picture).\n"
+    (List.length front) (List.length exh.Exhaustive.all)
+
+(* ------------------------------------------------------------------ *)
+(* A8: packer quality ladder - greedy, critical-job refinement, SA.   *)
+
+let ablation_packer () =
+  header "Ablation A8: packer quality ladder (p93791m jobs, no sharing)";
+  let columns =
+    [
+      Table.column ~align:Table.Right "W";
+      Table.column ~align:Table.Right "LB";
+      Table.column ~align:Table.Right "pack";
+      Table.column ~align:Table.Right "pack_optimized";
+      Table.column ~align:Table.Right "anneal (150 it)";
+      Table.column ~align:Table.Right "t_pack (s)";
+      Table.column ~align:Table.Right "t_anneal (s)";
+    ]
+  in
+  let rows =
+    List.map
+      (fun width ->
+        let prepared =
+          Evaluate.prepare (Instances.p93791m ~tam_width:width ())
+        in
+        let jobs =
+          Evaluate.jobs_for prepared (Sharing.no_sharing Msoc_analog.Catalog.all)
+        in
+        let t0 = Sys.time () in
+        let greedy = Schedule.makespan (Packer.pack ~width jobs) in
+        let t1 = Sys.time () in
+        let refined = Schedule.makespan (Packer.pack_optimized ~width jobs) in
+        let annealed = Schedule.makespan (Packer.anneal ~width jobs) in
+        let t2 = Sys.time () in
+        [
+          string_of_int width;
+          Table.int_cell (Packer.lower_bound ~width jobs);
+          Table.int_cell greedy;
+          Table.int_cell refined;
+          Table.int_cell annealed;
+          Table.float_cell ~decimals:3 (t1 -. t0);
+          Table.float_cell ~decimals:2 (t2 -. t1);
+        ])
+      [ 24; 48 ]
+  in
+  Table.print ~columns ~rows;
+  Printf.printf
+    "\nThe search uses the greedy packer (fast, comparable across all \
+     combinations); anneal is the sign-off squeeze once the architecture is \
+     frozen.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Generality: the same experiment on a second SOC (p22810m).          *)
+
+let generality () =
+  header "Generality: heuristic vs exhaustive on a second SOC (p22810m)";
+  let columns =
+    [
+      Table.column ~align:Table.Right "W";
+      Table.column ~align:Table.Right "C_exh";
+      Table.column "S_exh";
+      Table.column ~align:Table.Right "C_heur";
+      Table.column ~align:Table.Right "N_heur/26";
+      Table.column ~align:Table.Right "gap (%)";
+    ]
+  in
+  let rows =
+    List.map
+      (fun tam_width ->
+        let problem =
+          Problem.make ~soc:(Msoc_itc02.Synthetic.p22810s ())
+            ~analog_cores:Msoc_analog.Catalog.all ~tam_width ~weight_time:0.5 ()
+        in
+        let prepared = Evaluate.prepare problem in
+        let exh = Exhaustive.run prepared in
+        let heur = Cost_optimizer.run prepared in
+        let gap =
+          100.0
+          *. (heur.Cost_optimizer.best.Evaluate.cost
+             -. exh.Exhaustive.best.Evaluate.cost)
+          /. exh.Exhaustive.best.Evaluate.cost
+        in
+        [
+          string_of_int tam_width;
+          Table.float_cell exh.Exhaustive.best.Evaluate.cost;
+          Sharing.short_name exh.Exhaustive.best.Evaluate.combination;
+          Table.float_cell heur.Cost_optimizer.best.Evaluate.cost;
+          string_of_int heur.Cost_optimizer.evaluations;
+          Table.float_cell ~decimals:2 gap;
+        ])
+      [ 16; 32; 48 ]
+  in
+  Table.print ~columns ~rows;
+  Printf.printf
+    "\np22810m is analog-bound at every width (its digital content is a third \
+     of p93791m's), so sharing decisions carry even more weight; the \
+     heuristic's behavior is consistent with the main instance.\n"

@@ -1,0 +1,328 @@
+(* Regeneration of the paper's figures: Fig. 2 (shared wrapper mux
+   noise), Fig. 4 (modular converter hardware) and Fig. 5 (direct vs
+   wrapped cut-off frequency test spectra). Figs. 1 and 3 are the
+   wrapper architecture and the pseudocode — they are the implemented
+   modules Msoc_mixedsig.Wrapper and Msoc_testplan.Cost_optimizer. *)
+
+module Table = Msoc_util.Ascii_table
+module Numeric = Msoc_util.Numeric
+module Tone = Msoc_signal.Tone
+module Filter = Msoc_signal.Filter
+module Spectrum = Msoc_signal.Spectrum
+module Cutoff = Msoc_signal.Cutoff
+module Quantize = Msoc_mixedsig.Quantize
+module Wrapper = Msoc_mixedsig.Wrapper
+module Cost_model = Msoc_mixedsig.Cost_model
+module Catalog = Msoc_analog.Catalog
+
+let header title = Printf.printf "\n=== %s ===\n\n" title
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5: cut-off frequency test of a wrapped low-pass core.
+   Paper parameters: 50 MHz system clock, 1.7 MHz sampling, 4551
+   samples, three input tones, 8-bit converters; reported fc: 61 kHz
+   direct vs 58 kHz through the wrapper (~5% error).                   *)
+
+type fig5_result = {
+  tones : float list;
+  input_db : float list;
+  direct_db : float list;
+  wrapped_db : float list;
+  fc_direct : float;
+  fc_wrapped : float;
+  error_pct : float;
+}
+
+let fig5_experiment ?(bits = 8) ?(n = 4551) ?(ideal = false) () =
+  let fs = 1.7e6 in
+  let pad = Msoc_signal.Fft.next_pow2 n in
+  let filter = Filter.butterworth_lowpass ~order:2 ~fc:61_000.0 ~fs in
+  let tones =
+    List.map (Tone.coherent_freq ~fs ~n:pad) [ 20_000.0; 60_000.0; 150_000.0 ]
+  in
+  (* 3 x 0.6 V keeps the worst-case sum inside the converters' 0..4 V
+     range around the 2 V bias — no clipping. *)
+  let bias = 2.0 in
+  let stimulus =
+    Tone.sample ~tones:(List.map (Tone.tone ~amplitude:0.6) tones) ~fs ~n
+    |> Array.map (fun v -> bias +. v)
+  in
+  let core samples =
+    Array.map (fun v -> bias +. v)
+      (Filter.process filter (Array.map (fun v -> v -. bias) samples))
+  in
+  let spectrum x = Spectrum.analyze ~fs ~pad_to:pad x in
+  let s_in = spectrum stimulus in
+  let direct_out = core stimulus in
+  let s_direct = spectrum direct_out in
+  let range = Quantize.default_range in
+  let codes = Array.map (Quantize.encode ~bits ~range) stimulus in
+  (* The paper measures 0.5um silicon, not ideal converters: by default
+     give the DAC resistor mismatch and the ADC comparator-threshold
+     noise typical of an untrimmed flash/string design. *)
+  let wrapper =
+    if ideal then Wrapper.create ~bits ()
+    else
+      let dac =
+        Msoc_mixedsig.Dac.create ~mismatch_sigma:0.02 ~seed:20 Msoc_mixedsig.Dac.Modular
+          ~bits
+      in
+      let adc =
+        Msoc_mixedsig.Adc.create ~threshold_sigma_lsb:0.5 ~seed:21
+          Msoc_mixedsig.Adc.Modular_pipeline ~bits
+      in
+      Wrapper.create ~adc ~dac ~bits ()
+  in
+  let wrapper = Wrapper.set_mode wrapper Wrapper.Core_test in
+  let wrapped_codes = Wrapper.apply_core_test wrapper ~core ~stimulus:codes in
+  let wrapped_out = Array.map (Quantize.decode ~bits ~range) wrapped_codes in
+  let s_wrapped = spectrum wrapped_out in
+  let fc_direct = Cutoff.from_spectra ~order:2 ~input:s_in ~output:s_direct tones in
+  let fc_wrapped = Cutoff.from_spectra ~order:2 ~input:s_in ~output:s_wrapped tones in
+  {
+    tones;
+    input_db = List.map (Spectrum.tone_level_db s_in) tones;
+    direct_db = List.map (Spectrum.tone_level_db s_direct) tones;
+    wrapped_db = List.map (Spectrum.tone_level_db s_wrapped) tones;
+    fc_direct;
+    fc_wrapped;
+    error_pct = 100.0 *. Float.abs (fc_wrapped -. fc_direct) /. fc_direct;
+  }
+
+let fig5 () =
+  header "Figure 5: direct vs wrapped cut-off frequency test (fs=1.7MHz, N=4551, 8-bit)";
+  let r = fig5_experiment () in
+  let columns =
+    [
+      Table.column ~align:Table.Right "tone (kHz)";
+      Table.column ~align:Table.Right "input (dB)";
+      Table.column ~align:Table.Right "LPF o/p (dB)";
+      Table.column ~align:Table.Right "wrapper o/p (dB)";
+    ]
+  in
+  let rows =
+    List.map2
+      (fun f (i, (d, w)) ->
+        [
+          Table.float_cell (f /. 1.0e3);
+          Table.float_cell i;
+          Table.float_cell d;
+          Table.float_cell w;
+        ])
+      r.tones
+      (List.map2 (fun i dw -> (i, dw)) r.input_db
+         (List.map2 (fun d w -> (d, w)) r.direct_db r.wrapped_db))
+  in
+  Table.print ~columns ~rows;
+  Printf.printf
+    "\nExtracted cut-off: direct %.1f kHz, wrapped %.1f kHz -> error %.2f%%\n"
+    (r.fc_direct /. 1.0e3) (r.fc_wrapped /. 1.0e3) r.error_pct;
+  let ideal = fig5_experiment ~ideal:true () in
+  Printf.printf
+    "With ideal (mismatch-free) converters the wrapped estimate is %.1f kHz \
+     (error %.2f%%) - the residual error is the converter non-ideality, not \
+     the wrapper concept.\n"
+    (ideal.fc_wrapped /. 1.0e3) ideal.error_pct;
+  Printf.printf "Paper: fc=61 kHz direct vs 58 kHz wrapped (~5%% error).\n";
+  (* Error shrinks with more tones, as the paper notes. *)
+  let with_more_tones =
+    let fs = 1.7e6 and n = 4551 in
+    let pad = Msoc_signal.Fft.next_pow2 n in
+    let filter = Filter.butterworth_lowpass ~order:2 ~fc:61_000.0 ~fs in
+    let tones =
+      List.map (Tone.coherent_freq ~fs ~n:pad)
+        [ 10_000.0; 20_000.0; 40_000.0; 60_000.0; 90_000.0; 150_000.0; 220_000.0 ]
+    in
+    let bias = 2.0 in
+    let stimulus =
+      Tone.sample ~tones:(List.map (Tone.tone ~amplitude:0.25) tones) ~fs ~n
+      |> Array.map (fun v -> bias +. v)
+    in
+    let core samples =
+      Array.map (fun v -> bias +. v)
+        (Filter.process filter (Array.map (fun v -> v -. bias) samples))
+    in
+    let range = Quantize.default_range in
+    let codes = Array.map (Quantize.encode ~bits:8 ~range) stimulus in
+    let dac =
+      Msoc_mixedsig.Dac.create ~mismatch_sigma:0.02 ~seed:20 Msoc_mixedsig.Dac.Modular
+        ~bits:8
+    in
+    let adc =
+      Msoc_mixedsig.Adc.create ~threshold_sigma_lsb:0.5 ~seed:21
+        Msoc_mixedsig.Adc.Modular_pipeline ~bits:8
+    in
+    let wrapper = Wrapper.set_mode (Wrapper.create ~adc ~dac ~bits:8 ()) Wrapper.Core_test in
+    let wrapped =
+      Array.map (Quantize.decode ~bits:8 ~range)
+        (Wrapper.apply_core_test wrapper ~core ~stimulus:codes)
+    in
+    let s_in = Spectrum.analyze ~fs ~pad_to:pad stimulus in
+    let s_wr = Spectrum.analyze ~fs ~pad_to:pad wrapped in
+    Cutoff.from_spectra ~order:2 ~input:s_in ~output:s_wr tones
+  in
+  Printf.printf
+    "With 7 input tones instead of 3, the wrapped estimate moves to %.1f kHz \
+     (the paper: 'this error can be reduced further by using more \
+     frequencies').\n"
+    (with_more_tones /. 1.0e3);
+  (* Resolution sweep: the wrapper concept holds as long as the
+     converters give the test enough dynamic range. *)
+  Printf.printf "\nWrapped measurement error vs converter resolution:\n";
+  List.iter
+    (fun bits ->
+      let r = fig5_experiment ~bits () in
+      Printf.printf "  %2d-bit wrapper: fc=%.1f kHz, error %.2f%%\n" bits
+        (r.fc_wrapped /. 1.0e3) r.error_pct)
+    [ 4; 6; 8; 10 ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4 + §5: modular converter hardware cost and wrapper area.      *)
+
+let fig4 () =
+  header "Figure 4 / §5: modular converter hardware cost and wrapper area";
+  let columns =
+    [
+      Table.column ~align:Table.Right "bits";
+      Table.column ~align:Table.Right "flash comp.";
+      Table.column ~align:Table.Right "modular comp.";
+      Table.column ~align:Table.Right "reduction";
+      Table.column ~align:Table.Right "string R";
+      Table.column ~align:Table.Right "modular R";
+    ]
+  in
+  let rows =
+    List.map
+      (fun bits ->
+        [
+          string_of_int bits;
+          Table.int_cell (Cost_model.flash_comparators ~bits);
+          Table.int_cell (Cost_model.modular_comparators ~bits);
+          Table.float_cell (Cost_model.comparator_reduction ~bits);
+          Table.int_cell (Cost_model.string_dac_resistors ~bits);
+          Table.int_cell (Cost_model.modular_dac_resistors ~bits);
+        ])
+      [ 6; 8; 10; 12 ]
+  in
+  Table.print ~columns ~rows;
+  Printf.printf
+    "\nPaper (8-bit): 256 vs 32 comparators; DAC resistors reduced by a factor \
+     of 8.\n\n";
+  (* Converter linearity under mismatch: the modular architectures stay
+     usable. *)
+  let inl arch sigma =
+    Msoc_mixedsig.Dac.inl_lsb
+      (Msoc_mixedsig.Dac.create ~mismatch_sigma:sigma ~seed:7 arch ~bits:8)
+  in
+  Printf.printf "8-bit DAC INL (LSB) vs resistor mismatch sigma:\n";
+  List.iter
+    (fun sigma ->
+      Printf.printf "  sigma=%.3f  string=%.3f  modular=%.3f\n" sigma
+        (inl Msoc_mixedsig.Dac.Full_string sigma)
+        (inl Msoc_mixedsig.Dac.Modular sigma))
+    [ 0.0; 0.005; 0.01; 0.02; 0.05 ];
+  let wrapper_05 = Cost_model.wrapper_area_mm2 ~tech_um:0.5 () in
+  let wrapper_012 = Cost_model.wrapper_area_mm2 ~tech_um:0.12 () in
+  let core_mm2 = 8.0 *. wrapper_05 in
+  Printf.printf
+    "\nWrapper area: %.4f mm2 @0.5um (paper: 0.02). Industrial core @0.12um \
+     ~ %.3f mm2 (wrapper is 1/8 of it). Same-technology wrapper: %.5f mm2 -> \
+     ratio 1/%.0f (paper expects <= 1/30).\n"
+    wrapper_05 core_mm2 wrapper_012 (core_mm2 /. wrapper_012)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 2: shared wrapper — crosstalk sweep through the analog mux.    *)
+
+let fig2 () =
+  header "Figure 2: shared analog wrapper - mux crosstalk vs measurement error";
+  let columns =
+    [
+      Table.column ~align:Table.Right "crosstalk (mV)";
+      Table.column ~align:Table.Right "max code error (LSB)";
+      Table.column ~align:Table.Right "rms code error (LSB)";
+    ]
+  in
+  let stim = Array.init 512 (fun i -> (i * 7) mod 256) in
+  let test = List.nth Catalog.core_a.Msoc_analog.Spec.tests 0 in
+  let rows =
+    List.map
+      (fun crosstalk ->
+        let sw =
+          Msoc_mixedsig.Shared_wrapper.create ~crosstalk ~system_clock_hz:200.0e6
+            [ Catalog.core_a; Catalog.core_b ]
+        in
+        let resp =
+          Msoc_mixedsig.Shared_wrapper.run_test sw ~core_label:"A" ~core:Fun.id
+            ~test ~stimulus:stim
+        in
+        let errs =
+          Array.mapi (fun i r -> float_of_int (abs (r - stim.(i)))) resp
+        in
+        let max_err = Array.fold_left Float.max 0.0 errs in
+        let rms =
+          Float.sqrt
+            (Array.fold_left (fun a e -> a +. (e *. e)) 0.0 errs
+            /. float_of_int (Array.length errs))
+        in
+        [
+          Table.float_cell ~decimals:1 (crosstalk *. 1.0e3);
+          Table.float_cell max_err;
+          Table.float_cell ~decimals:3 rms;
+        ])
+      [ 0.0; 0.001; 0.005; 0.010; 0.020; 0.050 ]
+  in
+  Table.print ~columns ~rows;
+  Printf.printf
+    "\n8-bit LSB = %.1f mV: mux parasitics below a few mV are invisible, \
+     matching the paper's position that analog-mux noise is manageable \
+     [22-25].\n"
+    (Quantize.step ~bits:8 ~range:Quantize.default_range *. 1.0e3)
+
+(* ------------------------------------------------------------------ *)
+(* Extension: oversampled conversion - resolution from OSR rather than
+   comparator count (the alternative wrapper converter architecture
+   for audio-rate cores).                                              *)
+
+let sigma_delta () =
+  header "Extension: sigma-delta wrapper converter - ENOB vs oversampling ratio";
+  let columns =
+    [
+      Table.column ~align:Table.Right "OSR";
+      Table.column ~align:Table.Right "1st order ENOB";
+      Table.column ~align:Table.Right "2nd order ENOB";
+      Table.column ~align:Table.Right "Nyquist comparators for 2nd-order ENOB";
+    ]
+  in
+  let rows =
+    List.map
+      (fun osr ->
+        let enob order =
+          Msoc_mixedsig.Sigma_delta.measured_enob ~order ~osr ~fs:2.048e6
+            ~signal_hz:1_000.0 ()
+        in
+        let e2 = enob Msoc_mixedsig.Sigma_delta.Second in
+        let equivalent_bits =
+          Msoc_util.Numeric.clamp_int ~lo:2 ~hi:16
+            (int_of_float (Float.round e2))
+        in
+        let comparators =
+          if equivalent_bits mod 2 = 0 then
+            Table.int_cell (Cost_model.modular_comparators ~bits:equivalent_bits)
+          else
+            Table.int_cell
+              (Cost_model.modular_comparators ~bits:(equivalent_bits + 1))
+        in
+        [
+          string_of_int osr;
+          Table.float_cell (enob Msoc_mixedsig.Sigma_delta.First);
+          Table.float_cell e2;
+          comparators;
+        ])
+      [ 16; 32; 64; 128 ]
+  in
+  Table.print ~columns ~rows;
+  Printf.printf
+    "\nA 1-bit modulator plus digital decimation reaches audio resolutions \
+     that a flash/modular Nyquist pair would pay comparators for - the \
+     architecture of choice for wrapping high-resolution, low-rate cores \
+     like the extended catalog's sigma-delta front-end (G).\n"

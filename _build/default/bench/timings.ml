@@ -1,0 +1,100 @@
+(* Bechamel micro-benchmarks: one Test.make per reproduced table /
+   figure, timing the computational kernel that regenerates it. The
+   paper's own CPU-time claim (heuristic 6 min vs exhaustive 20 min on
+   a Sun Ultra) maps to the table4 pair below. *)
+
+open Bechamel
+open Toolkit
+
+module Evaluate = Msoc_testplan.Evaluate
+module Exhaustive = Msoc_testplan.Exhaustive
+module Cost_optimizer = Msoc_testplan.Cost_optimizer
+module Instances = Msoc_testplan.Instances
+module Sharing = Msoc_analog.Sharing
+module Catalog = Msoc_analog.Catalog
+
+let tests () =
+  (* Shared preparation (staircases + reference makespan) is hoisted so
+     each benchmark times only its own kernel. *)
+  let prepared32 = Evaluate.prepare (Instances.p93791m ~tam_width:32 ()) in
+  let combos = Sharing.paper_combinations Catalog.all in
+  let table1 =
+    Test.make ~name:"table1:area+bounds (26 combos)"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun c ->
+               ignore (Msoc_analog.Area.cost_ca c);
+               ignore (Msoc_analog.Bounds.normalized_lower_bound c))
+             combos))
+  in
+  let table2 =
+    Test.make ~name:"table2:wrapper configuration (16 tests)"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun (core : Msoc_analog.Spec.core) ->
+               List.iter
+                 (fun t ->
+                   ignore
+                     (Msoc_mixedsig.Wrapper.configure_for_test
+                        (Msoc_mixedsig.Wrapper.create ~bits:10 ())
+                        ~system_clock_hz:200.0e6 t))
+                 core.Msoc_analog.Spec.tests)
+             Catalog.all))
+  in
+  let table3 =
+    Test.make ~name:"table3:single combination evaluation (W=32)"
+      (Staged.stage (fun () ->
+           ignore (Evaluate.evaluate prepared32 (Sharing.full_sharing Catalog.all))))
+  in
+  let table4_exhaustive =
+    Test.make ~name:"table4:exhaustive search (W=32)"
+      (Staged.stage (fun () -> ignore (Exhaustive.run prepared32)))
+  in
+  let table4_heuristic =
+    Test.make ~name:"table4:Cost_Optimizer (W=32)"
+      (Staged.stage (fun () -> ignore (Cost_optimizer.run prepared32)))
+  in
+  let fig5 =
+    Test.make ~name:"fig5:wrapped cutoff experiment"
+      (Staged.stage (fun () -> ignore (Figures.fig5_experiment ~n:1024 ())))
+  in
+  Test.make_grouped ~name:"msoc"
+    [ table1; table2; table3; table4_exhaustive; table4_heuristic; fig5 ]
+
+let run () =
+  Printf.printf "\n=== Bechamel timings (one benchmark per table/figure) ===\n\n";
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:None ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] (tests ()) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let ns =
+          match Analyze.OLS.estimates result with
+          | Some (est :: _) -> est
+          | Some [] | None -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  let columns =
+    [
+      Msoc_util.Ascii_table.column "benchmark";
+      Msoc_util.Ascii_table.column ~align:Msoc_util.Ascii_table.Right "time/run";
+    ]
+  in
+  let pretty ns =
+    if Float.is_nan ns then "n/a"
+    else if ns > 1.0e9 then Printf.sprintf "%.2f s" (ns /. 1.0e9)
+    else if ns > 1.0e6 then Printf.sprintf "%.2f ms" (ns /. 1.0e6)
+    else if ns > 1.0e3 then Printf.sprintf "%.2f us" (ns /. 1.0e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  Msoc_util.Ascii_table.print ~columns
+    ~rows:(List.map (fun (name, ns) -> [ name; pretty ns ]) rows)

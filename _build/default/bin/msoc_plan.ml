@@ -1,0 +1,290 @@
+(* msoc_plan: command-line front end for the mixed-signal SOC test
+   planner.
+
+   Subcommands:
+     plan      - plan a SOC (built-in instance or .soc file + analog set)
+     soc-info  - describe a .soc file (cores, staircases, volumes)
+     sharing   - list wrapper-sharing combinations with C_A and T_LB
+     generate  - emit a synthetic .soc benchmark file *)
+
+open Cmdliner
+
+module Types = Msoc_itc02.Types
+module Problem = Msoc_testplan.Problem
+module Plan = Msoc_testplan.Plan
+module Report = Msoc_testplan.Report
+module Catalog = Msoc_analog.Catalog
+module Sharing = Msoc_analog.Sharing
+module Table = Msoc_util.Ascii_table
+
+(* --- shared argument definitions --- *)
+
+let width_arg =
+  let doc = "SOC-level TAM width (wires)." in
+  Arg.(value & opt int 32 & info [ "w"; "width" ] ~docv:"W" ~doc)
+
+let weight_time_arg =
+  let doc = "Cost weight for test time, 0..1; area weight is its complement." in
+  Arg.(value & opt float 0.5 & info [ "t"; "weight-time" ] ~docv:"WT" ~doc)
+
+let soc_file_arg =
+  let doc =
+    "Digital SOC description (.soc file). Defaults to the built-in p93791s \
+     synthetic benchmark."
+  in
+  Arg.(value & opt (some file) None & info [ "soc" ] ~docv:"FILE" ~doc)
+
+let analog_labels_arg =
+  let doc =
+    "Comma-separated analog core labels from the built-in catalog (A-E)."
+  in
+  Arg.(value & opt string "A,B,C,D,E" & info [ "analog" ] ~docv:"LABELS" ~doc)
+
+let search_arg =
+  let doc = "Search strategy: 'heuristic' (Cost_Optimizer) or 'exhaustive'." in
+  Arg.(
+    value
+    & opt (enum [ ("heuristic", `Heuristic); ("exhaustive", `Exhaustive) ]) `Heuristic
+    & info [ "search" ] ~docv:"STRATEGY" ~doc)
+
+let delta_arg =
+  let doc = "Cost_Optimizer pruning threshold (0 = aggressive, paper default)." in
+  Arg.(value & opt float 0.0 & info [ "delta" ] ~docv:"DELTA" ~doc)
+
+let schedule_flag =
+  let doc = "Print the full test schedule (one row per test)." in
+  Arg.(value & flag & info [ "schedule" ] ~doc)
+
+let gantt_flag =
+  let doc = "Print an ASCII Gantt chart of the schedule (wires x time)." in
+  Arg.(value & flag & info [ "gantt" ] ~doc)
+
+let json_flag =
+  let doc = "Emit the plan as JSON instead of tables." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let load_soc = function
+  | None -> Msoc_itc02.Synthetic.p93791s ()
+  | Some path -> Msoc_itc02.Soc_file.load path
+
+let parse_analog labels =
+  String.split_on_char ',' labels
+  |> List.filter (fun s -> s <> "")
+  |> List.map (fun label ->
+         match Catalog.find ~label:(String.uppercase_ascii (String.trim label)) with
+         | core -> core
+         | exception Not_found ->
+           Fmt.failwith "unknown analog core %S (catalog: A, B, C, D, E)" label)
+
+(* --- plan --- *)
+
+let run_plan width weight_time soc_file analog_labels search delta with_schedule
+    with_gantt as_json =
+  let soc = load_soc soc_file in
+  let analog_cores = parse_analog analog_labels in
+  let problem =
+    Problem.make ~soc ~analog_cores ~tam_width:width ~weight_time ()
+  in
+  let search =
+    match search with
+    | `Heuristic -> Plan.Heuristic { delta }
+    | `Exhaustive -> Plan.Exhaustive_search
+  in
+  let plan = Plan.run ~search problem in
+  if as_json then
+    print_string (Msoc_testplan.Export.plan_to_string ~pretty:true plan)
+  else begin
+    print_string (Report.summary plan);
+    print_newline ();
+    print_string (Report.wrapper_table plan);
+    if with_schedule then begin
+      print_newline ();
+      print_string (Report.schedule_table plan)
+    end;
+    if with_gantt then begin
+      print_newline ();
+      print_string
+        (Msoc_tam.Gantt.render plan.Plan.best.Msoc_testplan.Evaluate.schedule)
+    end
+  end
+
+let plan_cmd =
+  let doc = "plan a mixed-signal SOC: wrapper sharing + TAM schedule" in
+  Cmd.v
+    (Cmd.info "plan" ~doc)
+    Term.(
+      const run_plan $ width_arg $ weight_time_arg $ soc_file_arg
+      $ analog_labels_arg $ search_arg $ delta_arg $ schedule_flag $ gantt_flag
+      $ json_flag)
+
+(* --- soc-info --- *)
+
+let run_soc_info soc_file width volume =
+  let soc = load_soc soc_file in
+  Fmt.pr "%a@." Types.pp_soc soc;
+  if volume then begin
+    print_newline ();
+    print_string (Msoc_itc02.Volume.report soc);
+    Fmt.pr "ATE stimulus depth at W=%d: %s bits per wire@." width
+      (Table.int_cell (Msoc_itc02.Volume.ate_depth_bits soc ~width))
+  end;
+  let columns =
+    [
+      Table.column "core";
+      Table.column ~align:Table.Right "volume (bits)";
+      Table.column ~align:Table.Right "T(1)";
+      Table.column ~align:Table.Right (Printf.sprintf "T(%d)" width);
+      Table.column ~align:Table.Right "pareto pts";
+    ]
+  in
+  let rows =
+    List.map
+      (fun (core : Types.core) ->
+        let staircase = Msoc_wrapper.Pareto.staircase core ~max_width:width in
+        [
+          core.Types.name;
+          Table.int_cell (Types.test_data_volume core);
+          Table.int_cell (Msoc_wrapper.Pareto.time_at staircase ~width:1);
+          Table.int_cell (Msoc_wrapper.Pareto.min_time staircase);
+          string_of_int (List.length (Msoc_wrapper.Pareto.points staircase));
+        ])
+      soc.Types.cores
+  in
+  Table.print ~columns ~rows
+
+let soc_info_cmd =
+  let doc = "describe a .soc benchmark: cores, test volumes, staircases" in
+  let volume_flag =
+    Arg.(value & flag & info [ "volume" ] ~doc:"Include the test-data volume table.")
+  in
+  Cmd.v (Cmd.info "soc-info" ~doc)
+    Term.(const run_soc_info $ soc_file_arg $ width_arg $ volume_flag)
+
+(* --- sharing --- *)
+
+let run_sharing analog_labels all =
+  let cores = parse_analog analog_labels in
+  let combos =
+    if all then Sharing.all_combinations cores else Sharing.paper_combinations cores
+  in
+  let columns =
+    [
+      Table.column ~align:Table.Right "N_w";
+      Table.column "combination";
+      Table.column ~align:Table.Right "C_A";
+      Table.column ~align:Table.Right "T_LB";
+      Table.column ~align:Table.Right "T_LB (norm)";
+      Table.column "feasible";
+    ]
+  in
+  let rows =
+    List.map
+      (fun c ->
+        [
+          string_of_int (Sharing.wrappers c);
+          Sharing.full_name c;
+          Table.float_cell (Msoc_analog.Area.cost_ca c);
+          Table.int_cell (Msoc_analog.Bounds.lower_bound c);
+          Table.float_cell (Msoc_analog.Bounds.normalized_lower_bound c);
+          (if Sharing.is_feasible c then "yes" else "no");
+        ])
+      combos
+  in
+  Table.print ~columns ~rows
+
+let sharing_cmd =
+  let doc = "list wrapper-sharing combinations with area cost and time bound" in
+  let all_flag =
+    Arg.(value & flag & info [ "all" ] ~doc:"Every distinct partition, not just the paper's enumeration.")
+  in
+  Cmd.v (Cmd.info "sharing" ~doc) Term.(const run_sharing $ analog_labels_arg $ all_flag)
+
+(* --- generate --- *)
+
+let run_generate seed n_cores target_area bottleneck output =
+  let profile =
+    {
+      Msoc_itc02.Synthetic.n_cores;
+      target_area;
+      max_chains = Msoc_itc02.Synthetic.default_profile.Msoc_itc02.Synthetic.max_chains;
+      bottleneck;
+    }
+  in
+  let name = Filename.remove_extension (Filename.basename output) in
+  let soc = Msoc_itc02.Synthetic.generate ~seed ~name profile in
+  Msoc_itc02.Soc_file.save output soc;
+  Fmt.pr "wrote %s (%d cores, target area %d wire-cycles)@." output n_cores target_area
+
+let generate_cmd =
+  let doc = "generate a synthetic .soc benchmark" in
+  let seed = Arg.(value & opt int 937 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let n = Arg.(value & opt int 32 & info [ "cores" ] ~docv:"N" ~doc:"Number of cores.") in
+  let area =
+    Arg.(
+      value
+      & opt int 26_500_000
+      & info [ "area" ] ~docv:"A" ~doc:"Target total test area (wire-cycles).")
+  in
+  let bottleneck =
+    Arg.(
+      value & flag
+      & info [ "bottleneck" ]
+          ~doc:"Include the fixed p93791-style bottleneck core (the built-in \
+                p93791s uses seed 937, area 26500000 and this flag).")
+  in
+  let out =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OUTPUT.soc" ~doc:"Output path.")
+  in
+  Cmd.v (Cmd.info "generate" ~doc)
+    Term.(const run_generate $ seed $ n $ area $ bottleneck $ out)
+
+(* --- bist --- *)
+
+let run_bist bits mismatch_pct trials =
+  let sigma = mismatch_pct /. 100.0 in
+  Fmt.pr "Converter BIST: %d-bit modular pair, %.2f%% resistor mismatch@."
+    bits mismatch_pct;
+  let sample = Msoc_mixedsig.Yield.wrapper_for_die ~bits ~dac_mismatch_sigma:sigma ~seed:1 () in
+  let r = Msoc_mixedsig.Bist.loopback_linearity sample in
+  Fmt.pr "die 1 loopback: max code error %d, mean %.3f, monotonic %b -> %s@."
+    r.Msoc_mixedsig.Bist.max_code_error r.Msoc_mixedsig.Bist.mean_abs_error
+    r.Msoc_mixedsig.Bist.monotonic
+    (if Msoc_mixedsig.Bist.passes r then "PASS" else "FAIL");
+  Fmt.pr "self-test cost on a 4-wire TAM: %s cycles@."
+    (Table.int_cell
+       (Msoc_mixedsig.Bist.self_test_cycles ~bits ~tam_width:4 ()));
+  let hist =
+    Msoc_mixedsig.Bist.sine_histogram ~samples:60_000
+      (Msoc_mixedsig.Wrapper.adc sample)
+  in
+  Fmt.pr "sine-histogram BIST: INL %.2f LSB, DNL %.2f LSB, %d missing codes@."
+    hist.Msoc_mixedsig.Bist.inl_lsb hist.Msoc_mixedsig.Bist.dnl_lsb
+    hist.Msoc_mixedsig.Bist.missing_codes;
+  let die seed =
+    Msoc_mixedsig.Bist.passes
+      (Msoc_mixedsig.Bist.loopback_linearity
+         (Msoc_mixedsig.Yield.wrapper_for_die ~bits ~dac_mismatch_sigma:sigma ~seed ()))
+  in
+  let y = Msoc_mixedsig.Yield.estimate ~trials ~die in
+  Fmt.pr "yield over %d dies: %.1f%% (95%% CI %.1f-%.1f%%)@." trials
+    (100.0 *. y.Msoc_mixedsig.Yield.yield)
+    (100.0 *. y.Msoc_mixedsig.Yield.ci_low)
+    (100.0 *. y.Msoc_mixedsig.Yield.ci_high)
+
+let bist_cmd =
+  let doc = "converter self-test: loopback linearity, cost, Monte-Carlo yield" in
+  let bits = Arg.(value & opt int 8 & info [ "bits" ] ~docv:"N" ~doc:"Converter resolution.") in
+  let mismatch =
+    Arg.(value & opt float 1.0 & info [ "mismatch" ] ~docv:"PCT" ~doc:"Resistor mismatch sigma in percent.")
+  in
+  let trials = Arg.(value & opt int 50 & info [ "trials" ] ~docv:"T" ~doc:"Monte-Carlo dies.") in
+  Cmd.v (Cmd.info "bist" ~doc) Term.(const run_bist $ bits $ mismatch $ trials)
+
+(* --- main --- *)
+
+let () =
+  let doc = "test planning for mixed-signal SOCs with wrapped analog cores" in
+  let info = Cmd.info "msoc_plan" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ plan_cmd; soc_info_cmd; sharing_cmd; generate_cmd; bist_cmd ]))

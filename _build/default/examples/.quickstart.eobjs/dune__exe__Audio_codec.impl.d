@@ -1,0 +1,1 @@
+examples/audio_codec.ml: List Msoc_analog Msoc_itc02 Msoc_testplan Printf

@@ -1,0 +1,1 @@
+examples/audio_codec.mli:

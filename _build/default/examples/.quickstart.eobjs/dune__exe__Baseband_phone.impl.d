@@ -1,0 +1,1 @@
+examples/baseband_phone.ml: List Msoc_analog Msoc_testplan Msoc_util Printf

@@ -1,0 +1,1 @@
+examples/baseband_phone.mli:

@@ -1,0 +1,1 @@
+examples/datasheet.ml: Float Format List Msoc_mixedsig Msoc_signal Printf

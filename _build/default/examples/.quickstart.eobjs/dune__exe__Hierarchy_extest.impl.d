@@ -1,0 +1,1 @@
+examples/hierarchy_extest.ml: List Msoc_itc02 Msoc_tam Msoc_testplan Msoc_util Printf

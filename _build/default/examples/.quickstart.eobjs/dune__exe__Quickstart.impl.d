@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Msoc_analog Msoc_itc02 Msoc_tam Msoc_testplan Printf

@@ -1,0 +1,1 @@
+examples/virtual_ate.ml: Float List Msoc_analog Msoc_itc02 Msoc_mixedsig Msoc_signal Msoc_tam Msoc_testplan Msoc_util Printf String

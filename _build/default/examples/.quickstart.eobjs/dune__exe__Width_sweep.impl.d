@@ -1,0 +1,1 @@
+examples/width_sweep.ml: List Msoc_analog Msoc_itc02 Msoc_tam Msoc_testplan Msoc_util Printf

@@ -1,0 +1,1 @@
+examples/width_sweep.mli:

@@ -1,0 +1,1 @@
+examples/wrapper_sim.ml: Array Float List Msoc_analog Msoc_mixedsig Msoc_signal Msoc_util Printf String

@@ -1,0 +1,1 @@
+examples/wrapper_sim.mli:

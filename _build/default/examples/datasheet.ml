@@ -1,0 +1,80 @@
+(* Datasheet run: every specification test of a transmit-path-like
+   analog core executed through one analog test wrapper.
+
+   Table 2 lists *what* each core is tested for (gain, cut-off,
+   attenuation, IIP3, DC offset, ...); this example shows those tests
+   actually happening: a behavioral core with known imperfections is
+   characterized purely with digital stimuli/responses through the
+   wrapper, and each extracted value is checked against its
+   specification limits.
+
+     dune exec examples/datasheet.exe *)
+
+module Models = Msoc_mixedsig.Analog_models
+module M = Msoc_mixedsig.Measurements
+module Distortion = Msoc_signal.Distortion
+
+(* The device under test: 0.95x pass-band gain, 60 kHz 2nd-order
+   roll-off, mild cubic nonlinearity, 30 mV input-referred offset, a
+   0.5 V/us slew limit and a small noise floor. *)
+let device_fs = 1.7e6
+
+let device : Models.t =
+  Models.compose
+    [
+      Models.dc_offset 0.03;
+      Models.polynomial ~a1:0.95 ~a2:0.0 ~a3:(-0.02);
+      Models.lowpass ~order:2 ~fc:60_000.0 ~fs:device_fs;
+      Models.slew_limited ~max_slew_v_per_s:0.5e6 ~fs:device_fs;
+      Models.additive_noise ~seed:5 ~sigma:0.002;
+    ]
+
+let () =
+  let t = M.setup ~bits:10 ~fs:device_fs device in
+  Printf.printf
+    "Characterizing the device through a %d-bit analog test wrapper\n\
+     (fs = %.1f MHz, %d-sample records)\n\n"
+    (Msoc_mixedsig.Wrapper.bits t.M.wrapper)
+    (t.M.fs /. 1.0e6) t.M.samples;
+
+  let gain = M.measure_gain t ~freq:20_000.0 ~amplitude:0.5 in
+  let fc = M.measure_cutoff t ~tones:[ 15_000.0; 55_000.0; 140_000.0 ] ~amplitude:0.45 in
+  let thd_pct = 100.0 *. M.measure_thd t ~freq:10_000.0 ~amplitude:0.5 in
+  let imd = M.measure_iip3 t ~f1:40_000.0 ~f2:50_000.0 ~amplitude:0.4 in
+  let offset_mv = 1000.0 *. M.measure_dc_offset t in
+  let slew = M.measure_slew_rate t ~step_volts:1.6 /. 1.0e6 in
+  let dr_db = M.measure_dynamic_range t ~freq:20_000.0 ~amplitude:0.8 in
+
+  let verdicts =
+    [
+      { M.name = "g_pb"; value = gain; limit_low = 0.9; limit_high = 1.05 };
+      { M.name = "f_c (kHz)"; value = fc /. 1.0e3; limit_low = 50.0; limit_high = 70.0 };
+      { M.name = "THD (%)"; value = thd_pct; limit_low = 0.0; limit_high = 1.0 };
+      {
+        M.name = "IIP3 (V)";
+        value = imd.Distortion.iip3_rel;
+        limit_low = 3.0;
+        limit_high = Float.infinity;
+      };
+      { M.name = "V_off (mV)"; value = offset_mv; limit_low = -50.0; limit_high = 50.0 };
+      { M.name = "SR (V/us)"; value = slew; limit_low = 0.3; limit_high = 1.0 };
+      { M.name = "DR (dB)"; value = dr_db; limit_low = 40.0; limit_high = Float.infinity };
+    ]
+  in
+  List.iter (fun v -> Format.printf "%a@." M.pp_verdict v) verdicts;
+  let failures = List.filter (fun v -> not (M.passed v)) verdicts in
+  Printf.printf "\n%d/%d specifications met%s\n"
+    (List.length verdicts - List.length failures)
+    (List.length verdicts)
+    (if failures = [] then " - device would ship." else " - device fails test.");
+
+  (* Ground truth vs extraction, for the skeptical reader. The slew
+     FAIL is genuine: the 0.5 V/us limiter sits behind the 60 kHz
+     roll-off, so the fastest edge the composed device can produce is
+     filter-limited to ~0.26 V/us - below the 0.3 V/us specification.
+     The wrapped, all-digital test catches it. *)
+  Printf.printf
+    "\nGround truth: gain 0.95, fc 60 kHz, offset 30 mV, raw slew limiter \
+     0.5 V/us (but filter-limited edges reach only ~0.26 V/us - a real \
+     violation, caught through the wrapper), IIP3 = sqrt(4/3 * 0.95/0.02) \
+     ~ 7.96 V seen at ~6 V after the roll-off.\n"

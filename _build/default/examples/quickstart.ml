@@ -1,0 +1,49 @@
+(* Quickstart: plan the tests of a small mixed-signal SOC.
+
+   Build a digital SOC description, pick analog cores from the paper's
+   catalog, and let the planner choose the analog wrapper sharing and
+   the TAM schedule.
+
+     dune exec examples/quickstart.exe *)
+
+module Types = Msoc_itc02.Types
+module Catalog = Msoc_analog.Catalog
+module Problem = Msoc_testplan.Problem
+module Plan = Msoc_testplan.Plan
+module Report = Msoc_testplan.Report
+
+let () =
+  (* 1. Describe the digital cores: terminals, scan chains, patterns —
+     the same data an ITC'02 .soc file carries. *)
+  let digital_cores =
+    [
+      Types.core ~id:1 ~name:"cpu" ~inputs:64 ~outputs:32 ~bidirs:16
+        ~scan_chains:[ 400; 380; 360; 350 ] ~patterns:420;
+      Types.core ~id:2 ~name:"dsp" ~inputs:48 ~outputs:48 ~bidirs:0
+        ~scan_chains:[ 300; 280; 250 ] ~patterns:380;
+      Types.core ~id:3 ~name:"dma" ~inputs:30 ~outputs:24 ~bidirs:0
+        ~scan_chains:[ 120; 110 ] ~patterns:150;
+      Types.core ~id:4 ~name:"uart" ~inputs:12 ~outputs:10 ~bidirs:0
+        ~scan_chains:[ 60 ] ~patterns:90;
+    ]
+  in
+  let soc = Types.soc ~name:"quickstart-soc" ~cores:digital_cores in
+
+  (* 2. Pick the analog cores (paper Table 2): an audio CODEC and a
+     general-purpose amplifier. *)
+  let analog_cores = [ Catalog.core_c; Catalog.core_e ] in
+
+  (* 3. State the planning problem: 16 TAM wires, time and area cost
+     weighted equally. *)
+  let problem =
+    Problem.make ~soc ~analog_cores ~tam_width:16 ~weight_time:0.5 ()
+  in
+
+  (* 4. Plan (Cost_Optimizer heuristic by default) and report. *)
+  let plan = Plan.run problem in
+  Report.print plan;
+
+  (* 5. The result is data, not just a report: inspect it. *)
+  Printf.printf "\nThe planner scheduled %d tests; SOC test takes %d cycles.\n"
+    (List.length plan.Plan.best.Msoc_testplan.Evaluate.schedule.Msoc_tam.Schedule.placements)
+    (Plan.makespan plan)

@@ -1,0 +1,1 @@
+lib/analog/area.ml: Float List Msoc_util Sharing Spec

@@ -1,0 +1,1 @@
+lib/analog/area.mli: Sharing Spec

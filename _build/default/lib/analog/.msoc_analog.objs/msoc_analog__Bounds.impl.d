@@ -1,0 +1,1 @@
+lib/analog/bounds.ml: List Msoc_util Sharing Spec

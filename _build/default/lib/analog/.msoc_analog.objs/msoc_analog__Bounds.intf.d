@@ -1,0 +1,1 @@
+lib/analog/bounds.mli: Sharing Spec

@@ -1,0 +1,1 @@
+lib/analog/catalog.ml: List Msoc_util Spec

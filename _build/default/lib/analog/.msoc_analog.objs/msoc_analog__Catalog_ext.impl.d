@@ -1,0 +1,1 @@
+lib/analog/catalog_ext.ml: Catalog Spec

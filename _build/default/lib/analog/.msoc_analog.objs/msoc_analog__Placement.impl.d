@@ -1,0 +1,1 @@
+lib/analog/placement.ml: Area Float List Msoc_util Printf Spec

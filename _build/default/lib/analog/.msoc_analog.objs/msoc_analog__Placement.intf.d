@@ -1,0 +1,1 @@
+lib/analog/placement.mli: Area Spec

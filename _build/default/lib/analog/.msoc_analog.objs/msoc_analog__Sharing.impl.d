@@ -1,0 +1,1 @@
+lib/analog/sharing.ml: List Msoc_util Spec String

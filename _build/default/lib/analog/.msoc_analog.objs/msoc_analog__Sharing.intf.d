@@ -1,0 +1,1 @@
+lib/analog/sharing.mli: Spec

@@ -1,0 +1,1 @@
+lib/analog/spec.ml: Float Format List Msoc_util

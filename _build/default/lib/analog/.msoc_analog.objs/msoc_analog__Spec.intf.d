@@ -1,0 +1,1 @@
+lib/analog/spec.mli: Format

@@ -1,0 +1,101 @@
+type a_max_rule = Max_individual | Merged_requirement
+
+type routing =
+  | Uniform of float
+  | Placed of { position : string -> float * float; k_per_mm : float }
+
+type model = {
+  wrapper_area : Spec.requirement -> float;
+  routing : routing;
+  a_max_rule : a_max_rule;
+}
+
+(* Unit areas, normalized to one comparator. Resistor strings and
+   digital cells are far smaller than comparators; the control block
+   is a fixed overhead. The speed factor reflects the larger devices
+   and bias currents fast converters need. *)
+let comparator_area = 1.0
+let resistor_area = 0.15
+let register_bit_area = 0.08
+let encoder_per_wire_area = 0.40
+let control_block_area = 2.0
+let speed_reference_hz = 200.0e6
+
+let default_wrapper_area (r : Spec.requirement) =
+  let half = r.bits / 2 in
+  let flash_comparators = 2 * ((1 lsl half) - 1) in
+  let resistors = 3 * (1 lsl half) in
+  let converters =
+    (float_of_int flash_comparators *. comparator_area)
+    +. (float_of_int resistors *. resistor_area)
+  in
+  let speed_factor = 1.0 +. (r.f_sample_max_hz /. speed_reference_hz) in
+  let registers = float_of_int (2 * r.bits) *. register_bit_area in
+  let encoder = float_of_int r.width *. encoder_per_wire_area in
+  (converters *. speed_factor) +. registers +. encoder +. control_block_area
+
+let default_model =
+  { wrapper_area = default_wrapper_area; routing = Uniform 0.12; a_max_rule = Max_individual }
+
+let wrapper_area_of_core model core = model.wrapper_area (Spec.requirement core)
+
+let group_area model group =
+  match model.a_max_rule with
+  | Max_individual ->
+    List.fold_left
+      (fun acc c -> Float.max acc (wrapper_area_of_core model c))
+      0.0 group
+  | Merged_requirement ->
+    let merged =
+      match group with
+      | [] -> invalid_arg "Area.group_area: empty group"
+      | c :: rest ->
+        List.fold_left
+          (fun acc d -> Spec.merge_requirements acc (Spec.requirement d))
+          (Spec.requirement c) rest
+    in
+    model.wrapper_area merged
+
+let mean_pairwise_distance position labels =
+  let dist a b =
+    let xa, ya = position a and xb, yb = position b in
+    Float.hypot (xa -. xb) (ya -. yb)
+  in
+  match Msoc_util.Combinat.pairs labels with
+  | [] -> 0.0
+  | pairs ->
+    List.fold_left (fun acc (a, b) -> acc +. dist a b) 0.0 pairs
+    /. float_of_int (List.length pairs)
+
+let routing_overhead_pct model group =
+  let n = List.length group in
+  if n <= 1 then 0.0
+  else
+    let k =
+      match model.routing with
+      | Uniform k -> k
+      | Placed { position; k_per_mm } ->
+        let labels = List.map (fun c -> c.Spec.label) group in
+        k_per_mm *. mean_pairwise_distance position labels
+    in
+    float_of_int (n - 1) *. 100.0 *. k
+
+let cost_ca ?(model = default_model) (t : Sharing.t) =
+  let shared_total =
+    List.fold_left
+      (fun acc group ->
+        let rho = routing_overhead_pct model group in
+        acc +. ((1.0 +. (rho /. 100.0)) *. group_area model group))
+      0.0 t.groups
+  in
+  let solo_total =
+    List.fold_left
+      (fun acc group ->
+        List.fold_left (fun a c -> a +. wrapper_area_of_core model c) acc group)
+      0.0 t.groups
+  in
+  100.0 *. shared_total /. solo_total
+
+let acceptable ?(model = default_model) t =
+  List.for_all (fun g -> List.length g = 1) t.Sharing.groups
+  || cost_ca ~model t < 100.0

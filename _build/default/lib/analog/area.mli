@@ -1,0 +1,69 @@
+(** Analog wrapper area overhead — Equation 1 of the paper.
+
+    The cost of a sharing combination is the ratio (×100) of its total
+    wrapper area, including a routing penalty for shared wrappers, to
+    the total area when every core has its own wrapper:
+
+    {v
+      C_A = 100 · Σ_j (1 + ρ_j/100) · a_max(S_j)  /  Σ_i a_i
+      ρ_j = (n_j − 1) · 100 · k            (k = 0.12 by default)
+    v}
+
+    where [S_j] are the wrapper groups, [a_max(S_j)] the area of the
+    shared wrapper sized for group [j], and [a_i] the stand-alone
+    wrapper areas. No sharing gives [C_A = 100]; combinations with
+    [C_A >= 100] are "worse than no sharing" and rejected by
+    {!acceptable}.
+
+    The paper does not publish the per-core wrapper areas, so
+    {!default_model} derives them from each core's wrapper
+    requirement (converter resolution, sampling rate, TAM width); see
+    DESIGN.md §3. Any other model can be plugged in. *)
+
+type a_max_rule =
+  | Max_individual
+      (** Eq. 1 verbatim: shared-wrapper area = max of the members'
+          stand-alone areas. *)
+  | Merged_requirement
+      (** Size the shared wrapper for the pointwise-max requirement —
+          at least [Max_individual]; differs when resolution and speed
+          maxima come from different members. *)
+
+(** How the routing penalty of a shared wrapper is obtained. *)
+type routing =
+  | Uniform of float
+      (** the paper's constant [k]: every extra core on a wrapper adds
+          [100·k] percent of routing overhead, wherever the cores sit *)
+  | Placed of { position : string -> float * float; k_per_mm : float }
+      (** the paper's stated future work ("refining the cost measure
+          based on the knowledge of core placement"): [position] maps
+          a core label to die coordinates in mm, and each extra core
+          adds [100·k_per_mm·d̄] percent, where [d̄] is the group's mean
+          pairwise distance — distant cores are expensive to share *)
+
+type model = {
+  wrapper_area : Spec.requirement -> float;
+      (** stand-alone wrapper area, arbitrary consistent units *)
+  routing : routing;
+  a_max_rule : a_max_rule;
+}
+
+val default_model : model
+(** Comparator/resistor-count-based converter area (modular pipelined
+    architecture of Fig. 4) with a sampling-speed factor, plus linear
+    register/encoder terms; [Uniform 0.12]; [Max_individual]. *)
+
+val wrapper_area_of_core : model -> Spec.core -> float
+
+val group_area : model -> Spec.core list -> float
+(** Area of one (possibly shared) wrapper, excluding routing. *)
+
+val routing_overhead_pct : model -> Spec.core list -> float
+(** ρ for a wrapper serving the given cores; 0 for a solo wrapper.
+    @raise Not_found under [Placed] when a member has no position. *)
+
+val cost_ca : ?model:model -> Sharing.t -> float
+(** Equation 1. *)
+
+val acceptable : ?model:model -> Sharing.t -> bool
+(** [cost_ca t < 100] or [t] is the no-sharing combination. *)

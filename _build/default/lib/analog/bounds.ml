@@ -1,0 +1,9 @@
+let wrapper_usage group =
+  Msoc_util.Numeric.sum_int (List.map Spec.core_time group)
+
+let lower_bound (t : Sharing.t) =
+  Msoc_util.Numeric.max_int_list (List.map wrapper_usage t.groups)
+
+let normalized_lower_bound (t : Sharing.t) =
+  let total = List.fold_left (fun acc g -> acc + wrapper_usage g) 0 t.groups in
+  Msoc_util.Numeric.percent_of (float_of_int (lower_bound t)) (float_of_int total)

@@ -1,0 +1,16 @@
+(** Lower bounds on analog test time under wrapper sharing (§3).
+
+    Cores sharing a wrapper are tested serially, so a wrapper's usage
+    is the sum of its cores' test times, and no schedule can finish
+    the analog tests before the most-loaded wrapper does. *)
+
+val wrapper_usage : Spec.core list -> int
+(** Serial test time of one wrapper group. *)
+
+val lower_bound : Sharing.t -> int
+(** [T_LB]: max wrapper usage over the combination's groups. *)
+
+val normalized_lower_bound : Sharing.t -> float
+(** Paper Table 1's second column: [T_LB] as a percentage of the
+    full-sharing bound (the sum of all core times of this
+    combination's cores — the maximum possible [T_LB]). *)

@@ -1,0 +1,67 @@
+let t = Spec.test
+
+let khz v = v *. 1.0e3
+let mhz v = v *. 1.0e6
+
+(* Table 2, cores A and B: baseband I-Q transmit path pair. *)
+let iq_transmit_tests =
+  [
+    t ~name:"g_pb" ~f_low_hz:(khz 50.) ~f_high_hz:(khz 50.) ~f_sample_hz:(mhz 1.5)
+      ~cycles:50_000 ~tam_width:1 ~resolution_bits:8;
+    t ~name:"f_c" ~f_low_hz:(khz 45.) ~f_high_hz:(khz 55.) ~f_sample_hz:(mhz 1.5)
+      ~cycles:13_653 ~tam_width:4 ~resolution_bits:8;
+    t ~name:"a_1MHz&a_2MHz" ~f_low_hz:(mhz 1.) ~f_high_hz:(mhz 2.) ~f_sample_hz:(mhz 8.)
+      ~cycles:12_643 ~tam_width:2 ~resolution_bits:8;
+    t ~name:"IIP3" ~f_low_hz:(khz 50.) ~f_high_hz:(khz 250.) ~f_sample_hz:(mhz 8.)
+      ~cycles:26_973 ~tam_width:2 ~resolution_bits:8;
+    t ~name:"DC_offset" ~f_low_hz:0. ~f_high_hz:0. ~f_sample_hz:(khz 10.)
+      ~cycles:700 ~tam_width:1 ~resolution_bits:8;
+    t ~name:"ph_off" ~f_low_hz:(khz 200.) ~f_high_hz:(khz 400.) ~f_sample_hz:(mhz 15.)
+      ~cycles:32_000 ~tam_width:4 ~resolution_bits:8;
+  ]
+
+let core_a = Spec.core ~label:"A" ~name:"I-Q transmit" ~tests:iq_transmit_tests
+let core_b = Spec.core ~label:"B" ~name:"I-Q transmit" ~tests:iq_transmit_tests
+
+(* Core C: CODEC audio path. *)
+let core_c =
+  Spec.core ~label:"C" ~name:"CODEC audio"
+    ~tests:
+      [
+        t ~name:"g_pb" ~f_low_hz:(khz 20.) ~f_high_hz:(khz 20.) ~f_sample_hz:(khz 640.)
+          ~cycles:80_000 ~tam_width:1 ~resolution_bits:10;
+        t ~name:"f_c" ~f_low_hz:(khz 45.) ~f_high_hz:(khz 55.) ~f_sample_hz:(mhz 1.5)
+          ~cycles:136_533 ~tam_width:1 ~resolution_bits:10;
+        t ~name:"THD" ~f_low_hz:(khz 2.) ~f_high_hz:(khz 31.) ~f_sample_hz:(mhz 2.46)
+          ~cycles:83_252 ~tam_width:1 ~resolution_bits:10;
+      ]
+
+(* Core D: baseband down converter. *)
+let core_d =
+  Spec.core ~label:"D" ~name:"Baseband down converter"
+    ~tests:
+      [
+        t ~name:"IIP3" ~f_low_hz:(mhz 3.25) ~f_high_hz:(mhz 9.75) ~f_sample_hz:(mhz 78.)
+          ~cycles:15_754 ~tam_width:10 ~resolution_bits:8;
+        t ~name:"G" ~f_low_hz:(mhz 26.) ~f_high_hz:(mhz 26.) ~f_sample_hz:(mhz 26.)
+          ~cycles:9_228 ~tam_width:4 ~resolution_bits:8;
+        t ~name:"DR" ~f_low_hz:(mhz 26.) ~f_high_hz:(mhz 26.) ~f_sample_hz:(mhz 26.)
+          ~cycles:31_508 ~tam_width:4 ~resolution_bits:8;
+      ]
+
+(* Core E: general-purpose amplifier. *)
+let core_e =
+  Spec.core ~label:"E" ~name:"General purpose amplifier"
+    ~tests:
+      [
+        t ~name:"SR" ~f_low_hz:(mhz 69.) ~f_high_hz:(mhz 69.) ~f_sample_hz:(mhz 69.)
+          ~cycles:5_400 ~tam_width:5 ~resolution_bits:8;
+        t ~name:"G" ~f_low_hz:(mhz 8.) ~f_high_hz:(mhz 8.) ~f_sample_hz:(mhz 8.)
+          ~cycles:2_500 ~tam_width:1 ~resolution_bits:8;
+      ]
+
+let all = [ core_a; core_b; core_c; core_d; core_e ]
+
+let total_time = Msoc_util.Numeric.sum_int (List.map Spec.core_time all)
+
+let find ~label = List.find (fun c -> c.Spec.label = label) all

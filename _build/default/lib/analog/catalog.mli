@@ -1,0 +1,31 @@
+(** The five analog cores of the paper's experimental setup (Table 2),
+    taken from a commercial baseband cellular phone chip:
+
+    - A, B — baseband I-Q transmit paths (500 kHz bandwidth, identical
+      test sets);
+    - C — CODEC audio path (50 kHz bandwidth);
+    - D — baseband down-conversion path;
+    - E — general-purpose amplifier.
+
+    Cycle counts and TAM widths are verbatim from the paper.
+    Resolutions are assigned per DESIGN.md §3 (8 bits for the
+    transmit/down-conversion/amplifier tests — the paper's implemented
+    wrapper is 8-bit — and 10 bits for the audio CODEC, whose THD
+    specification needs finer quantization). *)
+
+val core_a : Spec.core
+val core_b : Spec.core
+val core_c : Spec.core
+val core_d : Spec.core
+val core_e : Spec.core
+
+val all : Spec.core list
+(** [A; B; C; D; E]. *)
+
+val total_time : int
+(** Σ core time over {!all} = 636,113 cycles — the test time when all
+    five cores share one wrapper; the normalization base of the
+    paper's Tables 1 and 3. *)
+
+val find : label:string -> Spec.core
+(** @raise Not_found for labels outside A..E. *)

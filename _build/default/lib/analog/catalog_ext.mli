@@ -1,0 +1,29 @@
+(** Extension cores beyond the paper's five (DESIGN.md A-series
+    experiments).
+
+    The paper's catalog is deliberately mid-frequency and low-to-mid
+    resolution, which is why all 26 sharing combinations are feasible.
+    These three extra cores populate the corners of the requirement
+    space, so the compatibility rule of §3 actually bites:
+
+    - F — PLL block: a fast, low-resolution core (40 MHz sampling for
+      the jitter proxy test). Sharing F with a high-resolution core is
+      forbidden under the default policy.
+    - G — sigma-delta audio ADC front-end: 12-bit resolution at audio
+      rates; the "high-resolution and low-speed" archetype. F and G
+      can never share a wrapper.
+    - H — temperature sensor: a tiny, slow DC core that can share with
+      anything.
+
+    Frequencies/cycle counts are chosen in the style of Table 2; they
+    are our additions, not paper data. *)
+
+val core_f : Spec.core
+val core_g : Spec.core
+val core_h : Spec.core
+
+val extras : Spec.core list
+(** [F; G; H]. *)
+
+val extended : Spec.core list
+(** The paper's A..E plus the extras — eight cores. *)

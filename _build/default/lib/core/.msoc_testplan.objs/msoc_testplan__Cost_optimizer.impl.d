@@ -1,0 +1,1 @@
+lib/core/cost_optimizer.ml: Evaluate Exhaustive Float List Msoc_analog Msoc_util Problem

@@ -1,0 +1,1 @@
+lib/core/cost_optimizer.mli: Evaluate Exhaustive Msoc_analog

@@ -1,0 +1,1 @@
+lib/core/evaluate.ml: List Msoc_analog Msoc_itc02 Msoc_mixedsig Msoc_tam Msoc_util Printf Problem

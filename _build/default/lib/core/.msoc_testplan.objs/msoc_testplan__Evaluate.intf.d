@@ -1,0 +1,1 @@
+lib/core/evaluate.mli: Msoc_analog Msoc_tam Problem

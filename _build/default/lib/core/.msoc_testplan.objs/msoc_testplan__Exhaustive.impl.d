@@ -1,0 +1,1 @@
+lib/core/exhaustive.ml: Evaluate List Problem

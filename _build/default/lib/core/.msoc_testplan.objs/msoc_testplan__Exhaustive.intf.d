@@ -1,0 +1,1 @@
+lib/core/exhaustive.mli: Evaluate Msoc_analog

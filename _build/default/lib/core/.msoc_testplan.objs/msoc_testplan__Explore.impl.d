@@ -1,0 +1,1 @@
+lib/core/explore.ml: List Option Plan

@@ -1,0 +1,1 @@
+lib/core/export.ml: Buffer Char Evaluate Float List Msoc_analog Msoc_itc02 Msoc_tam Plan Printf Problem String

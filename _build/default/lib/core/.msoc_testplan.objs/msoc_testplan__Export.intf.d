@@ -1,0 +1,1 @@
+lib/core/export.mli: Msoc_tam Plan

@@ -1,0 +1,1 @@
+lib/core/instances.ml: Array Char List Msoc_analog Msoc_itc02 Problem String

@@ -1,0 +1,1 @@
+lib/core/instances.mli: Msoc_analog Problem

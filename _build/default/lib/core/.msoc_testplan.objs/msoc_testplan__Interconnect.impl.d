@@ -1,0 +1,1 @@
+lib/core/interconnect.ml: List Msoc_itc02 Msoc_tam Printf

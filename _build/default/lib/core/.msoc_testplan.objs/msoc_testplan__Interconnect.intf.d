@@ -1,0 +1,1 @@
+lib/core/interconnect.mli: Msoc_itc02 Msoc_tam

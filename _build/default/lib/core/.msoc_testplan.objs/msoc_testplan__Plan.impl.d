@@ -1,0 +1,1 @@
+lib/core/plan.ml: Cost_optimizer Evaluate Exhaustive List Msoc_itc02 Msoc_tam Problem

@@ -1,0 +1,1 @@
+lib/core/plan.mli: Evaluate Msoc_analog Msoc_tam Problem

@@ -1,0 +1,1 @@
+lib/core/problem.ml: List Msoc_analog Msoc_itc02 Printf

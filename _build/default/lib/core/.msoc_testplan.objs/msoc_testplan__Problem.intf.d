@@ -1,0 +1,1 @@
+lib/core/problem.mli: Msoc_analog Msoc_itc02

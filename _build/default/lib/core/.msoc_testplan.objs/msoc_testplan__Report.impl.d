@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Evaluate List Msoc_analog Msoc_itc02 Msoc_tam Msoc_util Plan Printf Problem String

@@ -1,0 +1,78 @@
+module Sharing = Msoc_analog.Sharing
+
+type result = {
+  best : Evaluate.evaluation;
+  evaluations : int;
+  considered : int;
+  surviving_groups : int list list;
+}
+
+let run ?(delta = 0.0) ?combinations prepared =
+  if delta < 0.0 then invalid_arg "Cost_optimizer.run: negative delta";
+  let candidates =
+    match combinations with
+    | Some cs -> cs
+    | None -> Problem.combinations (Evaluate.problem prepared)
+  in
+  if candidates = [] then invalid_arg "Cost_optimizer.run: no candidate combinations";
+  (* Line 1: group by degree of sharing — the group-size signature,
+     so that combinations in one group share the same structural area
+     cost (e.g. all 3+2 splits together, all 4-sharings together). *)
+  let groups = Msoc_util.Combinat.group_by Sharing.degree_signature candidates in
+  (* Lines 2-9: per group, fully evaluate the member with the least
+     preliminary cost. *)
+  let representatives =
+    List.map
+      (fun (degree, members) ->
+        let scored =
+          List.map (fun c -> (Evaluate.preliminary_cost prepared c, c)) members
+        in
+        let _, chosen =
+          List.fold_left (fun acc x -> if fst x < fst acc then x else acc)
+            (match scored with s :: _ -> s | [] -> assert false)
+            scored
+        in
+        (degree, members, Evaluate.evaluate prepared chosen))
+      groups
+  in
+  (* Lines 10-17: prune groups against the best representative. *)
+  let c_min =
+    List.fold_left
+      (fun acc (_, _, e) -> Float.min acc e.Evaluate.cost)
+      Float.infinity representatives
+  in
+  let survivors =
+    List.filter (fun (_, _, e) -> e.Evaluate.cost -. c_min <= delta) representatives
+  in
+  (* Line 18: full evaluation of the surviving groups (representatives
+     are already done). *)
+  let finals =
+    List.concat_map
+      (fun (_, members, representative) ->
+        representative
+        :: (members
+           |> List.filter (fun c ->
+                  not (Sharing.equal c representative.Evaluate.combination))
+           |> List.map (Evaluate.evaluate prepared)))
+      survivors
+  in
+  let best =
+    List.fold_left
+      (fun acc e -> if e.Evaluate.cost < acc.Evaluate.cost then e else acc)
+      (match finals with f :: _ -> f | [] -> assert false)
+      finals
+  in
+  let survivor_extra =
+    List.fold_left (fun acc (_, members, _) -> acc + List.length members - 1) 0 survivors
+  in
+  {
+    best;
+    evaluations = List.length representatives + survivor_extra;
+    considered = List.length candidates;
+    surviving_groups = List.map (fun (degree, _, _) -> degree) survivors;
+  }
+
+let evaluation_reduction_pct result ~exhaustive =
+  Msoc_util.Numeric.percent_of
+    (float_of_int (exhaustive.Exhaustive.evaluations - result.evaluations))
+    (float_of_int exhaustive.Exhaustive.evaluations)

@@ -1,0 +1,42 @@
+(** The paper's Cost_Optimizer heuristic (Fig. 3).
+
+    1. Group the candidate combinations by their degree of sharing
+       (the multiset of sharing-group sizes, so members of one group
+       share the same structural area cost).
+    2. For every combination, compute the preliminary cost
+       [w_T·T̂_LB + w_A·C_A] from quantities available without
+       scheduling.
+    3. In each group, fully evaluate only the combination with the
+       smallest preliminary cost; let [C_min] be the best full cost
+       seen.
+    4. Eliminate every group whose representative's full cost exceeds
+       [C_min + delta] (a larger threshold relaxes the pruning).
+    5. Fully evaluate all remaining members of the surviving groups
+       and return the cheapest evaluation.
+
+    With [delta = 0] only the groups tied with the best representative
+    survive. The heuristic is exact whenever the optimal combination
+    lives in a surviving group. *)
+
+type result = {
+  best : Evaluate.evaluation;
+  evaluations : int;
+      (** TAM-optimizer runs (group representatives + survivors) *)
+  considered : int;  (** total candidate combinations *)
+  surviving_groups : int list list;
+      (** degree signatures (group-size multisets) kept after pruning *)
+}
+
+val run :
+  ?delta:float ->
+  ?combinations:Msoc_analog.Sharing.t list ->
+  Evaluate.prepared ->
+  result
+(** [delta] defaults to 0, the paper's Table 4 setting. Candidates
+    default to {!Problem.combinations}.
+    @raise Invalid_argument on an empty candidate list or negative
+    [delta]. *)
+
+val evaluation_reduction_pct : result -> exhaustive:Exhaustive.result -> float
+(** Table 4's ΔN: percentage reduction in TAM-optimizer runs relative
+    to the exhaustive search. *)

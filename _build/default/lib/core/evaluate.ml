@@ -1,0 +1,127 @@
+module Spec = Msoc_analog.Spec
+module Sharing = Msoc_analog.Sharing
+module Area = Msoc_analog.Area
+module Bounds = Msoc_analog.Bounds
+module Job = Msoc_tam.Job
+module Packer = Msoc_tam.Packer
+module Schedule = Msoc_tam.Schedule
+
+type prepared = {
+  problem : Problem.t;
+  digital_jobs : Job.t list;
+  reference_makespan : int;
+}
+
+(* One wrapper per group: its optional converter self-test runs first
+   (Fig. 1's self-test mode), gating the group's core tests via a
+   precedence edge. The self-test wrapper is sized for the group's
+   merged requirement, exactly like the shared hardware it checks. *)
+let self_test_job ~self_test ~group_index group =
+  match (self_test : Problem.self_test_config option) with
+  | None -> None
+  | Some { hits_per_code } ->
+    let requirement =
+      match List.map Spec.requirement group with
+      | [] -> assert false
+      | r :: rest -> List.fold_left Spec.merge_requirements r rest
+    in
+    let bits = requirement.Spec.bits + (requirement.Spec.bits land 1) in
+    let width = requirement.Spec.width in
+    let cycles =
+      Msoc_mixedsig.Bist.self_test_cycles ~bits ~tam_width:width ~hits_per_code ()
+    in
+    Some
+      (Job.analog
+         ~label:(Printf.sprintf "selftest:%d" group_index)
+         ~width ~time:cycles ~group:group_index)
+
+let analog_jobs ~self_test (groups : Spec.core list list) =
+  List.concat
+    (List.mapi
+       (fun group_index group ->
+         let self_test_job = self_test_job ~self_test ~group_index group in
+         let gate job =
+           match self_test_job with
+           | None -> job
+           | Some st -> Job.with_predecessors job [ st.Job.label ]
+         in
+         let core_tests =
+           List.concat_map
+             (fun (core : Spec.core) ->
+               List.map
+                 (fun (test : Spec.test) ->
+                   gate
+                     (Job.analog
+                        ~label:(Printf.sprintf "%s:%s" core.Spec.label test.Spec.name)
+                        ~width:test.Spec.tam_width ~time:test.Spec.cycles
+                        ~group:group_index))
+                 core.Spec.tests)
+             group
+         in
+         match self_test_job with
+         | None -> core_tests
+         | Some st -> st :: core_tests)
+       groups)
+
+let jobs_for_groups prepared groups =
+  prepared.digital_jobs
+  @ analog_jobs ~self_test:prepared.problem.Problem.self_test groups
+
+let prepare (problem : Problem.t) =
+  let digital_jobs =
+    List.map
+      (Job.of_core ~max_width:problem.Problem.tam_width)
+      problem.Problem.soc.Msoc_itc02.Types.cores
+  in
+  let provisional = { problem; digital_jobs; reference_makespan = 0 } in
+  let full = Sharing.full_sharing problem.Problem.analog_cores in
+  let jobs = jobs_for_groups provisional full.Sharing.groups in
+  let schedule = Packer.pack ~width:problem.Problem.tam_width jobs in
+  { provisional with reference_makespan = Schedule.makespan schedule }
+
+let problem p = p.problem
+
+let reference_makespan p = p.reference_makespan
+
+let digital_jobs p = p.digital_jobs
+
+let jobs_for p (combination : Sharing.t) =
+  jobs_for_groups p combination.Sharing.groups
+
+type evaluation = {
+  combination : Sharing.t;
+  schedule : Schedule.t;
+  makespan : int;
+  c_t : float;
+  c_a : float;
+  cost : float;
+}
+
+let evaluate p combination =
+  let jobs = jobs_for p combination in
+  let schedule = Packer.pack ~width:p.problem.Problem.tam_width jobs in
+  let makespan = Schedule.makespan schedule in
+  let c_t =
+    Msoc_util.Numeric.percent_of (float_of_int makespan)
+      (float_of_int p.reference_makespan)
+  in
+  let c_a = Area.cost_ca ~model:p.problem.Problem.area_model combination in
+  let cost =
+    (p.problem.Problem.weight_time *. c_t) +. (p.problem.Problem.weight_area *. c_a)
+  in
+  { combination; schedule; makespan; c_t; c_a; cost }
+
+let preliminary_cost p combination =
+  let analog_total =
+    List.fold_left
+      (fun acc c -> acc + Spec.core_time c)
+      0 p.problem.Problem.analog_cores
+  in
+  let t_lb_norm =
+    Msoc_util.Numeric.percent_of
+      (float_of_int (Bounds.lower_bound combination))
+      (float_of_int analog_total)
+  in
+  let c_a = Area.cost_ca ~model:p.problem.Problem.area_model combination in
+  (p.problem.Problem.weight_time *. t_lb_norm)
+  +. (p.problem.Problem.weight_area *. c_a)

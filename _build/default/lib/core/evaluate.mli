@@ -1,0 +1,43 @@
+(** Full evaluation of one sharing combination: build the job set,
+    pack it on the TAM, and price the result (§4's cost function).
+
+    [C_T] is the SOC makespan normalized (×100) to the makespan under
+    full sharing — the most serialized, hence slowest, configuration —
+    and [C_A] is Equation 1. Total cost is the weighted sum. *)
+
+type prepared
+(** The problem with the digital wrapper staircases designed and the
+    full-sharing reference makespan computed — built once, reused
+    across the dozens of combination evaluations. *)
+
+val prepare : Problem.t -> prepared
+(** Runs [Design_wrapper] on every digital core and packs the
+    full-sharing configuration to obtain the [C_T] normalization
+    base. *)
+
+val problem : prepared -> Problem.t
+
+val reference_makespan : prepared -> int
+(** Makespan with all analog cores on one wrapper. *)
+
+val digital_jobs : prepared -> Msoc_tam.Job.t list
+
+val jobs_for : prepared -> Msoc_analog.Sharing.t -> Msoc_tam.Job.t list
+(** Digital jobs plus one job per analog test, tests of cores in the
+    same sharing group bound to one exclusion group. *)
+
+type evaluation = {
+  combination : Msoc_analog.Sharing.t;
+  schedule : Msoc_tam.Schedule.t;
+  makespan : int;
+  c_t : float;
+  c_a : float;
+  cost : float;
+}
+
+val evaluate : prepared -> Msoc_analog.Sharing.t -> evaluation
+
+val preliminary_cost : prepared -> Msoc_analog.Sharing.t -> float
+(** Cost_Optimizer's line-4 estimate: [w_T·T̂_LB + w_A·C_A], using the
+    analog lower bound normalized to the full-sharing analog time —
+    available without running the TAM optimizer. *)

@@ -1,0 +1,23 @@
+type result = {
+  best : Evaluate.evaluation;
+  evaluations : int;
+  all : Evaluate.evaluation list;
+}
+
+let run ?combinations prepared =
+  let candidates =
+    match combinations with
+    | Some cs -> cs
+    | None -> Problem.combinations (Evaluate.problem prepared)
+  in
+  if candidates = [] then invalid_arg "Exhaustive.run: no candidate combinations";
+  let all = List.map (Evaluate.evaluate prepared) candidates in
+  let best =
+    match all with
+    | [] -> assert false
+    | e :: rest ->
+      List.fold_left
+        (fun acc e -> if e.Evaluate.cost < acc.Evaluate.cost then e else acc)
+        e rest
+  in
+  { best; evaluations = List.length all; all }

@@ -1,0 +1,16 @@
+(** Exhaustive sharing-combination search (§4's baseline).
+
+    Runs the TAM optimizer on every candidate combination and keeps
+    the cheapest — optimal over the candidate set, at a cost that
+    grows with the Bell number of the analog core count. *)
+
+type result = {
+  best : Evaluate.evaluation;
+  evaluations : int;  (** TAM-optimizer runs = number of candidates *)
+  all : Evaluate.evaluation list;  (** in candidate order *)
+}
+
+val run :
+  ?combinations:Msoc_analog.Sharing.t list -> Evaluate.prepared -> result
+(** Candidates default to {!Problem.combinations}.
+    @raise Invalid_argument on an empty candidate list. *)

@@ -1,0 +1,40 @@
+let plan_at ?search problem_of_axis axis =
+  match problem_of_axis axis with
+  | problem -> Some (Plan.run ?search problem)
+  | exception Invalid_argument _ -> None
+
+let minimal_width ?search ?(lo = 4) ?(hi = 128) ~budget_cycles problem_of_width =
+  if lo < 1 || hi < lo then invalid_arg "Explore.minimal_width: need 1 <= lo <= hi";
+  if budget_cycles < 1 then invalid_arg "Explore.minimal_width: budget must be positive";
+  let meets width =
+    match plan_at ?search problem_of_width width with
+    | Some plan when Plan.makespan plan <= budget_cycles -> Some plan
+    | Some _ | None -> None
+  in
+  (* Binary search for the first width meeting the budget, assuming
+     monotonicity; the candidate is verified by construction since
+     [meets] re-evaluates it. *)
+  match meets hi with
+  | None -> None
+  | Some hi_plan ->
+    let rec bisect lo hi best =
+      if lo > hi then best
+      else
+        let mid = (lo + hi) / 2 in
+        match meets mid with
+        | Some plan -> bisect lo (mid - 1) (Some (mid, plan))
+        | None -> bisect (mid + 1) hi best
+    in
+    bisect lo (hi - 1) (Some (hi, hi_plan))
+
+let weight_sweep ?search ~weights problem_of_weight =
+  List.filter_map
+    (fun w ->
+      Option.map (fun plan -> (w, plan)) (plan_at ?search problem_of_weight w))
+    weights
+
+let width_sweep ?search ~widths problem_of_width =
+  List.filter_map
+    (fun w ->
+      Option.map (fun plan -> (w, plan)) (plan_at ?search problem_of_width w))
+    widths

@@ -1,0 +1,36 @@
+(** Design-space exploration helpers on top of {!Plan}.
+
+    The planner answers "given W, what is the best architecture?";
+    a test engineer usually starts from the other end — a test-time
+    budget, or a curiosity about how the decision moves with the cost
+    weights. These helpers run the planner across the relevant axis. *)
+
+val minimal_width :
+  ?search:Plan.search ->
+  ?lo:int ->
+  ?hi:int ->
+  budget_cycles:int ->
+  (int -> Problem.t) ->
+  (int * Plan.t) option
+(** [minimal_width ~budget_cycles problem_of_width] finds the smallest
+    TAM width in [\[lo, hi\]] (default 4..128) whose plan meets the
+    makespan budget, by binary search on the first width meeting the
+    budget (makespan is monotonically non-increasing in W up to
+    heuristic noise; the returned plan is re-verified against the
+    budget). Widths where [problem_of_width] raises
+    [Invalid_argument] (e.g. below an analog core's TAM need) are
+    treated as infeasible. Returns [None] when even [hi] misses the
+    budget. *)
+
+val weight_sweep :
+  ?search:Plan.search ->
+  weights:float list ->
+  (float -> Problem.t) ->
+  (float * Plan.t) list
+(** Plan once per time-weight; the caller inspects how the chosen
+    sharing moves along the time/area trade-off. *)
+
+val width_sweep :
+  ?search:Plan.search -> widths:int list -> (int -> Problem.t) -> (int * Plan.t) list
+(** Plan once per TAM width. Widths that are infeasible for the
+    instance are skipped. *)

@@ -1,0 +1,152 @@
+module Sharing = Msoc_analog.Sharing
+module Spec = Msoc_analog.Spec
+module Schedule = Msoc_tam.Schedule
+module Job = Msoc_tam.Job
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Object of (string * json) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_repr v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.12g" v
+
+let rec write ~indent ~level buf json =
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let newline () = if indent then Buffer.add_char buf '\n' in
+  match json with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float v -> Buffer.add_string buf (float_repr v)
+  | String s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    Buffer.add_char buf '[';
+    newline ();
+    List.iteri
+      (fun i item ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          newline ()
+        end;
+        pad (level + 1);
+        write ~indent ~level:(level + 1) buf item)
+      items;
+    newline ();
+    pad level;
+    Buffer.add_char buf ']'
+  | Object [] -> Buffer.add_string buf "{}"
+  | Object fields ->
+    Buffer.add_char buf '{';
+    newline ();
+    List.iteri
+      (fun i (key, value) ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          newline ()
+        end;
+        pad (level + 1);
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape key);
+        Buffer.add_string buf "\":";
+        if indent then Buffer.add_char buf ' ';
+        write ~indent ~level:(level + 1) buf value)
+      fields;
+    newline ();
+    pad level;
+    Buffer.add_char buf '}'
+
+let to_string json =
+  let buf = Buffer.create 256 in
+  write ~indent:false ~level:0 buf json;
+  Buffer.contents buf
+
+let pretty json =
+  let buf = Buffer.create 256 in
+  write ~indent:true ~level:0 buf json;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let placement_json (p : Schedule.placement) =
+  Object
+    ([
+       ("test", String p.Schedule.job.Job.label);
+       ("start", Int p.Schedule.start);
+       ("finish", Int (Schedule.finish p));
+       ("width", Int p.Schedule.width);
+       ("wires", List (List.map (fun w -> Int w) p.Schedule.wires));
+     ]
+    @
+    match p.Schedule.job.Job.exclusion with
+    | Some g -> [ ("wrapper_group", Int g) ]
+    | None -> [])
+
+let schedule_json (s : Schedule.t) =
+  Object
+    [
+      ("tam_width", Int s.Schedule.total_width);
+      ( "power_budget",
+        match s.Schedule.power_budget with Some b -> Int b | None -> Null );
+      ("makespan", Int (Schedule.makespan s));
+      ("efficiency", Float (Schedule.efficiency s));
+      ("placements", List (List.map placement_json s.Schedule.placements));
+    ]
+
+let plan_json (plan : Plan.t) =
+  let p = plan.Plan.problem in
+  let e = plan.Plan.best in
+  let groups =
+    (Plan.sharing plan).Sharing.groups
+    |> List.map (fun group ->
+           List (List.map (fun c -> String c.Spec.label) group))
+  in
+  Object
+    [
+      ("soc", String p.Problem.soc.Msoc_itc02.Types.name);
+      ("tam_width", Int p.Problem.tam_width);
+      ("weight_time", Float p.Problem.weight_time);
+      ("weight_area", Float p.Problem.weight_area);
+      ("sharing", List groups);
+      ("cost", Float e.Evaluate.cost);
+      ("c_t", Float e.Evaluate.c_t);
+      ("c_a", Float e.Evaluate.c_a);
+      ("makespan", Int e.Evaluate.makespan);
+      ("reference_makespan", Int plan.Plan.reference_makespan);
+      ("evaluations", Int plan.Plan.evaluations);
+      ("considered", Int plan.Plan.considered);
+      ("schedule", schedule_json e.Evaluate.schedule);
+    ]
+
+let plan_to_string ?(pretty = false) plan =
+  let json = plan_json plan in
+  if pretty then
+    let buf = Buffer.create 1024 in
+    write ~indent:true ~level:0 buf json;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+  else to_string json

@@ -1,0 +1,33 @@
+(** Machine-readable export of planning results.
+
+    Emits a small, dependency-free JSON rendering of a plan — the
+    sharing decision, cost breakdown and the full schedule — so that
+    downstream flows (floorplanning, ATE program generation, report
+    pipelines) can consume the planner's output without linking
+    against it. *)
+
+(** Minimal JSON document model (strings are escaped on printing). *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Object of (string * json) list
+
+val to_string : json -> string
+(** Compact single-line rendering. *)
+
+val pretty : json -> string
+(** Two-space-indented rendering with a trailing newline. *)
+
+val schedule_json : Msoc_tam.Schedule.t -> json
+(** Placements with start/finish/width/wires/exclusion group. *)
+
+val plan_json : Plan.t -> json
+(** Instance parameters, chosen sharing groups, C_T/C_A/cost,
+    makespan, evaluation counts and the schedule. *)
+
+val plan_to_string : ?pretty:bool -> Plan.t -> string
+(** [plan_json] rendered (compact by default). *)

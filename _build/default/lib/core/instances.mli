@@ -1,0 +1,27 @@
+(** Ready-made problem instances.
+
+    [p93791m] is the paper's experimental SOC: the p93791-class
+    digital benchmark augmented with the five analog cores of Table 2
+    (the "m" is the paper's naming). [d281m] is a small instance for
+    tests, examples and quick demos. *)
+
+val p93791m :
+  ?weight_time:float -> tam_width:int -> unit -> Problem.t
+(** Default weights (0.5, 0.5). *)
+
+val d281m : ?weight_time:float -> tam_width:int -> unit -> Problem.t
+(** 8 digital cores + analog cores C, D, E. *)
+
+val scaled_analog : n:int -> Msoc_analog.Spec.core list
+(** [n] analog cores (4 <= n <= 12) for the scaling experiments:
+    cycles through the Table 2 cores, relabelling duplicates (F, G, …)
+    and perturbing their test lengths so the copies are not
+    identical. *)
+
+val with_analog :
+  ?weight_time:float ->
+  tam_width:int ->
+  analog_cores:Msoc_analog.Spec.core list ->
+  unit ->
+  Problem.t
+(** p93791s digital SOC with a custom analog complement. *)

@@ -1,0 +1,35 @@
+(** SOC-level interconnect (EXTEST) tests between wrapped cores.
+
+    With every core 1500-wrapped, the glue logic and wiring *between*
+    cores is tested in EXTEST mode: patterns are launched from the
+    source core's output boundary cells and captured in the sink
+    core's input cells. Such a test occupies both wrappers at once, so
+    it may not overlap either core's own internal test — expressed
+    with {!Msoc_tam.Job.t}'s conflict labels and scheduled by the same
+    rectangle packer as everything else. *)
+
+type link = {
+  from_core : string;  (** source core name (its outputs drive the link) *)
+  to_core : string;  (** sink core name (its inputs capture) *)
+  patterns : int;
+}
+
+val link : from_core:string -> to_core:string -> patterns:int -> link
+(** @raise Invalid_argument on non-positive patterns or a self-link. *)
+
+val job : Msoc_itc02.Types.soc -> max_width:int -> link -> Msoc_tam.Job.t
+(** The schedulable job for one link: labelled
+    ["link:<from>-><to>"], conflicting with both end cores' internal
+    tests. Its (width, time) staircase is that of a virtual
+    combinational core whose stimulus cells are the source's outputs
+    and whose response cells are the sink's inputs — the EXTEST shift
+    path. @raise Not_found if either core is not in the SOC. *)
+
+val jobs :
+  Msoc_itc02.Types.soc -> max_width:int -> link list -> Msoc_tam.Job.t list
+(** One job per link. @raise Invalid_argument on duplicate links. *)
+
+val neighbor_chain : Msoc_itc02.Types.soc -> patterns:int -> link list
+(** A simple synthetic netlist: each core drives the next one in id
+    order — enough connectivity for benches and tests without a real
+    floorplan. *)

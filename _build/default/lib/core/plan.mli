@@ -1,0 +1,43 @@
+(** End-to-end test planning: the public entry point of the library.
+
+    [run] takes a problem (digital SOC + analog cores + TAM width +
+    cost weights), searches the wrapper-sharing space with either the
+    exhaustive baseline or the Cost_Optimizer heuristic, and returns
+    the chosen wrapper architecture together with the full SOC test
+    schedule. *)
+
+type search =
+  | Exhaustive_search
+  | Heuristic of { delta : float }
+      (** Fig. 3's Cost_Optimizer with pruning threshold [delta] *)
+
+type t = {
+  problem : Problem.t;
+  best : Evaluate.evaluation;  (** winning combination + schedule *)
+  evaluations : int;  (** TAM-optimizer runs the search performed *)
+  considered : int;  (** candidate combinations *)
+  reference_makespan : int;  (** full-sharing makespan (C_T base) *)
+}
+
+val run : ?search:search -> Problem.t -> t
+(** Default search: [Heuristic { delta = 0. }]. *)
+
+val run_prepared : ?search:search -> Evaluate.prepared -> t
+(** Same, reusing an existing {!Evaluate.prepare} result (the bench
+    harness sweeps many weight settings over one preparation). *)
+
+val makespan : t -> int
+
+val sharing : t -> Msoc_analog.Sharing.t
+
+val polish : t -> Msoc_tam.Schedule.t
+(** Re-pack the winning combination's jobs with
+    {!Msoc_tam.Packer.pack_optimized} (critical-job reordering) — a
+    final squeeze on the committed schedule after the search, never
+    worse than [t.best.schedule]. The search itself uses the plain
+    packer so that all combinations are compared under the same
+    scheduler. *)
+
+val digital_operating_points : t -> (string * int * int) list
+(** (core name, TAM width used, test time) for each digital core, in
+    schedule order — the wrapper design the plan commits to. *)

@@ -1,0 +1,60 @@
+module Spec = Msoc_analog.Spec
+module Sharing = Msoc_analog.Sharing
+module Area = Msoc_analog.Area
+
+type self_test_config = { hits_per_code : int }
+
+type t = {
+  soc : Msoc_itc02.Types.soc;
+  analog_cores : Spec.core list;
+  tam_width : int;
+  weight_time : float;
+  weight_area : float;
+  area_model : Area.model;
+  policy : Spec.policy;
+  self_test : self_test_config option;
+}
+
+let make ?(area_model = Area.default_model) ?(policy = Spec.default_policy)
+    ?self_test ~soc ~analog_cores ~tam_width ~weight_time () =
+  if weight_time < 0.0 || weight_time > 1.0 then
+    invalid_arg "Problem.make: weight_time out of [0, 1]";
+  if tam_width < 1 then invalid_arg "Problem.make: tam_width must be >= 1";
+  if analog_cores = [] then invalid_arg "Problem.make: no analog cores";
+  List.iter
+    (fun c ->
+      if Spec.core_width c > tam_width then
+        invalid_arg
+          (Printf.sprintf "Problem.make: analog core %s needs width %d > TAM width %d"
+             c.Spec.label (Spec.core_width c) tam_width))
+    analog_cores;
+  (match self_test with
+  | Some { hits_per_code } when hits_per_code < 1 ->
+    invalid_arg "Problem.make: hits_per_code must be >= 1"
+  | Some _ | None -> ());
+  {
+    soc;
+    analog_cores;
+    tam_width;
+    weight_time;
+    weight_area = 1.0 -. weight_time;
+    area_model;
+    policy;
+    self_test;
+  }
+
+let filter_candidates t candidates =
+  candidates
+  |> List.filter (Sharing.is_feasible ~policy:t.policy)
+  |> List.filter (Area.acceptable ~model:t.area_model)
+
+let combinations t =
+  match filter_candidates t (Sharing.paper_combinations t.analog_cores) with
+  | [] ->
+    (* No feasible sharing (e.g. one analog core, or every grouping
+       ruled out by compatibility/area): plan without sharing. *)
+    [ Sharing.no_sharing t.analog_cores ]
+  | candidates -> candidates
+
+let all_combinations t =
+  filter_candidates t (Sharing.all_combinations t.analog_cores)

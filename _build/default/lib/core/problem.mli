@@ -1,0 +1,54 @@
+(** The paper's Problem P_ms (§4).
+
+    Given the digital cores' test data, the analog cores' testing time
+    and core-level TAM widths, the SOC-level TAM width [W] and the
+    cost weights (w_T, w_A), determine (i) the digital wrapper
+    designs, (ii) the analog wrapper sharing groups, (iii) per-core
+    TAM widths and the SOC test schedule, minimizing
+    [C = w_T·C_T + w_A·C_A] without ever using more than [W] wires. *)
+
+(** Charge every analog wrapper a converter self-test (Fig. 1's
+    self-test mode) that must finish before the wrapper's core tests
+    start. The paper leaves this cost to future work; including it
+    makes sharing slightly more attractive (fewer wrappers to
+    self-test). *)
+type self_test_config = { hits_per_code : int }
+
+type t = private {
+  soc : Msoc_itc02.Types.soc;
+  analog_cores : Msoc_analog.Spec.core list;
+  tam_width : int;
+  weight_time : float;  (** w_T *)
+  weight_area : float;  (** w_A = 1 − w_T *)
+  area_model : Msoc_analog.Area.model;
+  policy : Msoc_analog.Spec.policy;
+  self_test : self_test_config option;
+}
+
+val make :
+  ?area_model:Msoc_analog.Area.model ->
+  ?policy:Msoc_analog.Spec.policy ->
+  ?self_test:self_test_config ->
+  soc:Msoc_itc02.Types.soc ->
+  analog_cores:Msoc_analog.Spec.core list ->
+  tam_width:int ->
+  weight_time:float ->
+  unit ->
+  t
+(** [weight_area] is [1 − weight_time].
+    @raise Invalid_argument unless [0 <= weight_time <= 1],
+    [tam_width >= 1], the analog list is non-empty, and every analog
+    core's width fits in [tam_width]. *)
+
+val combinations : t -> Msoc_analog.Sharing.t list
+(** The candidate sharing combinations the optimizers search: the
+    paper's enumeration ({!Msoc_analog.Sharing.paper_combinations}),
+    restricted to combinations that are compatibility-feasible under
+    [policy] and whose area cost does not exceed no sharing (§3).
+    Never empty: when no sharing is feasible (one analog core, or all
+    groupings ruled out), the no-sharing combination is the single
+    candidate. *)
+
+val all_combinations : t -> Msoc_analog.Sharing.t list
+(** Same filters over every distinct partition (for the generalized /
+    scaling experiments). *)

@@ -1,0 +1,1 @@
+lib/itc02/full.ml: Buffer Format List Printf Result String Types

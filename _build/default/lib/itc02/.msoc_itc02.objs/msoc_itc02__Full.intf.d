@@ -1,0 +1,1 @@
+lib/itc02/full.mli: Types

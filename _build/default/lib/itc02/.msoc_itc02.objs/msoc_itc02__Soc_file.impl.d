@@ -1,0 +1,1 @@
+lib/itc02/soc_file.ml: Buffer Format List Option Printf String Types

@@ -1,0 +1,1 @@
+lib/itc02/soc_file.mli: Types

@@ -1,0 +1,1 @@
+lib/itc02/synthetic.ml: Float List Msoc_util Printf Types

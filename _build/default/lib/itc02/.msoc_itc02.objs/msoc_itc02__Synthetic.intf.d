@@ -1,0 +1,1 @@
+lib/itc02/synthetic.mli: Types

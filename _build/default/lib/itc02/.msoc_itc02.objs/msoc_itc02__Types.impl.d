@@ -1,0 +1,1 @@
+lib/itc02/types.ml: Format List Msoc_util

@@ -1,0 +1,1 @@
+lib/itc02/types.mli: Format

@@ -1,0 +1,1 @@
+lib/itc02/volume.ml: List Msoc_util Printf Types

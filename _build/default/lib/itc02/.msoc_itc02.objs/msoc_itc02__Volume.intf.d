@@ -1,0 +1,1 @@
+lib/itc02/volume.mli: Types

@@ -1,0 +1,281 @@
+type test = { index : int; scan_use : bool; tam_use : bool; patterns : int }
+
+type module_ = {
+  id : int;
+  level : int;
+  name : string;
+  inputs : int;
+  outputs : int;
+  bidirs : int;
+  scan_chains : int list;
+  tests : test list;
+}
+
+type t = { name : string; modules : module_ list }
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* --- validation --- *)
+
+let validate t =
+  let ( let* ) r f = Result.bind r f in
+  let error fmt = Format.kasprintf Result.error fmt in
+  let* () =
+    let ids = List.map (fun m -> m.id) t.modules in
+    if List.length (List.sort_uniq compare ids) <> List.length ids then
+      error "duplicate module ids"
+    else Ok ()
+  in
+  let* () =
+    match List.find_opt (fun m -> m.tests = []) t.modules with
+    | Some m -> error "module %d has no tests" m.id
+    | None -> Ok ()
+  in
+  let* () =
+    let bad m = List.exists (fun (test : test) -> test.patterns < 1) m.tests in
+    match List.find_opt bad t.modules with
+    | Some m -> error "module %d has a test with no patterns" m.id
+    | None -> Ok ()
+  in
+  let* () =
+    match t.modules with
+    | [] -> Ok ()
+    | first :: _ when first.level > 1 -> error "first module deeper than level 1"
+    | first :: rest ->
+      let step (prev, acc) m =
+        if m.level > prev + 1 then (m.level, Error m.id) else (m.level, acc)
+      in
+      let _, acc = List.fold_left step (first.level, Ok ()) rest in
+      (match acc with
+      | Ok () -> Ok ()
+      | Error id -> error "module %d skips a hierarchy level" id)
+  in
+  Ok ()
+
+let find_module t ~id =
+  match List.find_opt (fun m -> m.id = id) t.modules with
+  | Some m -> m
+  | None -> raise Not_found
+
+let parent t ~id =
+  let target = find_module t ~id in
+  if target.level <= 1 then None
+  else
+    (* nearest preceding module at level - 1 *)
+    let rec scan best = function
+      | [] -> best
+      | m :: rest ->
+        if m.id = id then best
+        else scan (if m.level = target.level - 1 then Some m else best) rest
+    in
+    scan None t.modules
+
+let ancestors t ~id =
+  let rec up acc id =
+    match parent t ~id with
+    | None -> List.rev acc
+    | Some p -> up (p :: acc) p.id
+  in
+  List.rev (up [] id)
+
+(* --- parsing --- *)
+
+let tokens_of_line s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun tok -> tok <> "")
+
+let strip_comment s =
+  match String.index_opt s '#' with Some i -> String.sub s 0 i | None -> s
+
+let int_of_token line tok =
+  match int_of_string_opt tok with
+  | Some n -> n
+  | None -> fail line "expected integer, got %S" tok
+
+let bool_of_token line tok =
+  match tok with
+  | "0" -> false
+  | "1" -> true
+  | _ -> fail line "expected 0 or 1, got %S" tok
+
+let parse_module_header line toks =
+  let rec scalars acc = function
+    | [] -> (acc, [])
+    | "ScanChains" :: count :: rest ->
+      let n = int_of_token line count in
+      let chains =
+        match rest with
+        | [] when n = 0 -> []
+        | ":" :: lens ->
+          if List.length lens <> n then
+            fail line "ScanChains %d but %d lengths" n (List.length lens);
+          List.map (int_of_token line) lens
+        | _ when n = 0 -> fail line "unexpected tokens after ScanChains 0"
+        | _ -> fail line "ScanChains %d needs ': l1 .. ln'" n
+      in
+      (acc, chains)
+    | key :: value :: rest -> scalars ((key, value) :: acc) rest
+    | [ tok ] -> fail line "dangling token %S" tok
+  in
+  let fields, chains = scalars [] toks in
+  let get key =
+    match List.assoc_opt key fields with
+    | Some v -> int_of_token line v
+    | None -> fail line "missing field %s" key
+  in
+  let name =
+    match List.assoc_opt "Name" fields with
+    | Some n -> n
+    | None -> fail line "missing field Name"
+  in
+  fun id ->
+    {
+      id;
+      level = get "Level";
+      name;
+      inputs = get "Inputs";
+      outputs = get "Outputs";
+      bidirs = get "Bidirs";
+      scan_chains = chains;
+      tests = [];
+    }
+
+let parse_test_line line toks =
+  let rec fields acc = function
+    | [] -> acc
+    | key :: value :: rest -> fields ((key, value) :: acc) rest
+    | [ tok ] -> fail line "dangling token %S" tok
+  in
+  let fields = fields [] toks in
+  let get key =
+    match List.assoc_opt key fields with
+    | Some v -> v
+    | None -> fail line "missing field %s" key
+  in
+  fun index ->
+    {
+      index;
+      scan_use = bool_of_token line (get "ScanUse");
+      tam_use = bool_of_token line (get "TamUse");
+      patterns = int_of_token line (get "Patterns");
+    }
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let step (lineno, name, modules) raw =
+    let lineno = lineno + 1 in
+    match tokens_of_line (strip_comment raw) with
+    | [] -> (lineno, name, modules)
+    | [ "SocName"; n ] -> (lineno, Some n, modules)
+    | "SocName" :: _ -> fail lineno "SocName takes exactly one token"
+    | "Module" :: id :: rest ->
+      let id = int_of_token lineno id in
+      let mk = parse_module_header lineno rest in
+      (lineno, name, mk id :: modules)
+    | "Test" :: index :: rest -> (
+      let index = int_of_token lineno index in
+      let mk = parse_test_line lineno rest in
+      match modules with
+      | [] -> fail lineno "Test before any Module"
+      | m :: others -> (lineno, name, { m with tests = mk index :: m.tests } :: others))
+    | tok :: _ -> fail lineno "unknown directive %S" tok
+  in
+  let _, name, modules = List.fold_left step (0, None, []) lines in
+  match name with
+  | None -> fail 0 "missing SocName directive"
+  | Some name ->
+    let t =
+      {
+        name;
+        modules = List.rev_map (fun m -> { m with tests = List.rev m.tests }) modules;
+      }
+    in
+    (match validate t with
+    | Ok () -> t
+    | Error message -> fail 0 "%s" message)
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "SocName %s\n" t.name);
+  List.iter
+    (fun m ->
+      Buffer.add_string buf
+        (Printf.sprintf "Module %d Level %d Name %s Inputs %d Outputs %d Bidirs %d ScanChains %d"
+           m.id m.level m.name m.inputs m.outputs m.bidirs
+           (List.length m.scan_chains));
+      if m.scan_chains <> [] then begin
+        Buffer.add_string buf " :";
+        List.iter (fun l -> Buffer.add_string buf (" " ^ string_of_int l)) m.scan_chains
+      end;
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun (test : test) ->
+          Buffer.add_string buf
+            (Printf.sprintf "Test %d ScanUse %d TamUse %d Patterns %d\n" test.index
+               (if test.scan_use then 1 else 0)
+               (if test.tam_use then 1 else 0)
+               test.patterns))
+        m.tests)
+    t.modules;
+  Buffer.contents buf
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string text
+
+let save path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+(* --- flat view --- *)
+
+let flatten t =
+  let cores = ref [] in
+  let next_id = ref 1 in
+  List.iter
+    (fun (m : module_) ->
+      List.iter
+        (fun (test : test) ->
+          if test.tam_use then begin
+            let core =
+              Types.core ~id:!next_id
+                ~name:(Printf.sprintf "%s/t%d" m.name test.index)
+                ~inputs:m.inputs ~outputs:m.outputs ~bidirs:m.bidirs
+                ~scan_chains:(if test.scan_use then m.scan_chains else [])
+                ~patterns:test.patterns
+            in
+            incr next_id;
+            cores := core :: !cores
+          end)
+        m.tests)
+    t.modules;
+  if !cores = [] then invalid_arg "Full.flatten: no TAM-using tests";
+  Types.soc ~name:t.name ~cores:(List.rev !cores)
+
+let of_flat (soc : Types.soc) =
+  {
+    name = soc.Types.name;
+    modules =
+      List.map
+        (fun (c : Types.core) ->
+          {
+            id = c.Types.id;
+            level = 1;
+            name = c.Types.name;
+            inputs = c.Types.inputs;
+            outputs = c.Types.outputs;
+            bidirs = c.Types.bidirs;
+            scan_chains = c.Types.scan_chains;
+            tests =
+              [ { index = 1; scan_use = true; tam_use = true; patterns = c.Types.patterns } ];
+          })
+        soc.Types.cores;
+  }

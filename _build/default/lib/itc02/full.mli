@@ -1,0 +1,83 @@
+(** Extended ITC'02 SOC descriptions: hierarchy and multiple tests.
+
+    The original ITC'02 benchmark files are richer than the flat model
+    in {!Types}: modules sit at hierarchy levels (cores embedded in
+    cores), and each module carries one or more test sets, each
+    declaring whether it uses the scan chains ([ScanUse]) and the TAM
+    ([TamUse]) and how many patterns it applies. This module models
+    that richer shape, parses/prints a line-oriented dialect of it,
+    and flattens it into the planner's flat model.
+
+    Concrete syntax (one [Module] header line, then its [Test] lines):
+
+    {v
+    SocName p22810x
+    Module 1 Level 1 Name mpeg Inputs 10 Outputs 67 Bidirs 0 ScanChains 2 : 130 121
+    Test 1 ScanUse 1 TamUse 1 Patterns 785
+    Test 2 ScanUse 0 TamUse 1 Patterns 40
+    Module 2 Level 2 Name dct Inputs 8 Outputs 8 Bidirs 0 ScanChains 0
+    Test 1 ScanUse 0 TamUse 1 Patterns 97
+    v}
+
+    [Test] lines attach to the most recent [Module]. Hierarchy follows
+    the ITC'02 convention: a module at level [k+1] is embedded in the
+    nearest preceding module at level [k]. *)
+
+type test = {
+  index : int;  (** 1-based within its module *)
+  scan_use : bool;
+  tam_use : bool;
+  patterns : int;
+}
+
+type module_ = {
+  id : int;
+  level : int;  (** 0 = the SOC itself / top; >= 1 embedded *)
+  name : string;
+  inputs : int;
+  outputs : int;
+  bidirs : int;
+  scan_chains : int list;
+  tests : test list;  (** non-empty *)
+}
+
+type t = { name : string; modules : module_ list }
+
+val validate : t -> (unit, string) result
+(** Structural checks: distinct ids, non-empty test lists, positive
+    patterns, level steps (a module may be at most one level deeper
+    than its predecessor), first module at level <= 1. *)
+
+val parent : t -> id:int -> module_ option
+(** Embedding module per the level convention; [None] for top-level
+    modules. @raise Not_found for unknown ids. *)
+
+val ancestors : t -> id:int -> module_ list
+(** Chain of embedding modules, innermost first. *)
+
+exception Parse_error of { line : int; message : string }
+
+val of_string : string -> t
+(** Parses and validates. @raise Parse_error. *)
+
+val to_string : t -> string
+(** Round-trips through {!of_string}. *)
+
+val load : string -> t
+
+val save : string -> t -> unit
+
+val flatten : t -> Types.soc
+(** The planner's flat view: one {!Types.core} per TAM-using test —
+    named ["<module>/t<index>"] — carrying the module's terminals and
+    its scan chains when the test uses scan (none otherwise). Modules
+    whose tests all bypass the TAM disappear (they are tested
+    functionally, not over the TAM). Hierarchy is deliberately
+    dropped: modular SOC test scheduling treats the module set as
+    flat, exactly as the paper and its references do.
+    @raise Invalid_argument if no test uses the TAM. *)
+
+val of_flat : Types.soc -> t
+(** Lift a flat SOC: every core becomes a level-1 module with one
+    scan-using, TAM-using test. [flatten (of_flat s)] has the same
+    cores as [s] up to test naming. *)

@@ -1,0 +1,105 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let tokens_of_line s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let int_of_token line tok =
+  match int_of_string_opt tok with
+  | Some n -> n
+  | None -> fail line "expected integer, got %S" tok
+
+(* Module lines are keyword/value pairs in fixed order; we parse them
+   leniently (any order for the scalar fields) to be robust against
+   hand-edited files. *)
+let parse_module_line line toks =
+  let rec scalars acc = function
+    | [] -> (acc, None)
+    | "ScanChains" :: count :: rest ->
+      let n = int_of_token line count in
+      let chains =
+        match rest with
+        | [] when n = 0 -> []
+        | ":" :: lens ->
+          if List.length lens <> n then
+            fail line "ScanChains %d but %d lengths given" n (List.length lens);
+          List.map (int_of_token line) lens
+        | _ when n = 0 -> fail line "unexpected tokens after ScanChains 0"
+        | _ -> fail line "ScanChains %d must be followed by ': l1 .. ln'" n
+      in
+      (acc, Some chains)
+    | key :: value :: rest -> scalars ((key, value) :: acc) rest
+    | [ tok ] -> fail line "dangling token %S" tok
+  in
+  let fields, chains = scalars [] toks in
+  let chains = Option.value chains ~default:[] in
+  let get key =
+    match List.assoc_opt key fields with
+    | Some v -> int_of_token line v
+    | None -> fail line "missing field %s" key
+  in
+  let name =
+    match List.assoc_opt "Name" fields with
+    | Some n -> n
+    | None -> fail line "missing field Name"
+  in
+  fun id ->
+    Types.core ~id ~name ~inputs:(get "Inputs") ~outputs:(get "Outputs")
+      ~bidirs:(get "Bidirs") ~patterns:(get "Patterns") ~scan_chains:chains
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let step (lineno, name, cores) raw =
+    let lineno = lineno + 1 in
+    match tokens_of_line (strip_comment raw) with
+    | [] -> (lineno, name, cores)
+    | [ "SocName"; n ] -> (lineno, Some n, cores)
+    | "SocName" :: _ -> fail lineno "SocName takes exactly one token"
+    | "Module" :: id :: rest ->
+      let id = int_of_token lineno id in
+      let mk = parse_module_line lineno rest in
+      (lineno, name, mk id :: cores)
+    | tok :: _ -> fail lineno "unknown directive %S" tok
+  in
+  let _, name, cores = List.fold_left step (0, None, []) lines in
+  match name with
+  | None -> fail 0 "missing SocName directive"
+  | Some name -> Types.soc ~name ~cores:(List.rev cores)
+
+let to_string (soc : Types.soc) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "SocName %s\n" soc.name);
+  let emit (c : Types.core) =
+    Buffer.add_string buf
+      (Printf.sprintf "Module %d Name %s Inputs %d Outputs %d Bidirs %d Patterns %d ScanChains %d"
+         c.id c.name c.inputs c.outputs c.bidirs c.patterns
+         (List.length c.scan_chains));
+    if c.scan_chains <> [] then begin
+      Buffer.add_string buf " :";
+      List.iter (fun l -> Buffer.add_string buf (" " ^ string_of_int l)) c.scan_chains
+    end;
+    Buffer.add_char buf '\n'
+  in
+  List.iter emit soc.cores;
+  Buffer.contents buf
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string text
+
+let save path soc =
+  let oc = open_out path in
+  output_string oc (to_string soc);
+  close_out oc

@@ -1,0 +1,31 @@
+(** Reading and writing SOC descriptions.
+
+    The concrete syntax is a flat, line-oriented dialect of the ITC'02
+    benchmark format (one [Module] line per core):
+
+    {v
+    # comment
+    SocName p93791s
+    Module 1 Name cpu0 Inputs 109 Outputs 32 Bidirs 72 Patterns 409 ScanChains 3 : 168 150 120
+    Module 2 Name glue Inputs 10 Outputs 5 Bidirs 0 Patterns 100 ScanChains 0
+    v}
+
+    [ScanChains n] is followed by [: l1 .. ln] when [n > 0]. Blank lines
+    and [#] comments are ignored. The original hierarchical ITC'02
+    files carry additional per-test fields (ScanUse/TamUse, multiple
+    test sets); the algorithms reproduced here consume exactly the
+    fields above, so the dialect keeps only those (see DESIGN.md §3). *)
+
+exception Parse_error of { line : int; message : string }
+
+val of_string : string -> Types.soc
+(** @raise Parse_error on malformed input. *)
+
+val to_string : Types.soc -> string
+(** Round-trips through {!of_string}. *)
+
+val load : string -> Types.soc
+(** [load path] reads and parses a file.
+    @raise Parse_error or [Sys_error]. *)
+
+val save : string -> Types.soc -> unit

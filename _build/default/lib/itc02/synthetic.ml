@@ -1,0 +1,96 @@
+module Rng = Msoc_util.Rng
+
+type profile = {
+  n_cores : int;
+  target_area : int;
+  max_chains : int;
+  bottleneck : bool;
+}
+
+let default_profile =
+  { n_cores = 32; target_area = 26_500_000; max_chains = 46; bottleneck = true }
+
+(* A core's "test area" is the wire-cycles it occupies on the TAM in
+   the limit of perfect width scaling: patterns x (scan cells + the
+   I/O cells that ride along on the wrapper chains). The packer's
+   makespan at width W is bounded below by total_area / W, so pinning
+   the total area calibrates the whole makespan-vs-width curve. *)
+let core_area (c : Types.core) =
+  c.patterns * (Types.scan_cells c + ((c.inputs + c.outputs) / 2) + c.bidirs)
+
+let draw_core rng ~max_chains ~id =
+  (* Three populations, as in the industrial SOCs the ITC'02 suite
+     samples: scan-heavy logic cores, mid-size cores, and small glue /
+     combinational cores with little or no scan. *)
+  let kind = Rng.int rng ~bound:10 in
+  let n_chains, chain_len_lo, chain_len_hi, patterns_lo, patterns_hi =
+    if kind < 2 then
+      (* large: many chains, many patterns *)
+      (Rng.int_in rng ~lo:(max_chains / 2) ~hi:max_chains, 80, 420, 800, 6000)
+    else if kind < 7 then
+      (* medium *)
+      (Rng.int_in rng ~lo:4 ~hi:(max 4 (max_chains / 2)), 40, 260, 150, 1600)
+    else if kind < 9 then
+      (* small sequential *)
+      (Rng.int_in rng ~lo:1 ~hi:4, 30, 160, 60, 400)
+    else (* combinational glue *)
+      (0, 0, 0, 40, 250)
+  in
+  let scan_chains =
+    List.init n_chains (fun _ -> Rng.int_in rng ~lo:chain_len_lo ~hi:chain_len_hi)
+  in
+  let inputs = Rng.int_in rng ~lo:20 ~hi:250 in
+  let outputs = Rng.int_in rng ~lo:15 ~hi:200 in
+  let bidirs = if Rng.int rng ~bound:4 = 0 then Rng.int_in rng ~lo:8 ~hi:72 else 0 in
+  let patterns = Rng.log_uniform_int rng ~lo:patterns_lo ~hi:patterns_hi in
+  Types.core ~id ~name:(Printf.sprintf "c%d" id) ~inputs ~outputs ~bidirs
+    ~scan_chains ~patterns
+
+let rescale_patterns ~target_area cores =
+  let total = List.fold_left (fun acc c -> acc + core_area c) 0 cores in
+  let ratio = float_of_int target_area /. float_of_int total in
+  let scale (c : Types.core) =
+    let patterns = max 1 (int_of_float (Float.round (float_of_int c.patterns *. ratio))) in
+    { c with Types.patterns }
+  in
+  List.map scale cores
+
+(* The real p93791 owes its published makespan curve to one dominant
+   core whose test time stops improving with TAM width well before
+   W=64 (its staircase floors out around half a million cycles). The
+   optional bottleneck core reproduces that: 12 balanced scan chains,
+   so past ~13 wrapper chains T sticks at (1+171)*3100 ~ 530k cycles
+   while occupying only a third of a 32-wire TAM. *)
+let bottleneck_core ~id =
+  Types.core ~id ~name:(Printf.sprintf "c%d" id) ~inputs:109 ~outputs:32
+    ~bidirs:0
+    ~scan_chains:(List.init 12 (fun _ -> 170))
+    ~patterns:3100
+
+let generate ~seed ~name profile =
+  if profile.n_cores < 1 then invalid_arg "Synthetic.generate: n_cores >= 1";
+  if profile.bottleneck && profile.n_cores < 2 then
+    invalid_arg "Synthetic.generate: bottleneck profile needs >= 2 cores";
+  let rng = Rng.create ~seed in
+  let fixed = if profile.bottleneck then [ bottleneck_core ~id:1 ] else [] in
+  let first_drawn_id = List.length fixed + 1 in
+  let drawn =
+    List.init
+      (profile.n_cores - List.length fixed)
+      (fun i -> draw_core rng ~max_chains:profile.max_chains ~id:(first_drawn_id + i))
+  in
+  let fixed_area = List.fold_left (fun acc c -> acc + core_area c) 0 fixed in
+  let drawn =
+    rescale_patterns ~target_area:(max 1 (profile.target_area - fixed_area)) drawn
+  in
+  Types.soc ~name ~cores:(fixed @ drawn)
+
+let p93791s () = generate ~seed:937 ~name:"p93791s" default_profile
+
+let p22810s () =
+  generate ~seed:228 ~name:"p22810s"
+    { n_cores = 28; target_area = 9_000_000; max_chains = 31; bottleneck = false }
+
+let d281s () =
+  generate ~seed:281 ~name:"d281s"
+    { n_cores = 8; target_area = 1_200_000; max_chains = 12; bottleneck = false }

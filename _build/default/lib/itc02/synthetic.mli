@@ -1,0 +1,46 @@
+(** Deterministic synthetic SOC benchmarks.
+
+    The ITC'02 benchmark files themselves are not redistributable, so
+    the experiments run on synthetic SOCs produced here from fixed
+    seeds (see DESIGN.md §3). The generator is calibrated so that
+    {!p93791s} — the stand-in for the paper's p93791 — exhibits the
+    published magnitude of rectangle-packed makespans: ≈1.9M cycles at
+    TAM width 16 falling to ≈0.5M at width 64, i.e. the digital test
+    time keeps decreasing over the whole 16..64 width range, which is
+    why the paper evaluates on p93791 in the first place. *)
+
+type profile = {
+  n_cores : int;
+  target_area : int;
+      (** desired Σ_c patterns·(scan cells + avg I/O) in wire-cycles;
+          pattern counts are rescaled to hit this within ~1%. *)
+  max_chains : int;  (** upper bound on scan chains per core *)
+  bottleneck : bool;
+      (** include a fixed dominant core whose test time floors out
+          near 515k cycles regardless of extra TAM width — the trait
+          of the real p93791 that keeps its makespan curve from being
+          a pure area/width hyperbola. *)
+}
+
+val default_profile : profile
+(** 32 cores (one bottleneck), 26.5M wire-cycles, at most 46
+    chains — p93791-like. *)
+
+val generate : seed:int -> name:string -> profile -> Types.soc
+(** [generate ~seed ~name profile] draws core parameters from a
+    SplitMix64 stream: log-uniform pattern counts, a mix of scan-heavy
+    and I/O-bound cores, and a deterministic rescaling pass that pins
+    the total test area to [profile.target_area]. Same seed, same SOC. *)
+
+val p93791s : unit -> Types.soc
+(** The 32-core stand-in for ITC'02 p93791 (fixed seed 937). *)
+
+val p22810s : unit -> Types.soc
+(** A 28-core stand-in for ITC'02 p22810 (fixed seed 228): about a
+    third of p93791s's test volume, no dominant bottleneck core —
+    the second-largest suite member, used to show the method is not
+    tuned to one instance. *)
+
+val d281s : unit -> Types.soc
+(** A small 8-core SOC (fixed seed 281) used by tests and the
+    quickstart example; plans in milliseconds. *)

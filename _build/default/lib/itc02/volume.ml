@@ -1,0 +1,81 @@
+type core_stats = {
+  name : string;
+  scan_in_bits : int;
+  scan_out_bits : int;
+  patterns : int;
+  total_bits : int;
+}
+
+type soc_stats = {
+  cores : core_stats list;
+  total_bits : int;
+  largest_core : string;
+  largest_bits : int;
+}
+
+let core_stats (c : Types.core) =
+  let cells = Types.scan_cells c in
+  let scan_in_bits = cells + c.Types.inputs + c.Types.bidirs in
+  let scan_out_bits = cells + c.Types.outputs + c.Types.bidirs in
+  {
+    name = c.Types.name;
+    scan_in_bits;
+    scan_out_bits;
+    patterns = c.Types.patterns;
+    total_bits = c.Types.patterns * (scan_in_bits + scan_out_bits);
+  }
+
+let soc_stats (soc : Types.soc) =
+  if soc.Types.cores = [] then invalid_arg "Volume.soc_stats: empty SOC";
+  let cores = List.map core_stats soc.Types.cores in
+  let total_bits =
+    List.fold_left (fun acc (s : core_stats) -> acc + s.total_bits) 0 cores
+  in
+  let largest =
+    List.fold_left
+      (fun (acc : core_stats) (s : core_stats) ->
+        if s.total_bits > acc.total_bits then s else acc)
+      (List.hd cores) cores
+  in
+  { cores; total_bits; largest_core = largest.name; largest_bits = largest.total_bits }
+
+let ate_depth_bits (soc : Types.soc) ~width =
+  if width < 1 then invalid_arg "Volume.ate_depth_bits: width >= 1";
+  let stimulus_bits =
+    List.fold_left
+      (fun acc c ->
+        let s = core_stats c in
+        acc + (s.patterns * s.scan_in_bits))
+      0 soc.Types.cores
+  in
+  Msoc_util.Numeric.ceil_div stimulus_bits width
+
+let report soc =
+  let stats = soc_stats soc in
+  let module Table = Msoc_util.Ascii_table in
+  let columns =
+    [
+      Table.column "core";
+      Table.column ~align:Table.Right "in bits/pat";
+      Table.column ~align:Table.Right "out bits/pat";
+      Table.column ~align:Table.Right "patterns";
+      Table.column ~align:Table.Right "total bits";
+    ]
+  in
+  let rows =
+    List.map
+      (fun (s : core_stats) ->
+        [
+          s.name;
+          Table.int_cell s.scan_in_bits;
+          Table.int_cell s.scan_out_bits;
+          Table.int_cell s.patterns;
+          Table.int_cell s.total_bits;
+        ])
+      stats.cores
+  in
+  Table.render ~columns ~rows
+  ^ Printf.sprintf "total: %s bits; largest core %s (%s bits, %.1f%%)\n"
+      (Table.int_cell stats.total_bits) stats.largest_core
+      (Table.int_cell stats.largest_bits)
+      (100.0 *. float_of_int stats.largest_bits /. float_of_int stats.total_bits)

@@ -1,0 +1,1 @@
+lib/mixedsig/adc.ml: Array Dac Float Msoc_util Quantize

@@ -1,0 +1,1 @@
+lib/mixedsig/analog_models.ml: Array Float List Msoc_signal Msoc_util

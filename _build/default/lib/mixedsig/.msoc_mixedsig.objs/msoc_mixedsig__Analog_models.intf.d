@@ -1,0 +1,1 @@
+lib/mixedsig/analog_models.mli:

@@ -1,0 +1,1 @@
+lib/mixedsig/bist.ml: Adc Array Dac Float Msoc_util Quantize Wrapper

@@ -1,0 +1,1 @@
+lib/mixedsig/bist.mli: Adc Wrapper

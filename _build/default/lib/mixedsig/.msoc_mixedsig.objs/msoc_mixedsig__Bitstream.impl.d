@@ -1,0 +1,1 @@
+lib/mixedsig/bitstream.ml: Array Msoc_util Wrapper

@@ -1,0 +1,1 @@
+lib/mixedsig/cost_model.ml: Float

@@ -1,0 +1,1 @@
+lib/mixedsig/dac.ml: Array Float Msoc_util Quantize

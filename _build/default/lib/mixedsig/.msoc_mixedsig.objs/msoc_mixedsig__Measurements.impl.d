@@ -1,0 +1,1 @@
+lib/mixedsig/measurements.ml: Analog_models Array Float Format List Msoc_signal Quantize Wrapper

@@ -1,0 +1,1 @@
+lib/mixedsig/measurements.mli: Analog_models Format Msoc_signal Wrapper

@@ -1,0 +1,1 @@
+lib/mixedsig/quantize.ml: Float Msoc_util

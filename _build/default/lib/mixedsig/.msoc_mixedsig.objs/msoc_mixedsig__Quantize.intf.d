@@ -1,0 +1,1 @@
+lib/mixedsig/quantize.mli:

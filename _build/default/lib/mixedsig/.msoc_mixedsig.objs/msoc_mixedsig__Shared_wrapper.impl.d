@@ -1,0 +1,1 @@
+lib/mixedsig/shared_wrapper.ml: Array Float List Msoc_analog Printf Wrapper

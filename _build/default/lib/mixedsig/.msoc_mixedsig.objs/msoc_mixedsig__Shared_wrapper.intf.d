@@ -1,0 +1,1 @@
+lib/mixedsig/shared_wrapper.mli: Msoc_analog

@@ -1,0 +1,1 @@
+lib/mixedsig/sigma_delta.ml: Array Float Msoc_signal

@@ -1,0 +1,1 @@
+lib/mixedsig/sigma_delta.mli:

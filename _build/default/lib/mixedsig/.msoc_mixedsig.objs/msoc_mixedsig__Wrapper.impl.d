@@ -1,0 +1,1 @@
+lib/mixedsig/wrapper.ml: Adc Array Dac Float Msoc_analog Msoc_util Quantize

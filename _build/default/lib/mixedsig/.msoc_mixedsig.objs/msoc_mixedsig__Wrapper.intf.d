@@ -1,0 +1,1 @@
+lib/mixedsig/wrapper.mli: Adc Dac Msoc_analog Quantize

@@ -1,0 +1,1 @@
+lib/mixedsig/yield.ml: Adc Dac Float Wrapper

@@ -1,0 +1,97 @@
+type architecture = Flash | Modular_pipeline
+
+(* A flash bank is its sorted threshold list; output code = number of
+   thresholds below the input. *)
+type flash_bank = float array
+
+type stages =
+  | Single of flash_bank
+  | Pipeline of { coarse : flash_bank; reconstruct : Dac.t; fine : flash_bank }
+
+type t = {
+  architecture : architecture;
+  bits : int;
+  range : Quantize.range;
+  stages : stages;
+}
+
+let gaussian rng =
+  let u1 = Float.max 1e-12 (Msoc_util.Rng.float rng ~bound:1.0) in
+  let u2 = Msoc_util.Rng.float rng ~bound:1.0 in
+  Float.sqrt (-2.0 *. Float.log u1) *. Float.cos (2.0 *. Float.pi *. u2)
+
+let code_edges_ideal ~bits ~range =
+  let n = 1 lsl bits in
+  let lsb = Quantize.step ~bits ~range in
+  Array.init (n - 1) (fun i -> range.Quantize.vmin +. (float_of_int (i + 1) *. lsb))
+
+let make_bank rng ~sigma_volts ~bits ~range =
+  code_edges_ideal ~bits ~range
+  |> Array.map (fun edge -> edge +. (sigma_volts *. gaussian rng))
+
+let create ?(threshold_sigma_lsb = 0.0) ?(seed = 2) ?(range = Quantize.default_range)
+    architecture ~bits =
+  if bits < 2 || bits > 16 then invalid_arg "Adc.create: bits out of 2..16";
+  (match architecture with
+  | Modular_pipeline when bits mod 2 <> 0 ->
+    invalid_arg "Adc.create: pipeline ADC needs even bits"
+  | Modular_pipeline when bits < 4 ->
+    invalid_arg "Adc.create: pipeline ADC needs at least 4 bits"
+  | Modular_pipeline | Flash -> ());
+  let rng = Msoc_util.Rng.create ~seed in
+  let full_lsb = Quantize.step ~bits ~range in
+  let sigma_volts = threshold_sigma_lsb *. full_lsb in
+  let stages =
+    match architecture with
+    | Flash -> Single (make_bank rng ~sigma_volts ~bits ~range)
+    | Modular_pipeline ->
+      let half = bits / 2 in
+      let coarse = make_bank rng ~sigma_volts ~bits:half ~range in
+      (* The reconstruction DAC outputs the *bottom* of the coarse
+         cell; we use an ideal modular sub-DAC shifted by half an MSB
+         LSB (see [pipeline_convert]). *)
+      let reconstruct = Dac.create Dac.Full_string ~bits:half ~range in
+      let fine = make_bank rng ~sigma_volts ~bits:half ~range in
+      Pipeline { coarse; reconstruct; fine }
+  in
+  { architecture; bits; range; stages }
+
+let bits t = t.bits
+
+let architecture t = t.architecture
+
+let bank_convert bank v =
+  (* Thresholds are sorted; binary search for the comparator count. *)
+  let n = Array.length bank in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if v >= bank.(mid) then go (mid + 1) hi else go lo mid
+  in
+  go 0 n
+
+let convert t v =
+  match t.stages with
+  | Single bank -> bank_convert bank v
+  | Pipeline { coarse; reconstruct; fine } ->
+    let half = t.bits / 2 in
+    let msb = bank_convert coarse v in
+    (* Dac.convert returns cell centers; subtracting half an MSB LSB
+       gives the cell bottom, so the residue lies in [0, span/2^h). *)
+    let span = t.range.Quantize.vmax -. t.range.Quantize.vmin in
+    let msb_lsb = span /. float_of_int (1 lsl half) in
+    let cell_bottom = Dac.convert reconstruct msb -. (msb_lsb /. 2.0) in
+    let residue = v -. cell_bottom in
+    let amplified = t.range.Quantize.vmin +. (residue *. float_of_int (1 lsl half)) in
+    let lsb_code =
+      Msoc_util.Numeric.clamp_int ~lo:0 ~hi:((1 lsl half) - 1) (bank_convert fine amplified)
+    in
+    (msb lsl half) lor lsb_code
+
+let convert_all t samples = Array.map (convert t) samples
+
+let comparator_count t =
+  match t.architecture with
+  | Flash -> (1 lsl t.bits) - 1
+  | Modular_pipeline -> 2 * ((1 lsl (t.bits / 2)) - 1)

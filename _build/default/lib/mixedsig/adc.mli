@@ -1,0 +1,42 @@
+(** Behavioral ADC models (paper Fig. 4a).
+
+    - [Flash]: one bank of 2^n − 1 comparators — fast but the
+      comparator count explodes with resolution;
+    - [Modular_pipeline]: the paper's two-stage construction: an
+      n/2-bit flash resolves the MSBs, an n/2-bit DAC reconstructs
+      them, and the amplified residue goes through a second n/2-bit
+      flash — 2·(2^(n/2) − 1) comparators (32-ish vs 256 at 8 bits).
+
+    Optional comparator threshold noise exercises the pipeline's
+    sensitivity to stage errors. *)
+
+type architecture = Flash | Modular_pipeline
+
+type t
+
+val create :
+  ?threshold_sigma_lsb:float ->
+  ?seed:int ->
+  ?range:Quantize.range ->
+  architecture ->
+  bits:int ->
+  t
+(** [threshold_sigma_lsb] is comparator threshold noise in LSBs of
+    the full converter (default 0). Even [bits >= 4] for the pipeline.
+    @raise Invalid_argument on odd or too-small pipeline bits or bits
+    outside 2..16. *)
+
+val bits : t -> int
+
+val architecture : t -> architecture
+
+val convert : t -> float -> int
+(** Voltage to code; clips outside the range. *)
+
+val convert_all : t -> float array -> int array
+
+val comparator_count : t -> int
+(** 2^n − 1 for [Flash]; 2·(2^(n/2) − 1) for [Modular_pipeline]. *)
+
+val code_edges_ideal : bits:int -> range:Quantize.range -> float array
+(** The 2^n − 1 ideal decision thresholds; exposed for tests. *)

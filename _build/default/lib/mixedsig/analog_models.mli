@@ -1,0 +1,48 @@
+(** Behavioral (sampled-domain) models of the analog cores under test.
+
+    A core model maps an analog input record to an analog output
+    record at the wrapper's sampling rate. These models give the
+    measurement suite ({!Measurements}) ground truth to extract: each
+    knob below corresponds to a specification tested in Table 2
+    (pass-band gain, cut-off, THD via third-order nonlinearity, IIP3,
+    DC offset, slew rate, dynamic range via the noise floor). *)
+
+type t = float array -> float array
+
+val identity : t
+
+val compose : t list -> t
+(** Left-to-right pipeline. *)
+
+val biased : bias:float -> t -> t
+(** Run the inner model on the AC component around [bias] (wrapper
+    signals live in 0..4 V; cores are AC-coupled around mid-rail). *)
+
+val gain : float -> t
+(** Memoryless linear gain. *)
+
+val dc_offset : float -> t
+(** Adds a constant. *)
+
+val polynomial : a1:float -> a2:float -> a3:float -> t
+(** Memoryless nonlinearity [a1·x + a2·x² + a3·x³] — produces the
+    harmonic and intermodulation distortion the THD and IIP3 tests
+    measure. The third-order intercept of this model is at input
+    amplitude [sqrt(4/3 · |a1/a3|)]. *)
+
+val lowpass : order:int -> fc:float -> fs:float -> t
+(** Butterworth low-pass core (the Fig. 5 core). *)
+
+val slew_limited : max_slew_v_per_s:float -> fs:float -> t
+(** Rate limiter: output follows input but moves at most
+    [max_slew/fs] volts per sample — the imperfection a slew-rate
+    test quantifies. @raise Invalid_argument on non-positive slew. *)
+
+val additive_noise : ?seed:int -> sigma:float -> t
+(** Deterministic Gaussian noise source (fresh stream per call using
+    [seed]); sets the noise floor that a dynamic-range test measures. *)
+
+val downconverter : lo_hz:float -> fs:float -> if_lowpass_fc:float -> t
+(** Ideal mixer: multiply by a cosine local oscillator at [lo_hz] and
+    low-pass the product — core D's signal path. The useful gain of an
+    ideal multiplier to the difference frequency is 1/2. *)

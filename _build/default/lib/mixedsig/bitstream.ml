@@ -1,0 +1,49 @@
+type word = int
+
+let words_per_sample ~bits ~width =
+  if bits < 1 || bits > 30 then invalid_arg "Bitstream: bits out of 1..30";
+  if width < 1 || width > 30 then invalid_arg "Bitstream: width out of 1..30";
+  Msoc_util.Numeric.ceil_div bits width
+
+let serialize ~bits ~width codes =
+  let wps = words_per_sample ~bits ~width in
+  let out = Array.make (Array.length codes * wps) 0 in
+  Array.iteri
+    (fun i code ->
+      if code < 0 || code >= 1 lsl bits then
+        invalid_arg "Bitstream.serialize: code out of range";
+      (* MSB-first: word 0 carries the highest bits. *)
+      for w = 0 to wps - 1 do
+        let high = bits - (w * width) in
+        let low = max 0 (high - width) in
+        let chunk = (code lsr low) land ((1 lsl (high - low)) - 1) in
+        out.((i * wps) + w) <- chunk
+      done)
+    codes;
+  out
+
+let deserialize ~bits ~width words =
+  let wps = words_per_sample ~bits ~width in
+  if Array.length words mod wps <> 0 then
+    invalid_arg "Bitstream.deserialize: word count not a multiple of the ratio";
+  Array.init
+    (Array.length words / wps)
+    (fun i ->
+      let code = ref 0 in
+      for w = 0 to wps - 1 do
+        let high = bits - (w * width) in
+        let low = max 0 (high - width) in
+        code := !code lor (words.((i * wps) + w) lsl low)
+      done;
+      !code)
+
+let stream_core_test wrapper ~core words =
+  let cfg = Wrapper.config wrapper in
+  (match cfg.Wrapper.mode with
+  | Wrapper.Core_test -> ()
+  | Wrapper.Normal | Wrapper.Self_test ->
+    invalid_arg "Bitstream.stream_core_test: not in core-test mode");
+  let bits = Wrapper.bits wrapper and width = cfg.Wrapper.tam_width in
+  let stimulus = deserialize ~bits ~width words in
+  let response = Wrapper.apply_core_test wrapper ~core ~stimulus in
+  serialize ~bits ~width response

@@ -1,0 +1,35 @@
+(** Bit-level TAM streaming through the wrapper's serial↔parallel
+    registers (Fig. 1's register blocks).
+
+    The scheduler reasons in cycles; this module models what actually
+    travels on the wires: converter codes are cut into [width]-bit TAM
+    words, MSB-first, streamed in over the input register and
+    reassembled — and the digitized response goes back out the same
+    way. The cycle counts here are the ground truth behind
+    {!Wrapper.test_cycles}. *)
+
+type word = int
+(** One TAM clock cycle's worth of bits on a [width]-wire TAM, packed
+    little-endian in an int (wire 0 = bit 0). *)
+
+val words_per_sample : bits:int -> width:int -> int
+(** ⌈bits/width⌉ — the serial-to-parallel ratio. *)
+
+val serialize : bits:int -> width:int -> int array -> word array
+(** Codes to TAM words. Each code occupies [words_per_sample] words,
+    most significant bits first; the last word of a sample is padded
+    with zeros in the unused high wires.
+    @raise Invalid_argument on out-of-range codes or widths. *)
+
+val deserialize : bits:int -> width:int -> word array -> int array
+(** Inverse of {!serialize}.
+    @raise Invalid_argument if the word count is not a multiple of
+    the serial-to-parallel ratio. *)
+
+val stream_core_test :
+  Wrapper.t -> core:(float array -> float array) -> word array -> word array
+(** Cycle-faithful core test: deserialize the stimulus words with the
+    wrapper's configuration, run the converter/core path, serialize
+    the response. The output has the same length as the input (one
+    response word leaves while the next stimulus word enters).
+    @raise Invalid_argument unless the wrapper is in core-test mode. *)

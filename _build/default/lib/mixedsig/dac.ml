@@ -1,0 +1,102 @@
+type architecture = Full_string | Modular
+
+type t = {
+  architecture : architecture;
+  bits : int;
+  range : Quantize.range;
+  (* Cumulative normalized ladder fractions: [frac ladder c] is the
+     fraction of full scale below code [c]'s cell. One ladder for
+     Full_string, two half-size ladders for Modular. *)
+  ladders : float array list;
+}
+
+let gaussian rng =
+  (* Box–Muller from two uniforms. *)
+  let u1 = Float.max 1e-12 (Msoc_util.Rng.float rng ~bound:1.0) in
+  let u2 = Msoc_util.Rng.float rng ~bound:1.0 in
+  Float.sqrt (-2.0 *. Float.log u1) *. Float.cos (2.0 *. Float.pi *. u2)
+
+(* A ladder of [n] resistors with relative mismatch sigma, returned as
+   n cumulative fractions: fractions.(c) = sum of the first c
+   resistors / total (so fractions.(0) = 0). *)
+let make_ladder rng ~sigma n =
+  let resistors =
+    Array.init n (fun _ ->
+        let r = 1.0 +. (sigma *. gaussian rng) in
+        Float.max 0.05 r)
+  in
+  let total = Array.fold_left ( +. ) 0.0 resistors in
+  let fractions = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for c = 0 to n - 1 do
+    fractions.(c) <- !acc /. total;
+    acc := !acc +. resistors.(c)
+  done;
+  fractions
+
+let create ?(mismatch_sigma = 0.0) ?(seed = 1) ?(range = Quantize.default_range)
+    architecture ~bits =
+  if bits < 2 || bits > 16 then invalid_arg "Dac.create: bits out of 2..16";
+  (match architecture with
+  | Modular when bits mod 2 <> 0 -> invalid_arg "Dac.create: modular DAC needs even bits"
+  | Modular | Full_string -> ());
+  let rng = Msoc_util.Rng.create ~seed in
+  let ladders =
+    match architecture with
+    | Full_string -> [ make_ladder rng ~sigma:mismatch_sigma (1 lsl bits) ]
+    | Modular ->
+      let half = 1 lsl (bits / 2) in
+      [ make_ladder rng ~sigma:mismatch_sigma half;
+        make_ladder rng ~sigma:mismatch_sigma half ]
+  in
+  { architecture; bits; range; ladders }
+
+let bits t = t.bits
+
+let architecture t = t.architecture
+
+let span t = t.range.Quantize.vmax -. t.range.Quantize.vmin
+
+let convert t code =
+  let n = 1 lsl t.bits in
+  if code < 0 || code >= n then invalid_arg "Dac.convert: code out of range";
+  let half_lsb = 0.5 /. float_of_int n in
+  let fraction =
+    match (t.architecture, t.ladders) with
+    | Full_string, [ ladder ] -> ladder.(code) +. half_lsb
+    | Modular, [ msb_ladder; lsb_ladder ] ->
+      let h = t.bits / 2 in
+      let msb = code lsr h and lsb = code land ((1 lsl h) - 1) in
+      msb_ladder.(msb)
+      +. (lsb_ladder.(lsb) /. float_of_int (1 lsl h))
+      +. half_lsb
+    | (Full_string | Modular), _ -> assert false
+  in
+  t.range.Quantize.vmin +. (fraction *. span t)
+
+let convert_all t codes = Array.map (convert t) codes
+
+let resistor_count t =
+  match t.architecture with
+  | Full_string -> 1 lsl t.bits
+  | Modular -> 2 * (1 lsl (t.bits / 2))
+
+let lsb t = span t /. float_of_int (1 lsl t.bits)
+
+let inl_lsb t =
+  let worst = ref 0.0 in
+  for code = 0 to (1 lsl t.bits) - 1 do
+    let ideal = Quantize.decode ~bits:t.bits ~range:t.range code in
+    let err = Float.abs (convert t code -. ideal) /. lsb t in
+    if err > !worst then worst := err
+  done;
+  !worst
+
+let dnl_lsb t =
+  let worst = ref 0.0 in
+  for code = 0 to (1 lsl t.bits) - 2 do
+    let delta = (convert t (code + 1) -. convert t code) /. lsb t in
+    let err = Float.abs (delta -. 1.0) in
+    if err > !worst then worst := err
+  done;
+  !worst

@@ -1,0 +1,56 @@
+(** The analog test library: Table 2's specification tests executed
+    through the analog test wrapper.
+
+    Each measurement builds a digital multi-tone/ramp stimulus, streams
+    it through a wrapper in core-test mode against a behavioral core
+    model ({!Analog_models.t}), analyzes the digitized response and
+    returns the extracted specification value. This is the virtual
+    counterpart of what a digital ATE does to a wrapped analog core —
+    the mechanism that lets the paper schedule analog tests on a
+    digital TAM in the first place. *)
+
+type setup = {
+  wrapper : Wrapper.t;  (** will be switched to core-test mode *)
+  core : Analog_models.t;  (** model of the core under test *)
+  fs : float;  (** sampling rate the wrapper runs at for this test *)
+  samples : int;  (** record length *)
+  bias : float;  (** operating point; stimuli swing around it *)
+}
+
+val setup :
+  ?bits:int -> ?fs:float -> ?samples:int -> ?bias:float -> Analog_models.t -> setup
+(** Defaults: 8-bit ideal wrapper, fs = 1.7 MHz, 4551 samples
+    (Fig. 5's record), 2 V bias. *)
+
+val measure_gain : setup -> freq:float -> amplitude:float -> float
+(** Single-tone gain (linear) at [freq] — Table 2's G / g_pb tests. *)
+
+val measure_cutoff : setup -> tones:float list -> amplitude:float -> float
+(** Multi-tone cut-off extraction — the f_c test (Fig. 5). *)
+
+val measure_thd : setup -> freq:float -> amplitude:float -> float
+(** Total harmonic distortion (linear ratio) — the CODEC THD test. *)
+
+val measure_iip3 :
+  setup -> f1:float -> f2:float -> amplitude:float -> Msoc_signal.Distortion.imd3
+(** Two-tone intermodulation — the IIP3 tests. *)
+
+val measure_dc_offset : setup -> float
+(** Response mean with a mid-scale (zero-AC) stimulus, relative to the
+    bias — the DC_offset test. Signed. *)
+
+val measure_slew_rate : setup -> step_volts:float -> float
+(** Apply a step of [step_volts] and report the observed maximum
+    output slope in V/s — the SR test.
+    @raise Invalid_argument on a non-positive step. *)
+
+val measure_dynamic_range : setup -> freq:float -> amplitude:float -> float
+(** SINAD in dB of a single-tone response — the DR test readout. *)
+
+(** A specification limit and its verdict, for datasheet-style
+    reporting. *)
+type verdict = { name : string; value : float; limit_low : float; limit_high : float }
+
+val passed : verdict -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,39 @@
+(** Behavioral sigma-delta modulation and decimation.
+
+    The paper's wrapper uses Nyquist-rate converters, good for its
+    low-to-mid-frequency targets; audio-grade cores (the CODEC, the
+    sigma-delta front-end of the extended catalog) would use
+    oversampling converters instead. This module provides first- and
+    second-order single-bit modulators plus a CIC decimator, so that
+    trade-off — resolution from oversampling rather than from
+    comparator count — can be measured rather than asserted. *)
+
+type order = First | Second
+
+val modulate : ?order:order -> float array -> bool array
+(** Single-bit sigma-delta modulation of an input in [-1, 1] (values
+    outside are clipped by the feedback loop's nature, not rejected).
+    Default [Second]. Deterministic: integrators start at zero. *)
+
+val bipolar : bool array -> float array
+(** Bit stream to ±1.0 samples. *)
+
+val decimate_cic : stages:int -> ratio:int -> float array -> float array
+(** [stages]-order CIC (boxcar cascade) decimation by [ratio]:
+    integrators at the high rate, combs at the low rate, output
+    normalized to unit DC gain. Output length = input length / ratio
+    (floor). @raise Invalid_argument unless [stages >= 1] and
+    [ratio >= 2]. *)
+
+val convert : ?order:order -> ?stages:int -> osr:int -> float array -> float array
+(** The full oversampled ADC: modulate at the input rate, then CIC-
+    decimate by [osr] (default stages = modulator order + 1). The
+    result is at rate [fs/osr]. *)
+
+val measured_enob :
+  ?order:order -> osr:int -> fs:float -> signal_hz:float -> unit -> float
+(** Single-tone ENOB of {!convert} at oversampling ratio [osr]:
+    generates a coherent test tone at [signal_hz], converts, and
+    computes SINAD/ENOB at the decimated rate. The noise-shaping
+    yardstick: each doubling of [osr] buys ≈1.5 bits at first order
+    and ≈2.5 bits at second order. *)

@@ -1,0 +1,1 @@
+lib/signal/cutoff.ml: Float List Msoc_util Spectrum

@@ -1,0 +1,1 @@
+lib/signal/distortion.ml: Array Float List Msoc_util Spectrum Window

@@ -1,0 +1,1 @@
+lib/signal/distortion.mli: Spectrum

@@ -1,0 +1,1 @@
+lib/signal/fft.ml: Array Complex Float Option

@@ -1,0 +1,1 @@
+lib/signal/fft.mli: Complex

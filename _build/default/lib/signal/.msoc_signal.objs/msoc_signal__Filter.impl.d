@@ -1,0 +1,1 @@
+lib/signal/filter.ml: Array Complex Float List

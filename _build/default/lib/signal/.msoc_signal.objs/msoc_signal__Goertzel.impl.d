@@ -1,0 +1,1 @@
+lib/signal/goertzel.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/signal/spectrum.ml: Array Fft Float Fun List Msoc_util Window

@@ -1,0 +1,1 @@
+lib/signal/spectrum.mli: Window

@@ -1,0 +1,1 @@
+lib/signal/tone.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/signal/window.ml: Array Float

@@ -1,0 +1,68 @@
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(* Iterative in-place decimation-in-time FFT with bit-reversal
+   permutation; [sign] selects forward (-1) or inverse (+1). *)
+let transform ~sign input =
+  let n = Array.length input in
+  if not (is_pow2 n) then invalid_arg "Fft.transform: length must be a power of two";
+  let a = Array.copy input in
+  (* Bit reversal. *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tmp = a.(i) in
+      a.(i) <- a.(!j);
+      a.(!j) <- tmp
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done;
+  (* Butterflies. *)
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let theta = float_of_int sign *. 2.0 *. Float.pi /. float_of_int !len in
+    let wstep = Complex.polar 1.0 theta in
+    let i = ref 0 in
+    while !i < n do
+      let w = ref Complex.one in
+      for k = 0 to half - 1 do
+        let u = a.(!i + k) in
+        let v = Complex.mul a.(!i + k + half) !w in
+        a.(!i + k) <- Complex.add u v;
+        a.(!i + k + half) <- Complex.sub u v;
+        w := Complex.mul !w wstep
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done;
+  a
+
+let forward input = transform ~sign:(-1) input
+
+let inverse input =
+  let n = Array.length input in
+  let scale = 1.0 /. float_of_int n in
+  transform ~sign:1 input
+  |> Array.map (fun c -> Complex.{ re = c.re *. scale; im = c.im *. scale })
+
+let of_real ?pad_to samples =
+  let n = Array.length samples in
+  let size = Option.value pad_to ~default:(next_pow2 n) in
+  if size < n then invalid_arg "Fft.of_real: pad_to smaller than input";
+  if not (is_pow2 size) then invalid_arg "Fft.of_real: pad_to must be a power of two";
+  Array.init size (fun i ->
+      if i < n then { Complex.re = samples.(i); im = 0.0 } else Complex.zero)
+
+let magnitudes = Array.map Complex.norm
+
+let bin_frequency ~n ~fs i = float_of_int i *. fs /. float_of_int n

@@ -1,0 +1,29 @@
+(** Radix-2 fast Fourier transform.
+
+    Self-contained (no external FFT dependency); used to compute the
+    frequency spectra of Fig. 5. Arbitrary-length real signals are
+    handled by zero-padding to the next power of two. *)
+
+val next_pow2 : int -> int
+(** Smallest power of two >= max 1 n. *)
+
+val forward : Complex.t array -> Complex.t array
+(** In-order DIT FFT. @raise Invalid_argument unless the length is a
+    positive power of two. *)
+
+val inverse : Complex.t array -> Complex.t array
+(** Inverse transform; [inverse (forward x) ~= x]. Same length
+    requirement. *)
+
+val of_real : ?pad_to:int -> float array -> Complex.t array
+(** Complex array from real samples, zero-padded to [pad_to] (default:
+    next power of two of the input length).
+    @raise Invalid_argument if [pad_to] is smaller than the input or
+    not a power of two. *)
+
+val magnitudes : Complex.t array -> float array
+(** Pointwise modulus. *)
+
+val bin_frequency : n:int -> fs:float -> int -> float
+(** Center frequency of bin [i] of an [n]-point transform at sampling
+    rate [fs]. *)

@@ -1,0 +1,102 @@
+type biquad = { b0 : float; b1 : float; b2 : float; a1 : float; a2 : float }
+
+type t = biquad list
+
+let of_sections = function
+  | [] -> invalid_arg "Filter.of_sections: empty cascade"
+  | sections -> sections
+
+let sections t = t
+
+(* RBJ-cookbook biquad low-pass for one pole pair of quality [q]. *)
+let lowpass_biquad ~fc ~fs ~q =
+  let w0 = 2.0 *. Float.pi *. fc /. fs in
+  let cosw = Float.cos w0 and sinw = Float.sin w0 in
+  let alpha = sinw /. (2.0 *. q) in
+  let a0 = 1.0 +. alpha in
+  {
+    b0 = (1.0 -. cosw) /. 2.0 /. a0;
+    b1 = (1.0 -. cosw) /. a0;
+    b2 = (1.0 -. cosw) /. 2.0 /. a0;
+    a1 = -2.0 *. cosw /. a0;
+    a2 = (1.0 -. alpha) /. a0;
+  }
+
+(* First-order low-pass by bilinear transform with pre-warping,
+   expressed as a degenerate biquad (b2 = a2 = 0). *)
+let lowpass_first_order ~fc ~fs =
+  let k = Float.tan (Float.pi *. fc /. fs) in
+  let a0 = k +. 1.0 in
+  { b0 = k /. a0; b1 = k /. a0; b2 = 0.0; a1 = (k -. 1.0) /. a0; a2 = 0.0 }
+
+let check_frequencies ~fc ~fs =
+  if fc <= 0.0 || fc >= fs /. 2.0 then
+    invalid_arg "Filter: need 0 < fc < fs/2"
+
+let butterworth_lowpass ~order ~fc ~fs =
+  if order < 1 || order > 8 then invalid_arg "Filter.butterworth_lowpass: order 1..8";
+  check_frequencies ~fc ~fs;
+  (* Butterworth pole pairs have Q_k = 1 / (2 sin((2k-1)π/(2n))). *)
+  let pairs = order / 2 in
+  let sections =
+    List.init pairs (fun i ->
+        let k = i + 1 in
+        let q =
+          1.0 /. (2.0 *. Float.sin (float_of_int ((2 * k) - 1) *. Float.pi /. float_of_int (2 * order)))
+        in
+        lowpass_biquad ~fc ~fs ~q)
+  in
+  let sections =
+    if order mod 2 = 1 then lowpass_first_order ~fc ~fs :: sections else sections
+  in
+  of_sections sections
+
+let first_order_lowpass ~fc ~fs =
+  check_frequencies ~fc ~fs;
+  of_sections [ lowpass_first_order ~fc ~fs ]
+
+let process_section s samples =
+  let z1 = ref 0.0 and z2 = ref 0.0 in
+  Array.map
+    (fun x ->
+      let y = (s.b0 *. x) +. !z1 in
+      z1 := (s.b1 *. x) -. (s.a1 *. y) +. !z2;
+      z2 := (s.b2 *. x) -. (s.a2 *. y);
+      y)
+    samples
+
+let process t samples = List.fold_left (fun acc s -> process_section s acc) samples t
+
+let magnitude_response t ~fs f =
+  let w = 2.0 *. Float.pi *. f /. fs in
+  let z1 = Complex.polar 1.0 (-.w) in
+  let z2 = Complex.mul z1 z1 in
+  let section_gain s =
+    let num =
+      Complex.add
+        (Complex.add { re = s.b0; im = 0.0 } (Complex.mul { re = s.b1; im = 0.0 } z1))
+        (Complex.mul { re = s.b2; im = 0.0 } z2)
+    in
+    let den =
+      Complex.add
+        (Complex.add Complex.one (Complex.mul { re = s.a1; im = 0.0 } z1))
+        (Complex.mul { re = s.a2; im = 0.0 } z2)
+    in
+    Complex.norm num /. Complex.norm den
+  in
+  List.fold_left (fun acc s -> acc *. section_gain s) 1.0 t
+
+let cutoff_minus3db t ~fs =
+  let target = 1.0 /. Float.sqrt 2.0 in
+  let dc = magnitude_response t ~fs 1.0e-3 in
+  let level f = magnitude_response t ~fs f /. dc in
+  let nyquist = fs /. 2.0 in
+  if level (nyquist *. 0.999999) > target then raise Not_found;
+  let rec bisect lo hi iterations =
+    if iterations = 0 then (lo +. hi) /. 2.0
+    else
+      let mid = (lo +. hi) /. 2.0 in
+      if level mid > target then bisect mid hi (iterations - 1)
+      else bisect lo mid (iterations - 1)
+  in
+  bisect 1.0e-3 (nyquist *. 0.999999) 80

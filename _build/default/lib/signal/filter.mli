@@ -1,0 +1,35 @@
+(** IIR filters: biquad sections and Butterworth low-pass design.
+
+    Models the analog cores' transfer behaviour (the LPF core of the
+    paper's Fig. 5) in the sampled domain. The design uses the bilinear
+    transform with frequency pre-warping, so {!magnitude_response} at
+    the cut-off frequency is exactly -3 dB per order pair. *)
+
+type biquad = { b0 : float; b1 : float; b2 : float; a1 : float; a2 : float }
+(** Normalized (a0 = 1) second-order section. *)
+
+type t
+(** Cascade of sections. *)
+
+val of_sections : biquad list -> t
+(** @raise Invalid_argument on an empty list. *)
+
+val sections : t -> biquad list
+
+val butterworth_lowpass : order:int -> fc:float -> fs:float -> t
+(** Standard Butterworth low-pass.
+    @raise Invalid_argument unless [1 <= order <= 8] and
+    [0 < fc < fs/2]. *)
+
+val first_order_lowpass : fc:float -> fs:float -> t
+
+val process : t -> float array -> float array
+(** Filter a record (direct form II transposed, zero initial state). *)
+
+val magnitude_response : t -> fs:float -> float -> float
+(** [magnitude_response t ~fs f] is |H(e^{j2πf/fs})|. *)
+
+val cutoff_minus3db : t -> fs:float -> float
+(** Numerically locate the -3 dB frequency by bisection on
+    (0, fs/2); useful as ground truth in tests.
+    @raise Not_found if the response never crosses -3 dB. *)

@@ -1,0 +1,51 @@
+(** One-sided magnitude spectra and tone measurements.
+
+    Produces the |LPF i/p|, |LPF o/p| and |Wrapper o/p| series of the
+    paper's Fig. 5 and the tone-level measurements behind the cut-off
+    extraction. *)
+
+type t = {
+  fs : float;
+  n_signal : int;  (** samples before zero-padding *)
+  n_fft : int;
+  window : Window.t;
+  magnitudes : float array;  (** bins 0 .. n_fft/2, raw |X[k]| *)
+}
+
+val analyze : ?window:Window.t -> ?pad_to:int -> fs:float -> float array -> t
+(** Windowed (default Hann), zero-padded FFT magnitude spectrum.
+    @raise Invalid_argument on an empty record. *)
+
+val bin_of_freq : t -> float -> int
+(** Nearest bin. @raise Invalid_argument outside [0, fs/2]. *)
+
+val freq_of_bin : t -> int -> float
+
+val tone_amplitude : t -> float -> float
+(** Peak amplitude of the tone nearest [f]: searches ±2 bins around
+    the nominal bin and compensates FFT length and window coherent
+    gain, so a unit sine reports ≈ 1.0. *)
+
+val tone_level_db : t -> float -> float
+(** [20 log10 (tone_amplitude t f)]. *)
+
+val series_db : t -> (float * float) array
+(** The whole one-sided spectrum as (frequency, dB) pairs — the
+    plotted series of Fig. 5. 0 magnitude maps to -160 dB. *)
+
+val peaks : t -> count:int -> (float * float) list
+(** [count] largest local maxima as (frequency, amplitude), strongest
+    first; each at least 2 bins away from a stronger one. *)
+
+val welch_psd :
+  ?window:Window.t -> ?segment:int -> ?overlap:float -> fs:float ->
+  float array -> (float * float) array
+(** Welch's averaged-periodogram power spectral density: split the
+    record into [segment]-sample windows (default 1024, power of two)
+    overlapping by [overlap] (default 0.5), window each, average the
+    periodograms. Returns one-sided (frequency, PSD) pairs in
+    units²/Hz; the variance of each PSD estimate shrinks with the
+    number of averaged segments — the right tool for noise floors,
+    where a single FFT's bins fluctuate 100%.
+    @raise Invalid_argument if the record is shorter than one segment
+    or [overlap] is outside [0, 0.9]. *)

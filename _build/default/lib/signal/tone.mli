@@ -1,0 +1,38 @@
+(** Multi-tone stimulus generation.
+
+    The paper's cut-off frequency test applies a multi-tone signal
+    ("an input with only three frequencies") and reads the cut-off
+    from the spectrum of the response. *)
+
+type t = { freq_hz : float; amplitude : float; phase_rad : float }
+
+val tone : ?amplitude:float -> ?phase_rad:float -> float -> t
+(** [tone f] with amplitude 1 and phase 0 by default.
+    @raise Invalid_argument on non-positive frequency or negative
+    amplitude. *)
+
+val sample : tones:t list -> fs:float -> n:int -> float array
+(** [sample ~tones ~fs ~n] sums the tones at [n] instants spaced
+    [1/fs]. *)
+
+val coherent_freq : fs:float -> n:int -> float -> float
+(** Nearest frequency to [f] that completes an integer number of
+    periods in an [n]-sample record — placing tones on-bin avoids
+    spectral leakage, mirroring the coherent sampling an ATE would
+    use. *)
+
+val crest_factor : float array -> float
+(** Peak magnitude over RMS; diagnostic for multi-tone phase choices.
+    @raise Invalid_argument on empty or all-zero input. *)
+
+val newman_phases : int -> float list
+(** Newman's low-crest-factor phase schedule for [n] equal-amplitude
+    tones: φ_k = π(k−1)²/n. Keeps the multi-tone crest factor near
+    sqrt(2) instead of growing like sqrt(2n) for zero phases — the
+    standard trick for fitting many test tones inside a converter's
+    input range. @raise Invalid_argument if [n < 1]. *)
+
+val multitone :
+  ?amplitude:float -> fs:float -> n:int -> float list -> float array
+(** [multitone ~fs ~n freqs]: equal-amplitude multi-tone with Newman
+    phases (amplitude per tone defaults to 1). *)

@@ -1,0 +1,1 @@
+lib/tam/fixed_partition.ml: Array Fun Job List Msoc_util Msoc_wrapper Option Printf Schedule

@@ -1,0 +1,1 @@
+lib/tam/fixed_partition.mli: Job Schedule

@@ -1,0 +1,1 @@
+lib/tam/gantt.ml: Array Buffer Bytes Job List Printf Schedule String

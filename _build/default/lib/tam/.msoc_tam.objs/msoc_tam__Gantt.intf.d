@@ -1,0 +1,1 @@
+lib/tam/gantt.mli: Schedule

@@ -1,0 +1,1 @@
+lib/tam/job.ml: List Msoc_itc02 Msoc_wrapper

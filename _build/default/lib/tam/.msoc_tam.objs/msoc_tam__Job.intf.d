@@ -1,0 +1,1 @@
+lib/tam/job.mli: Msoc_itc02 Msoc_wrapper

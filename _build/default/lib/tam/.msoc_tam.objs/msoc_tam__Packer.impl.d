@@ -1,0 +1,1 @@
+lib/tam/packer.ml: Array Float Hashtbl Job List Msoc_util Msoc_wrapper Option Printf Schedule String

@@ -1,0 +1,1 @@
+lib/tam/packer.mli: Job Schedule

@@ -1,0 +1,1 @@
+lib/tam/schedule.ml: Format Job List Msoc_wrapper

@@ -1,0 +1,1 @@
+lib/tam/schedule.mli: Format Job

@@ -1,0 +1,45 @@
+let letter i =
+  let alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ" in
+  alphabet.[i mod String.length alphabet]
+
+let legend (schedule : Schedule.t) =
+  List.mapi
+    (fun i (p : Schedule.placement) -> (letter i, p.Schedule.job.Job.label))
+    schedule.Schedule.placements
+
+let render ?(columns = 72) (schedule : Schedule.t) =
+  let span = Schedule.makespan schedule in
+  if span = 0 then "(empty schedule)\n"
+  else begin
+    let columns = max 10 columns in
+    let scale t = min (columns - 1) (t * columns / span) in
+    let rows =
+      Array.init schedule.Schedule.total_width (fun _ -> Bytes.make columns '.')
+    in
+    List.iteri
+      (fun i (p : Schedule.placement) ->
+        let c0 = scale p.Schedule.start in
+        let c1 = max (c0 + 1) (scale (Schedule.finish p)) in
+        List.iter
+          (fun wire ->
+            for c = c0 to c1 - 1 do
+              Bytes.set rows.(wire) c (letter i)
+            done)
+          p.Schedule.wires)
+      schedule.Schedule.placements;
+    let buf = Buffer.create (schedule.Schedule.total_width * (columns + 8)) in
+    Array.iteri
+      (fun wire row ->
+        Buffer.add_string buf (Printf.sprintf "w%02d %s\n" wire (Bytes.to_string row)))
+      rows;
+    Buffer.add_string buf
+      (Printf.sprintf "    0%s%s\n"
+         (String.make (max 1 (columns - String.length (string_of_int span) - 1)) ' ')
+         (string_of_int span));
+    Buffer.add_string buf "legend:";
+    List.iter
+      (fun (c, label) -> Buffer.add_string buf (Printf.sprintf " %c=%s" c label))
+      (legend schedule);
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+  end

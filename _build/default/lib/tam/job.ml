@@ -1,0 +1,42 @@
+module Pareto = Msoc_wrapper.Pareto
+
+type t = {
+  label : string;
+  staircase : Pareto.t;
+  exclusion : int option;
+  power : int;
+  predecessors : string list;
+  conflicts : string list;
+}
+
+let digital ~label staircase =
+  { label; staircase; exclusion = None; power = 0; predecessors = []; conflicts = [] }
+
+let analog ~label ~width ~time ~group =
+  {
+    label;
+    staircase = Pareto.fixed ~width ~time;
+    exclusion = Some group;
+    power = 0;
+    predecessors = [];
+    conflicts = [];
+  }
+
+let of_core (core : Msoc_itc02.Types.core) ~max_width =
+  digital ~label:core.Msoc_itc02.Types.name (Pareto.staircase core ~max_width)
+
+let with_power t power =
+  if power < 0 then invalid_arg "Job.with_power: negative power";
+  { t with power }
+
+let with_predecessors t predecessors = { t with predecessors }
+
+let with_conflicts t conflicts = { t with conflicts }
+
+let min_time t = Pareto.min_time t.staircase
+
+let min_width t = Pareto.min_width t.staircase
+
+let area t =
+  Pareto.points t.staircase
+  |> List.fold_left (fun acc (p : Pareto.point) -> min acc (p.width * p.time)) max_int

@@ -1,0 +1,428 @@
+module Pareto = Msoc_wrapper.Pareto
+
+exception Infeasible of string
+
+(* Sorted, disjoint busy intervals [start, finish). *)
+module Intervals = struct
+  type t = (int * int) list
+
+  let empty : t = []
+
+  let free_during t ~start ~finish =
+    List.for_all (fun (s, f) -> finish <= s || f <= start) t
+
+  let add t ~start ~finish =
+    let rec insert = function
+      | [] -> [ (start, finish) ]
+      | (s, f) :: rest when f <= start -> (s, f) :: insert rest
+      | rest -> (start, finish) :: rest
+    in
+    insert t
+
+  let ends_after t ~time =
+    List.filter_map (fun (_, f) -> if f >= time then Some f else None) t
+end
+
+type state = {
+  wires : Intervals.t array;
+  mutable groups : (int * Intervals.t) list;
+  (* committed placements as (start, finish, power) for the budget *)
+  mutable powered : (int * int * int) list;
+  power_budget : int option;
+  (* label -> finish time of already-scheduled jobs *)
+  finished : (string, int) Hashtbl.t;
+  (* label -> busy interval of the placed job with that label *)
+  placed : (string, int * int) Hashtbl.t;
+  (* label of a FUTURE job -> intervals already reserved against it by
+     placed jobs that declared the conflict *)
+  reserved_against : (string, (int * int) list) Hashtbl.t;
+}
+
+let group_intervals state = function
+  | None -> Intervals.empty
+  | Some g -> Option.value (List.assoc_opt g state.groups) ~default:Intervals.empty
+
+let set_group state g iv =
+  state.groups <- (g, iv) :: List.remove_assoc g state.groups
+
+(* Peak concurrent power of committed placements within [start, finish):
+   piecewise constant, so evaluating at interval starts suffices. *)
+let peak_power_within state ~start ~finish =
+  let instants =
+    start
+    :: List.filter_map
+         (fun (s, _, _) -> if start < s && s < finish then Some s else None)
+         state.powered
+  in
+  let at instant =
+    List.fold_left
+      (fun acc (s, f, p) -> if s <= instant && instant < f then acc + p else acc)
+      0 state.powered
+  in
+  List.fold_left (fun acc i -> max acc (at i)) 0 instants
+
+(* Earliest start at which [w] wires are simultaneously free for
+   [time] cycles, the job's exclusion group is idle, the power budget
+   holds and all predecessors (already scheduled) are done. The
+   earliest feasible start is [floor] or the end of some busy/powered
+   interval, so only those candidates need checking. *)
+let conflict_intervals state job =
+  let declared =
+    List.filter_map (Hashtbl.find_opt state.placed) job.Job.conflicts
+  in
+  let reserved =
+    Option.value (Hashtbl.find_opt state.reserved_against job.Job.label) ~default:[]
+  in
+  declared @ reserved
+
+let earliest_placement state ~total_width ~w ~time ~group ~power ~floor ~blocked =
+  let giv = group_intervals state group in
+  let candidates =
+    let wire_ends =
+      Array.to_list state.wires
+      |> List.concat_map (fun iv -> Intervals.ends_after iv ~time:0)
+    in
+    let group_ends = Intervals.ends_after giv ~time:0 in
+    let power_ends = List.map (fun (_, f, _) -> f) state.powered in
+    let blocked_ends = List.map snd blocked in
+    List.sort_uniq compare (floor :: (wire_ends @ group_ends @ power_ends @ blocked_ends))
+    |> List.filter (fun s -> s >= floor)
+  in
+  let feasible_at start =
+    let finish = start + time in
+    if not (Intervals.free_during giv ~start ~finish) then None
+    else if
+      List.exists (fun (s, f) -> start < f && s < finish) blocked
+    then None
+    else if
+      match state.power_budget with
+      | Some budget when power > 0 ->
+        peak_power_within state ~start ~finish + power > budget
+      | Some _ | None -> false
+    then None
+    else begin
+      let free = ref [] in
+      let n = ref 0 in
+      for i = total_width - 1 downto 0 do
+        if Intervals.free_during state.wires.(i) ~start ~finish then begin
+          free := i :: !free;
+          incr n
+        end
+      done;
+      if !n >= w then Some (start, !free) else None
+    end
+  in
+  let rec scan = function
+    | [] -> assert false (* past every busy end everything is idle *)
+    | start :: rest -> (
+      match feasible_at start with
+      | Some (start, free_wires) -> (start, free_wires)
+      | None -> scan rest)
+  in
+  scan candidates
+
+(* Among the wires free during the window, keep the [w] whose previous
+   busy interval ends latest (least idle created in front of the job). *)
+let choose_wires state ~start ~w free_wires =
+  let slack wire =
+    let prev_end =
+      List.fold_left
+        (fun acc (_, f) -> if f <= start then max acc f else acc)
+        0 state.wires.(wire)
+    in
+    start - prev_end
+  in
+  let ranked =
+    List.map (fun wire -> (slack wire, wire)) free_wires
+    |> List.sort compare
+  in
+  List.filteri (fun i _ -> i < w) ranked |> List.map snd
+
+(* Reorder so that predecessors come before their dependents while
+   otherwise preserving the priority order. *)
+let respect_precedences order =
+  let pending = ref order in
+  let emitted = Hashtbl.create 16 in
+  let result = ref [] in
+  let ready j =
+    List.for_all (fun pred -> Hashtbl.mem emitted pred) j.Job.predecessors
+  in
+  while !pending <> [] do
+    match List.partition ready !pending with
+    | [], blocked ->
+      let labels = List.map (fun j -> j.Job.label) blocked in
+      raise
+        (Infeasible
+           (Printf.sprintf "precedence cycle or unknown predecessor among: %s"
+              (String.concat ", " labels)))
+    | j :: _, _ ->
+      (* take only the first ready job, keeping priority order *)
+      Hashtbl.replace emitted j.Job.label ();
+      result := j :: !result;
+      pending := List.filter (fun k -> k != j) !pending
+  done;
+  List.rev !result
+
+let pack_in_order ?power_budget ~width order =
+  let state =
+    {
+      wires = Array.make width Intervals.empty;
+      groups = [];
+      powered = [];
+      power_budget;
+      finished = Hashtbl.create 16;
+      placed = Hashtbl.create 16;
+      reserved_against = Hashtbl.create 16;
+    }
+  in
+  let place acc job =
+    let points =
+      Pareto.points job.Job.staircase
+      |> List.filter (fun (p : Pareto.point) -> p.width <= width)
+    in
+    let floor =
+      List.fold_left
+        (fun acc pred ->
+          match Hashtbl.find_opt state.finished pred with
+          | Some f -> max acc f
+          | None -> acc (* respect_precedences guarantees presence *))
+        0 job.Job.predecessors
+    in
+    let blocked = conflict_intervals state job in
+    let candidate (p : Pareto.point) =
+      let start, free_wires =
+        earliest_placement state ~total_width:width ~w:p.width ~time:p.time
+          ~group:job.Job.exclusion ~power:job.Job.power ~floor ~blocked
+      in
+      (start + p.time, p, start, free_wires)
+    in
+    let best =
+      match List.map candidate points with
+      | [] -> assert false (* min_width check in [pack] guarantees a point *)
+      | c :: rest ->
+        List.fold_left
+          (fun ((bf, bp, _, _) as b) ((f, p, _, _) as c) ->
+            if f < bf || (f = bf && p.Pareto.width < bp.Pareto.width) then c else b)
+          c rest
+    in
+    let _, point, start, free_wires = best in
+    let wires = choose_wires state ~start ~w:point.Pareto.width free_wires in
+    let finish = start + point.Pareto.time in
+    List.iter
+      (fun wire -> state.wires.(wire) <- Intervals.add state.wires.(wire) ~start ~finish)
+      wires;
+    (match job.Job.exclusion with
+    | Some g -> set_group state g (Intervals.add (group_intervals state (Some g)) ~start ~finish)
+    | None -> ());
+    if job.Job.power > 0 then
+      state.powered <- (start, finish, job.Job.power) :: state.powered;
+    Hashtbl.replace state.finished job.Job.label finish;
+    Hashtbl.replace state.placed job.Job.label (start, finish);
+    List.iter
+      (fun other ->
+        let existing =
+          Option.value (Hashtbl.find_opt state.reserved_against other) ~default:[]
+        in
+        Hashtbl.replace state.reserved_against other ((start, finish) :: existing))
+      job.Job.conflicts;
+    { Schedule.job; start; width = point.Pareto.width; time = point.Pareto.time; wires }
+    :: acc
+  in
+  let placements = List.fold_left place [] order in
+  let placements =
+    List.sort (fun a b -> compare a.Schedule.start b.Schedule.start) placements
+  in
+  { Schedule.total_width = width; power_budget; placements }
+
+(* A job bound to an exclusion group inherits the group's total serial
+   time as its urgency: the group is in effect one long serial job and
+   must start early, even though each member test is short. *)
+let group_urgency jobs =
+  let totals = Hashtbl.create 8 in
+  List.iter
+    (fun j ->
+      match j.Job.exclusion with
+      | Some g ->
+        let current = Option.value (Hashtbl.find_opt totals g) ~default:0 in
+        Hashtbl.replace totals g (current + Job.min_time j)
+      | None -> ())
+    jobs;
+  fun j ->
+    match j.Job.exclusion with
+    | Some g -> Hashtbl.find totals g
+    | None -> Job.min_time j
+
+let pack ?power_budget ~width jobs =
+  if width <= 0 then invalid_arg "Packer.pack: width must be positive";
+  (match power_budget with
+  | Some b when b <= 0 -> invalid_arg "Packer.pack: power_budget must be positive"
+  | Some _ | None -> ());
+  List.iter
+    (fun j ->
+      if Job.min_width j > width then
+        raise
+          (Infeasible
+             (Printf.sprintf "job %s needs width %d > TAM width %d" j.Job.label
+                (Job.min_width j) width));
+      match power_budget with
+      | Some b when j.Job.power > b ->
+        raise
+          (Infeasible
+             (Printf.sprintf "job %s needs power %d > budget %d" j.Job.label
+                j.Job.power b))
+      | Some _ | None -> ())
+    jobs;
+  let urgency = group_urgency jobs in
+  (* Greedy list scheduling is sensitive to the job order, so try a
+     few natural priority rules and keep the best schedule: longest
+     (group-aware) first, largest area first, and widest first (which
+     wins when one wide bottleneck rectangle must nest under the
+     narrow analog chains). *)
+  let by key =
+    respect_precedences (List.sort (fun a b -> compare (key b) (key a)) jobs)
+  in
+  let orders =
+    [
+      by (fun j -> (urgency j, Job.min_time j));
+      by (fun j -> (Job.area j, urgency j));
+      by (fun j -> (Job.min_width j, urgency j));
+    ]
+  in
+  let schedules = List.map (pack_in_order ?power_budget ~width) orders in
+  match schedules with
+  | [] -> assert false
+  | s :: rest ->
+    List.fold_left
+      (fun best s ->
+        if Schedule.makespan s < Schedule.makespan best then s else best)
+      s rest
+
+(* Promote the job that currently finishes last to the front of the
+   priority order and repack; repeat while it helps. The critical job
+   is the one whose placement freedom matters most, so scheduling it
+   first usually removes the overhang. *)
+let pack_optimized ?power_budget ?(rounds = 8) ~width jobs =
+  let initial = pack ?power_budget ~width jobs in
+  let rec refine best order_front remaining =
+    if remaining = 0 then best
+    else
+      let critical =
+        List.fold_left
+          (fun acc (p : Schedule.placement) ->
+            match acc with
+            | Some (best_p : Schedule.placement)
+              when Schedule.finish best_p >= Schedule.finish p ->
+              acc
+            | _ -> Some p)
+          None best.Schedule.placements
+      in
+      match critical with
+      | None -> best
+      | Some p ->
+        let label = p.Schedule.job.Job.label in
+        if List.mem label order_front then best
+        else begin
+          let order_front = label :: order_front in
+          let rank j =
+            match
+              List.mapi (fun i l -> (l, i)) (List.rev order_front)
+              |> List.assoc_opt j.Job.label
+            with
+            | Some i -> i
+            | None -> List.length order_front
+          in
+          let urgency = group_urgency jobs in
+          let order =
+            respect_precedences
+              (List.sort
+                 (fun a b ->
+                   match compare (rank a) (rank b) with
+                   | 0 -> compare (urgency b, Job.min_time b) (urgency a, Job.min_time a)
+                   | c -> c)
+                 jobs)
+          in
+          let candidate = pack_in_order ?power_budget ~width order in
+          let best =
+            if Schedule.makespan candidate < Schedule.makespan best then candidate
+            else best
+          in
+          refine best order_front (remaining - 1)
+        end
+  in
+  refine initial [] rounds
+
+let anneal ?power_budget ?(seed = 1) ?(iterations = 150) ~width jobs =
+  let best = ref (pack_optimized ?power_budget ~width jobs) in
+  if jobs = [] then !best
+  else begin
+    let rng = Msoc_util.Rng.create ~seed in
+    let urgency = group_urgency jobs in
+    (* current state: an explicit priority order (array of jobs) *)
+    let order =
+      Array.of_list
+        (List.sort
+           (fun a b -> compare (urgency b, Job.min_time b) (urgency a, Job.min_time a))
+           jobs)
+    in
+    let n = Array.length order in
+    let pack_order () =
+      pack_in_order ?power_budget ~width
+        (respect_precedences (Array.to_list order))
+    in
+    let current = ref (Schedule.makespan (pack_order ())) in
+    let span0 = float_of_int !current in
+    let temperature k =
+      (* geometric cooling from 2% of the initial makespan *)
+      0.02 *. span0 *. Float.pow 0.97 (float_of_int k)
+    in
+    for k = 1 to iterations do
+      if n >= 2 then begin
+        let i = Msoc_util.Rng.int rng ~bound:n in
+        let j = Msoc_util.Rng.int rng ~bound:n in
+        if i <> j then begin
+          let tmp = order.(i) in
+          order.(i) <- order.(j);
+          order.(j) <- tmp;
+          let candidate = pack_order () in
+          let span = Schedule.makespan candidate in
+          let accept =
+            span <= !current
+            || Msoc_util.Rng.float rng ~bound:1.0
+               < Float.exp (-.float_of_int (span - !current) /. Float.max 1.0 (temperature k))
+          in
+          if accept then begin
+            current := span;
+            if span < Schedule.makespan !best then best := candidate
+          end
+          else begin
+            (* undo the transposition *)
+            let tmp = order.(i) in
+            order.(i) <- order.(j);
+            order.(j) <- tmp
+          end
+        end
+      end
+    done;
+    !best
+  end
+
+let lower_bound ?power_budget ~width jobs =
+  let area = List.fold_left (fun acc j -> acc + Job.area j) 0 jobs in
+  let area_bound = Msoc_util.Numeric.ceil_div area width in
+  let bottleneck = List.fold_left (fun acc j -> max acc (Job.min_time j)) 0 jobs in
+  let group_times =
+    List.filter_map (fun j -> Option.map (fun g -> (g, Job.min_time j)) j.Job.exclusion) jobs
+    |> Msoc_util.Combinat.group_by fst
+    |> List.map (fun (_, xs) -> Msoc_util.Numeric.sum_int (List.map snd xs))
+  in
+  let group_bound = List.fold_left max 0 group_times in
+  let power_bound =
+    match power_budget with
+    | None -> 0
+    | Some budget ->
+      let energy =
+        List.fold_left (fun acc j -> acc + (j.Job.power * Job.min_time j)) 0 jobs
+      in
+      Msoc_util.Numeric.ceil_div energy budget
+  in
+  max (max area_bound power_bound) (max bottleneck group_bound)

@@ -1,0 +1,60 @@
+(** Rectangle-packing TAM optimizer (flexible-width architecture).
+
+    Implements the paper's scheduling substrate [6]: every job is a
+    soft rectangle (it may run at any point of its Pareto staircase);
+    the packer places rectangles on a strip of [width] TAM wires,
+    minimizing the makespan subject to
+
+    - at most [width] wires busy at any instant, with an explicit wire
+      assignment (fork-and-merge, non-contiguous allowed);
+    - jobs in the same exclusion group strictly serialized;
+    - optionally, instantaneous power capped at [power_budget];
+    - each job starting only after its {!Job.t.predecessors} finish.
+
+    Heuristic: longest-processing-time-first over jobs (several
+    priority rules are tried, the best schedule wins); per job, every
+    staircase point is tried against the exact per-wire idle intervals
+    and the placement finishing earliest wins (ties to fewer wires).
+    Gap-aware: freed wire intervals remain usable by later jobs. *)
+
+exception Infeasible of string
+(** Raised when a job's minimum width exceeds the TAM width, a job's
+    power alone exceeds the budget, or precedences form a cycle /
+    reference unknown labels. *)
+
+val pack : ?power_budget:int -> width:int -> Job.t list -> Schedule.t
+(** [pack ~width jobs] returns a feasible schedule ({!Schedule.check}
+    returns [[]]).
+    @raise Infeasible as described above.
+    @raise Invalid_argument if [width <= 0] or [power_budget <= 0]. *)
+
+val pack_optimized :
+  ?power_budget:int -> ?rounds:int -> width:int -> Job.t list -> Schedule.t
+(** {!pack} followed by critical-job reordering: up to [rounds]
+    (default 8) times, the job that finishes last is promoted to the
+    front of the priority order and the strip is repacked; the best
+    schedule wins. Never worse than {!pack}; typically buys a few
+    percent on instances with one awkward rectangle. *)
+
+val anneal :
+  ?power_budget:int ->
+  ?seed:int ->
+  ?iterations:int ->
+  width:int ->
+  Job.t list ->
+  Schedule.t
+(** Simulated annealing over the packing order: starting from
+    {!pack_optimized}'s result, randomly transpose job priorities and
+    accept worse schedules with Metropolis probability under a
+    geometric cooling schedule ([iterations] moves, default 150;
+    deterministic for a given [seed], default 1). Returns the best
+    schedule seen — never worse than {!pack_optimized}. Use for final
+    sign-off schedules where seconds of CPU buy cycles of test time;
+    the optimizers use the fast packer. *)
+
+val lower_bound : ?power_budget:int -> width:int -> Job.t list -> int
+(** Max of the classic bounds: total-area / width, the largest
+    single-job minimum time, each exclusion group's serial time (the
+    paper's analog [T_LB]) and, when a budget is given, total
+    power-time / budget. The packer's makespan never beats this;
+    tests assert it stays within a small factor of it. *)

@@ -1,0 +1,153 @@
+module Pareto = Msoc_wrapper.Pareto
+
+type placement = {
+  job : Job.t;
+  start : int;
+  width : int;
+  time : int;
+  wires : int list;
+}
+
+type t = {
+  total_width : int;
+  power_budget : int option;
+  placements : placement list;
+}
+
+let finish p = p.start + p.time
+
+let makespan t =
+  List.fold_left (fun acc p -> max acc (finish p)) 0 t.placements
+
+let wire_busy_cycles t =
+  List.fold_left (fun acc p -> acc + (p.width * p.time)) 0 t.placements
+
+let efficiency t =
+  let span = makespan t in
+  if span = 0 then 1.0
+  else
+    float_of_int (wire_busy_cycles t)
+    /. (float_of_int t.total_width *. float_of_int span)
+
+(* Power as a function of time is piecewise constant with breakpoints
+   at placement starts; the peak is attained at some start. *)
+let power_at t instant =
+  List.fold_left
+    (fun acc p ->
+      if p.start <= instant && instant < finish p then acc + p.job.Job.power
+      else acc)
+    0 t.placements
+
+let peak_power t =
+  List.fold_left (fun acc p -> max acc (power_at t p.start)) 0 t.placements
+
+type violation =
+  | Wire_conflict of { wire : int; first : string; second : string }
+  | Wire_out_of_range of { label : string; wire : int }
+  | Wrong_wire_count of { label : string; expected : int; got : int }
+  | Exclusion_overlap of { group : int; first : string; second : string }
+  | Bad_operating_point of { label : string }
+  | Power_exceeded of { at : int; total : int; budget : int }
+  | Precedence_violation of { label : string; predecessor : string }
+  | Missing_predecessor of { label : string; predecessor : string }
+  | Conflict_overlap of { first : string; second : string }
+
+let overlaps a b = a.start < finish b && b.start < finish a
+
+let check t =
+  let violations = ref [] in
+  let note v = violations := v :: !violations in
+  let check_placement p =
+    let label = p.job.Job.label in
+    if List.length p.wires <> p.width then
+      note (Wrong_wire_count { label; expected = p.width; got = List.length p.wires });
+    List.iter
+      (fun w -> if w < 0 || w >= t.total_width then note (Wire_out_of_range { label; wire = w }))
+      p.wires;
+    let on_staircase =
+      Pareto.points p.job.Job.staircase
+      |> List.exists (fun (pt : Pareto.point) -> pt.width = p.width && pt.time = p.time)
+    in
+    if not on_staircase then note (Bad_operating_point { label });
+    List.iter
+      (fun pred ->
+        match List.find_opt (fun q -> q.job.Job.label = pred) t.placements with
+        | None -> note (Missing_predecessor { label; predecessor = pred })
+        | Some q ->
+          if finish q > p.start then
+            note (Precedence_violation { label; predecessor = pred }))
+      p.job.Job.predecessors
+  in
+  List.iter check_placement t.placements;
+  let rec pairwise = function
+    | [] -> ()
+    | p :: rest ->
+      let against q =
+        if overlaps p q then begin
+          (match
+             List.find_opt (fun w -> List.mem w q.wires) p.wires
+           with
+          | Some wire ->
+            note (Wire_conflict { wire; first = p.job.Job.label; second = q.job.Job.label })
+          | None -> ());
+          (match (p.job.Job.exclusion, q.job.Job.exclusion) with
+          | Some g1, Some g2 when g1 = g2 ->
+            note
+              (Exclusion_overlap
+                 { group = g1; first = p.job.Job.label; second = q.job.Job.label })
+          | Some _, Some _ | Some _, None | None, Some _ | None, None -> ());
+          if
+            List.mem q.job.Job.label p.job.Job.conflicts
+            || List.mem p.job.Job.label q.job.Job.conflicts
+          then
+            note
+              (Conflict_overlap
+                 { first = p.job.Job.label; second = q.job.Job.label })
+        end
+      in
+      List.iter against rest;
+      pairwise rest
+  in
+  pairwise t.placements;
+  (match t.power_budget with
+  | None -> ()
+  | Some budget ->
+    List.iter
+      (fun p ->
+        let total = power_at t p.start in
+        if total > budget then note (Power_exceeded { at = p.start; total; budget }))
+      t.placements);
+  List.rev !violations
+
+let pp_violation ppf = function
+  | Wire_conflict { wire; first; second } ->
+    Format.fprintf ppf "wire %d double-booked by %s and %s" wire first second
+  | Wire_out_of_range { label; wire } ->
+    Format.fprintf ppf "%s uses out-of-range wire %d" label wire
+  | Wrong_wire_count { label; expected; got } ->
+    Format.fprintf ppf "%s has %d wires, expected %d" label got expected
+  | Exclusion_overlap { group; first; second } ->
+    Format.fprintf ppf "exclusion group %d violated by %s and %s" group first second
+  | Bad_operating_point { label } ->
+    Format.fprintf ppf "%s scheduled off its Pareto staircase" label
+  | Power_exceeded { at; total; budget } ->
+    Format.fprintf ppf "power %d exceeds budget %d at cycle %d" total budget at
+  | Precedence_violation { label; predecessor } ->
+    Format.fprintf ppf "%s starts before its predecessor %s finishes" label predecessor
+  | Missing_predecessor { label; predecessor } ->
+    Format.fprintf ppf "%s depends on unscheduled job %s" label predecessor
+  | Conflict_overlap { first; second } ->
+    Format.fprintf ppf "conflicting jobs %s and %s overlap" first second
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>TAM width %d, makespan %d, efficiency %.1f%%"
+    t.total_width (makespan t) (100.0 *. efficiency t);
+  (match t.power_budget with
+  | Some b -> Format.fprintf ppf ", power %d/%d" (peak_power t) b
+  | None -> ());
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "@,  [%8d, %8d) w=%-3d %s" p.start (finish p) p.width
+        p.job.Job.label)
+    t.placements;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,61 @@
+(** Test schedules on a flexible-width TAM and their validity.
+
+    A schedule assigns each job a start time, an operating width and a
+    concrete set of TAM wires (fork-and-merge TAMs may tap any subset
+    of the [w] SOC-level wires, so wire sets need not be contiguous).
+    {!check} re-verifies every constraint from first principles — wire
+    exclusivity, wrapper serialization, the power budget and
+    precedences; the test suite runs it on every schedule the packer
+    produces. *)
+
+type placement = {
+  job : Job.t;
+  start : int;
+  width : int;
+  time : int;
+  wires : int list;  (** wire indices in [0, total_width), length = width *)
+}
+
+type t = {
+  total_width : int;
+  power_budget : int option;
+      (** cap on Σ power of concurrently running jobs, if any *)
+  placements : placement list;  (** in non-decreasing start order *)
+}
+
+val finish : placement -> int
+(** [start + time]. *)
+
+val makespan : t -> int
+(** 0 for an empty schedule. *)
+
+val wire_busy_cycles : t -> int
+(** Σ width·time over placements — occupied wire-cycles. *)
+
+val efficiency : t -> float
+(** [wire_busy_cycles / (total_width * makespan)], in (0, 1]. *)
+
+val peak_power : t -> int
+(** Maximum over time of Σ power of running jobs. *)
+
+type violation =
+  | Wire_conflict of { wire : int; first : string; second : string }
+  | Wire_out_of_range of { label : string; wire : int }
+  | Wrong_wire_count of { label : string; expected : int; got : int }
+  | Exclusion_overlap of { group : int; first : string; second : string }
+  | Bad_operating_point of { label : string }
+      (** (width, time) is not on the job's staircase *)
+  | Power_exceeded of { at : int; total : int; budget : int }
+  | Precedence_violation of { label : string; predecessor : string }
+      (** predecessor scheduled but not finished before [label] starts *)
+  | Missing_predecessor of { label : string; predecessor : string }
+  | Conflict_overlap of { first : string; second : string }
+      (** jobs declared mutually conflicting run concurrently *)
+
+val check : t -> violation list
+(** Empty list iff the schedule is feasible. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable Gantt-style listing. *)

@@ -1,0 +1,55 @@
+type align = Left | Right
+
+type column = { title : string; align : align }
+
+let column ?(align = Left) title = { title; align }
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ~columns ~rows =
+  let ncols = List.length columns in
+  let normalize row =
+    let n = List.length row in
+    if n > ncols then invalid_arg "Ascii_table.render: row wider than header"
+    else row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths =
+    List.mapi
+      (fun i col ->
+        let cell_width row = String.length (List.nth row i) in
+        List.fold_left (fun w row -> max w (cell_width row)) (String.length col.title) rows)
+      columns
+  in
+  let sep =
+    String.concat "-+-" (List.map (fun w -> String.make w '-') widths)
+  in
+  let line cells =
+    String.concat " | "
+      (List.map2
+         (fun (col, w) cell -> pad col.align w cell)
+         (List.combine columns widths) cells)
+  in
+  let header = line (List.map (fun c -> c.title) columns) in
+  let body = List.map line rows in
+  String.concat "\n" ((header :: sep :: body) @ [ "" ])
+
+let print ~columns ~rows = print_string (render ~columns ~rows)
+
+let float_cell ?(decimals = 1) v = Printf.sprintf "%.*f" decimals v
+
+let int_cell n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + len / 3 + 1) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  (if n < 0 then "-" else "") ^ Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Minimal ASCII table rendering for benchmark and report output.
+
+    All experiment harnesses print their rows through this module so
+    that the regenerated paper tables share one look. *)
+
+type align = Left | Right
+
+type column = { title : string; align : align }
+
+val column : ?align:align -> string -> column
+(** [column title] is a left-aligned column by default. *)
+
+val render : columns:column list -> rows:string list list -> string
+(** [render ~columns ~rows] lays the rows out under the given headers,
+    padding each cell to the widest entry of its column. Rows shorter
+    than the header are padded with empty cells; longer rows raise
+    [Invalid_argument]. *)
+
+val print : columns:column list -> rows:string list list -> unit
+(** [print] is [render] followed by [print_string]. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Fixed-point rendering, 1 decimal by default (the paper's style). *)
+
+val int_cell : int -> string
+(** Thousands-separated integer ("1,234,567"), matching the paper's
+    cycle-count style. *)

@@ -1,0 +1,33 @@
+(** Combinatorial enumeration used by the wrapper-sharing optimizer.
+
+    The paper enumerates all ways of grouping the analog cores into
+    shared wrappers — i.e. all set partitions of the core set (26
+    non-trivial-or-trivial partitions for 5 cores, 52 counting both;
+    the paper's 26 figure counts unique partitions with cores B ≡ A
+    merged; we enumerate true set partitions and let callers dedup). *)
+
+val set_partitions : 'a list -> 'a list list list
+(** [set_partitions xs] is the list of all partitions of [xs] into
+    non-empty blocks. Blocks preserve the relative order of [xs];
+    the partition list is in a deterministic order. Length is the Bell
+    number B(n); callers should keep n small (n <= 12 is instant). *)
+
+val bell_number : int -> int
+(** [bell_number n] is the number of set partitions of an n-element
+    set. Exact for [n <= 24] (fits in 63-bit int). *)
+
+val subsets : 'a list -> 'a list list
+(** All 2^n subsets, in a deterministic order. *)
+
+val pairs : 'a list -> ('a * 'a) list
+(** All unordered pairs of distinct elements, order-preserving. *)
+
+val partitions_with_block_sizes : 'a list list -> int list
+(** [partitions_with_block_sizes p] is the multiset of block sizes of
+    one partition, sorted descending — the paper's "degree of sharing"
+    signature used to group combinations in [Cost_Optimizer] line 1. *)
+
+val group_by : ('a -> 'b) -> 'a list -> ('b * 'a list) list
+(** [group_by key xs] groups elements with equal keys (polymorphic
+    equality), preserving first-occurrence order of keys and the
+    relative order of elements within a group. *)

@@ -1,0 +1,38 @@
+(** Small numeric helpers shared across the libraries. *)
+
+val close : ?rel:float -> ?abs_tol:float -> float -> float -> bool
+(** [close a b] holds when [a] and [b] agree within a relative
+    tolerance (default 1e-9) or an absolute tolerance (default 1e-12).
+    Used throughout the test suites for float comparison. *)
+
+val percent_of : float -> float -> float
+(** [percent_of part whole] is [100 * part / whole].
+    @raise Invalid_argument if [whole = 0]. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** Clamp into [\[lo, hi\]]. *)
+
+val clamp_int : lo:int -> hi:int -> int -> int
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is ⌈a/b⌉ for positive [b]. *)
+
+val mean : float list -> float
+(** Arithmetic mean. @raise Invalid_argument on the empty list. *)
+
+val db : float -> float
+(** [db x] is [20 log10 x] — amplitude ratio in decibels. [db 0.] is
+    [neg_infinity]. *)
+
+val from_db : float -> float
+(** Inverse of {!db}. *)
+
+val sum_int : int list -> int
+
+val max_int_list : int list -> int
+(** @raise Invalid_argument on the empty list. *)
+
+val interp_linear : x0:float -> y0:float -> x1:float -> y1:float -> float -> float
+(** [interp_linear ~x0 ~y0 ~x1 ~y1 x] linearly interpolates (or
+    extrapolates) the line through (x0,y0) and (x1,y1) at [x].
+    @raise Invalid_argument if [x0 = x1]. *)

@@ -1,0 +1,1 @@
+lib/wrapper/design.ml: Array Fun Msoc_itc02 Msoc_util Partition

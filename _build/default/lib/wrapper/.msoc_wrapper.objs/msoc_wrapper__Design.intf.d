@@ -1,0 +1,1 @@
+lib/wrapper/design.mli: Msoc_itc02

@@ -1,0 +1,1 @@
+lib/wrapper/dft_area.ml: List Msoc_itc02

@@ -1,0 +1,1 @@
+lib/wrapper/dft_area.mli: Msoc_itc02

@@ -1,0 +1,1 @@
+lib/wrapper/ieee1500.mli:

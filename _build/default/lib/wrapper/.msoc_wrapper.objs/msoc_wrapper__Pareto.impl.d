@@ -1,0 +1,1 @@
+lib/wrapper/pareto.ml: Design List

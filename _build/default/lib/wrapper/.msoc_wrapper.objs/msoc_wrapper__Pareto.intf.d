@@ -1,0 +1,1 @@
+lib/wrapper/pareto.mli: Msoc_itc02

@@ -1,0 +1,1 @@
+lib/wrapper/partition.ml: Array List

@@ -1,0 +1,1 @@
+lib/wrapper/scan_sim.ml: Design List Msoc_itc02 Printf

@@ -1,0 +1,1 @@
+lib/wrapper/scan_sim.mli: Design

@@ -1,0 +1,72 @@
+module Types = Msoc_itc02.Types
+
+type chain = {
+  scan : int list;
+  input_cells : int;
+  output_cells : int;
+  bidir_cells : int;
+}
+
+type t = {
+  core : Types.core;
+  width : int;
+  used_width : int;
+  chains : chain array;
+  scan_in : int;
+  scan_out : int;
+}
+
+let chain_scan_in c =
+  Msoc_util.Numeric.sum_int c.scan + c.input_cells + c.bidir_cells
+
+let chain_scan_out c =
+  Msoc_util.Numeric.sum_int c.scan + c.output_cells + c.bidir_cells
+
+(* Level [n] unit cells onto the bins, each time topping up the bin
+   whose [load] is currently smallest. O(n*k) with tiny constants; the
+   largest ITC'02-class cores have a few hundred terminals. *)
+let level_cells ~load ~add bins n =
+  for _ = 1 to n do
+    let best = ref 0 in
+    for i = 1 to Array.length bins - 1 do
+      if load bins.(i) < load bins.(!best) then best := i
+    done;
+    bins.(!best) <- add bins.(!best)
+  done
+
+let design (core : Types.core) ~width =
+  if width <= 0 then invalid_arg "Design.design: width must be positive";
+  let scan_bins = Partition.bfd ~k:width ~weight:Fun.id core.scan_chains in
+  let chains =
+    Array.map
+      (fun (b : int Partition.bin) ->
+        { scan = b.items; input_cells = 0; output_cells = 0; bidir_cells = 0 })
+      scan_bins
+  in
+  level_cells
+    ~load:chain_scan_in
+    ~add:(fun c -> { c with input_cells = c.input_cells + 1 })
+    chains core.inputs;
+  level_cells
+    ~load:chain_scan_out
+    ~add:(fun c -> { c with output_cells = c.output_cells + 1 })
+    chains core.outputs;
+  (* A bidirectional cell deepens both sides, so place it where it
+     least increases max(si, so). *)
+  level_cells
+    ~load:(fun c -> max (chain_scan_in c) (chain_scan_out c))
+    ~add:(fun c -> { c with bidir_cells = c.bidir_cells + 1 })
+    chains core.bidirs;
+  let non_empty c =
+    c.scan <> [] || c.input_cells + c.output_cells + c.bidir_cells > 0
+  in
+  let used_width = Array.fold_left (fun n c -> if non_empty c then n + 1 else n) 0 chains in
+  let scan_in = Array.fold_left (fun m c -> max m (chain_scan_in c)) 0 chains in
+  let scan_out = Array.fold_left (fun m c -> max m (chain_scan_out c)) 0 chains in
+  { core; width; used_width = max 1 used_width; chains; scan_in; scan_out }
+
+let test_time t =
+  let si = t.scan_in and so = t.scan_out in
+  ((1 + max si so) * t.core.Types.patterns) + min si so
+
+let test_time_at core ~width = test_time (design core ~width)

@@ -1,0 +1,42 @@
+(** Digital test wrapper design — the [Design_wrapper] algorithm of
+    Iyengar, Chakrabarty & Marinissen (JETTA'02), used by the paper to
+    wrap every digital core before TAM optimization.
+
+    Given a core and a TAM width budget [w], the algorithm builds at
+    most [w] wrapper chains: internal scan chains are partitioned over
+    the wrapper chains with best-fit-decreasing, then functional input
+    (resp. output) cells are levelled onto the chains to minimize the
+    scan-in (resp. scan-out) depth; bidirectional cells count on both
+    sides. The resulting test application time for [p] patterns is
+
+    {v T(w) = (1 + max(si, so)) * p + min(si, so) v} *)
+
+type chain = {
+  scan : int list;  (** scan-chain lengths placed on this wrapper chain *)
+  input_cells : int;
+  output_cells : int;
+  bidir_cells : int;
+}
+
+type t = {
+  core : Msoc_itc02.Types.core;
+  width : int;  (** requested TAM width budget *)
+  used_width : int;  (** non-empty wrapper chains actually built, <= width *)
+  chains : chain array;
+  scan_in : int;  (** si: deepest scan-in path over all chains *)
+  scan_out : int;  (** so *)
+}
+
+val design : Msoc_itc02.Types.core -> width:int -> t
+(** @raise Invalid_argument if [width <= 0]. *)
+
+val test_time : t -> int
+(** Test application time in TAM clock cycles. *)
+
+val chain_scan_in : chain -> int
+(** Scan-in depth of one chain: scan cells + input cells + bidirs. *)
+
+val chain_scan_out : chain -> int
+
+val test_time_at : Msoc_itc02.Types.core -> width:int -> int
+(** [test_time_at core ~width] = [test_time (design core ~width)]. *)

@@ -1,0 +1,39 @@
+type cost = { boundary_cells : int; gate_equivalents : int; area_mm2 : float }
+
+let gates_per_boundary_cell = 8
+
+let control_overhead_gates = 60
+
+(* NAND2 gate area: ~1.2e-6 mm^2 at 0.12 um, scaling with lambda^2. *)
+let gate_area_mm2 ~tech_um =
+  if tech_um <= 0.0 then invalid_arg "Dft_area: tech_um <= 0";
+  1.2e-6 *. (tech_um /. 0.12) *. (tech_um /. 0.12)
+
+let core_wrapper_cost ?(tech_um = 0.12) (core : Msoc_itc02.Types.core) =
+  let boundary_cells = Msoc_itc02.Types.terminal_count core in
+  let gate_equivalents =
+    (boundary_cells * gates_per_boundary_cell) + control_overhead_gates
+  in
+  {
+    boundary_cells;
+    gate_equivalents;
+    area_mm2 = float_of_int gate_equivalents *. gate_area_mm2 ~tech_um;
+  }
+
+let soc_wrapper_cost ?tech_um (soc : Msoc_itc02.Types.soc) =
+  List.fold_left
+    (fun acc core ->
+      let c = core_wrapper_cost ?tech_um core in
+      {
+        boundary_cells = acc.boundary_cells + c.boundary_cells;
+        gate_equivalents = acc.gate_equivalents + c.gate_equivalents;
+        area_mm2 = acc.area_mm2 +. c.area_mm2;
+      })
+    { boundary_cells = 0; gate_equivalents = 0; area_mm2 = 0.0 }
+    soc.Msoc_itc02.Types.cores
+
+let analog_share_pct ?tech_um ~soc ~analog_wrappers_mm2 () =
+  if analog_wrappers_mm2 < 0.0 then
+    invalid_arg "Dft_area.analog_share_pct: negative analog area";
+  let digital = (soc_wrapper_cost ?tech_um soc).area_mm2 in
+  100.0 *. analog_wrappers_mm2 /. (digital +. analog_wrappers_mm2)

@@ -1,0 +1,38 @@
+(** Silicon cost of the digital test wrappers.
+
+    The paper prices only the *analog* wrappers (their converters
+    dominate); digital 1500-style wrappers still spend gates on
+    boundary cells and control. This module counts them so a full SOC
+    DFT budget can be reported next to Equation 1's analog figure, and
+    so the "analog wrappers dominate" premise is checkable instead of
+    assumed. Gate counts use standard-cell estimates (a boundary cell
+    is a flop + mux ≈ 8 NAND-equivalents). *)
+
+type cost = {
+  boundary_cells : int;  (** inputs + outputs + 2·bidirs *)
+  gate_equivalents : int;
+  area_mm2 : float;  (** at the chosen technology node *)
+}
+
+val gates_per_boundary_cell : int
+(** 8 NAND2-equivalents: scan flop (6) + path mux (2). *)
+
+val control_overhead_gates : int
+(** WIR + FSM + bypass, charged once per wrapper: 60. *)
+
+val core_wrapper_cost : ?tech_um:float -> Msoc_itc02.Types.core -> cost
+(** Cost of wrapping one digital core (default technology 0.12 µm;
+    gate density scales with 1/λ²). *)
+
+val soc_wrapper_cost : ?tech_um:float -> Msoc_itc02.Types.soc -> cost
+(** Sum over all cores. *)
+
+val analog_share_pct :
+  ?tech_um:float ->
+  soc:Msoc_itc02.Types.soc ->
+  analog_wrappers_mm2:float ->
+  unit ->
+  float
+(** Analog wrappers' share (%) of the SOC's total test-wrapper
+    silicon — the quantitative form of the paper's premise that the
+    analog wrapper area is the term worth optimizing. *)

@@ -1,0 +1,75 @@
+type instruction = Wby | Wextest | Wintest
+
+type t = {
+  inputs : int;
+  outputs : int;
+  core : bool array -> bool array;
+  mutable wir : instruction;
+  mutable wby : bool;
+  (* WBR chain: cells 0..inputs-1 are input cells (chain head),
+     inputs..inputs+outputs-1 are output cells (chain tail). *)
+  wbr : bool array;
+}
+
+let create ~inputs ~outputs ~core =
+  if inputs < 1 || outputs < 1 then
+    invalid_arg "Ieee1500.create: need positive port counts";
+  {
+    inputs;
+    outputs;
+    core;
+    wir = Wby;
+    wby = false;
+    wbr = Array.make (inputs + outputs) false;
+  }
+
+let instruction t = t.wir
+
+let load_instruction t wir = t.wir <- wir
+
+let shift t bit =
+  match t.wir with
+  | Wby ->
+    let out = t.wby in
+    t.wby <- bit;
+    out
+  | Wextest | Wintest ->
+    let n = Array.length t.wbr in
+    let out = t.wbr.(n - 1) in
+    for i = n - 1 downto 1 do
+      t.wbr.(i) <- t.wbr.(i - 1)
+    done;
+    t.wbr.(0) <- bit;
+    out
+
+let shift_vector t bits = List.map (shift t) bits
+
+let capture t =
+  match t.wir with
+  | Wby -> ()
+  | Wextest ->
+    (* functional inputs are not driven in this standalone model *)
+    Array.fill t.wbr 0 t.inputs false
+  | Wintest ->
+    let core_inputs = Array.sub t.wbr 0 t.inputs in
+    let core_outputs = t.core core_inputs in
+    if Array.length core_outputs <> t.outputs then
+      invalid_arg "Ieee1500.capture: core produced wrong output width";
+    Array.blit core_outputs 0 t.wbr t.inputs t.outputs
+
+let wbr_length t = t.inputs + t.outputs
+
+let apply_pattern t pattern =
+  (match t.wir with
+  | Wintest -> ()
+  | Wby | Wextest -> invalid_arg "Ieee1500.apply_pattern: WIR must hold Wintest");
+  if List.length pattern <> t.inputs then
+    invalid_arg "Ieee1500.apply_pattern: pattern width mismatch";
+  (* Load the input cells: bits shifted last end up at the chain head,
+     so stream the pattern in reverse to leave pattern.(j) in cell j. *)
+  let _ = shift_vector t (List.rev pattern) in
+  capture t;
+  (* Drain the output cells: the tail cell leaves first, i.e. output
+     index outputs-1 first; re-reverse to index order. *)
+  let drained = List.init t.outputs (fun _ -> shift t false) in
+  List.rev drained

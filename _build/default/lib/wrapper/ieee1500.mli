@@ -1,0 +1,60 @@
+(** Behavioral IEEE 1500-style core test wrapper (digital side).
+
+    The paper's digital cores are assumed 1500-wrapped; this module
+    simulates the serial test machinery of such a wrapper so the cycle
+    counts and isolation semantics used upstream are grounded in an
+    executable model:
+
+    - a Wrapper Instruction Register (WIR) selecting the mode,
+    - a 1-bit Wrapper Bypass (WBY),
+    - a Wrapper Boundary Register (WBR) of input and output cells
+      around a combinational core function.
+
+    Supported instructions: [Wby] (serial bypass), [Wextest] (drive
+    outputs from the WBR, observe inputs — interconnect test) and
+    [Wintest] (apply WBR inputs to the core, capture its outputs —
+    internal test). Shift/capture/update follow the usual serial
+    protocol on a single wrapper serial port. *)
+
+type instruction = Wby | Wextest | Wintest
+
+type t
+
+val create :
+  inputs:int -> outputs:int -> core:(bool array -> bool array) -> t
+(** A wrapper around a combinational [core] mapping [inputs] bits to
+    [outputs] bits. Starts in [Wby].
+    @raise Invalid_argument on non-positive port counts. *)
+
+val instruction : t -> instruction
+
+val load_instruction : t -> instruction -> unit
+(** Program the WIR (models shift-update of the instruction). *)
+
+val shift : t -> bool -> bool
+(** One serial clock: push a bit into the selected register chain and
+    return the bit falling off its end. In [Wby] the chain is the
+    1-bit bypass; otherwise it is the WBR (inputs then outputs,
+    input-side first in, output-side first out). *)
+
+val shift_vector : t -> bool list -> bool list
+(** Fold {!shift} over a bit list (head shifted first). *)
+
+val capture : t -> unit
+(** In [Wintest]: apply the WBR input cells to the core and latch its
+    outputs into the WBR output cells. In [Wextest]: latch the
+    current functional inputs (zeros in this model) into the input
+    cells. In [Wby]: no effect. *)
+
+val wbr_length : t -> int
+(** inputs + outputs. *)
+
+val apply_pattern : t -> bool list -> bool list
+(** Full [Wintest] pattern: shift the stimulus into the input cells
+    ([inputs] shift cycles — they sit at the head of the chain),
+    capture, and drain the response from the output cells ([outputs]
+    shift cycles — they sit at the tail). Returns the core's output
+    bits for the applied inputs; exactly the si/so accounting
+    {!Design} uses for a chain-less core.
+    @raise Invalid_argument unless the pattern has [inputs] bits or
+    the instruction is not [Wintest]. *)

@@ -1,0 +1,59 @@
+type point = { width : int; time : int }
+
+type t = point list
+
+let staircase core ~max_width =
+  if max_width <= 0 then invalid_arg "Pareto.staircase: max_width must be positive";
+  let add frontier w =
+    let d = Design.design core ~width:w in
+    let time = Design.test_time d in
+    (* Use the wires the design actually occupies, not the budget: a
+       64-wide budget on a 3-chain combinational core may build only a
+       handful of non-empty chains. *)
+    let width = d.Design.used_width in
+    match frontier with
+    | [] -> [ { width; time } ]
+    | best :: _ ->
+      if time < best.time && width > best.width then { width; time } :: frontier
+      else if time < best.time && width <= best.width then
+        (* strictly better at no more wires: replace dominated points *)
+        { width; time } :: List.filter (fun p -> p.width < width) frontier
+      else frontier
+  in
+  let frontier = List.fold_left add [] (List.init max_width (fun i -> i + 1)) in
+  List.rev frontier
+
+let fixed ~width ~time =
+  if width <= 0 || time <= 0 then invalid_arg "Pareto.fixed: need positive width and time";
+  [ { width; time } ]
+
+let points t = t
+
+let rec best_at t ~width ~acc =
+  match t with
+  | [] -> acc
+  | p :: rest -> if p.width <= width then best_at rest ~width ~acc:(Some p) else acc
+
+let time_at t ~width =
+  match best_at t ~width ~acc:None with
+  | Some p -> p.time
+  | None -> invalid_arg "Pareto.time_at: width below minimum"
+
+let width_for t ~width =
+  match best_at t ~width ~acc:None with
+  | Some p -> p.width
+  | None -> invalid_arg "Pareto.width_for: width below minimum"
+
+let min_width = function
+  | [] -> assert false
+  | p :: _ -> p.width
+
+let rec max_width = function
+  | [] -> assert false
+  | [ p ] -> p.width
+  | _ :: rest -> max_width rest
+
+let rec min_time = function
+  | [] -> assert false
+  | [ p ] -> p.time
+  | _ :: rest -> min_time rest

@@ -1,0 +1,40 @@
+(** Pareto-optimal (width, test time) points — the "staircase".
+
+    Digital test time decreases step-wise with TAM width ([13]'s
+    staircase variation): many widths yield the same wrapper design, so
+    only the widths at which the time strictly drops matter to the TAM
+    optimizer. Analog cores, in contrast, are a single fixed point
+    (their time does not scale with wires) — represented here as a
+    one-point staircase. *)
+
+type point = { width : int; time : int }
+
+type t
+(** Non-empty; widths strictly increasing, times strictly decreasing. *)
+
+val staircase : Msoc_itc02.Types.core -> max_width:int -> t
+(** [staircase core ~max_width] evaluates {!Design.test_time_at} for
+    widths 1..[max_width] and keeps the Pareto frontier. Guaranteed
+    monotone even if the underlying heuristic is not: each width is
+    credited with the best design found at any width <= it. *)
+
+val fixed : width:int -> time:int -> t
+(** One-point staircase for an analog (virtual digital) core.
+    @raise Invalid_argument unless both are positive. *)
+
+val points : t -> point list
+
+val time_at : t -> width:int -> int
+(** Test time using at most [width] wires.
+    @raise Invalid_argument if [width] is below the minimum width. *)
+
+val width_for : t -> width:int -> int
+(** The widest Pareto width <= [width] — the wires the core actually
+    consumes when granted [width]. @raise Invalid_argument as above. *)
+
+val min_width : t -> int
+
+val max_width : t -> int
+
+val min_time : t -> int
+(** Time at the widest point. *)

@@ -1,0 +1,30 @@
+type 'a bin = { load : int; items : 'a list }
+
+let bfd ~k ~weight items =
+  if k <= 0 then invalid_arg "Partition.bfd: k must be positive";
+  if List.exists (fun it -> weight it < 0) items then
+    invalid_arg "Partition.bfd: negative weight";
+  let bins = Array.make k { load = 0; items = [] } in
+  let sorted = List.sort (fun a b -> compare (weight b) (weight a)) items in
+  let shortest () =
+    let best = ref 0 in
+    for i = 1 to k - 1 do
+      if bins.(i).load < bins.(!best).load then best := i
+    done;
+    !best
+  in
+  let place it =
+    let i = shortest () in
+    bins.(i) <- { load = bins.(i).load + weight it; items = it :: bins.(i).items }
+  in
+  List.iter place sorted;
+  (* Heavier-first within a bin: items were placed in decreasing weight
+     order, so reversing the accumulated list restores it. *)
+  Array.map (fun b -> { b with items = List.rev b.items }) bins
+
+let spread ~k n =
+  if k <= 0 then invalid_arg "Partition.spread: k must be positive";
+  if n < 0 then invalid_arg "Partition.spread: negative n";
+  Array.init k (fun i -> (n / k) + if i < n mod k then 1 else 0)
+
+let max_load bins = Array.fold_left (fun acc b -> max acc b.load) 0 bins

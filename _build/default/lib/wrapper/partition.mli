@@ -1,0 +1,23 @@
+(** Best-fit-decreasing partitioning of weighted items into bins.
+
+    The [Design_wrapper] algorithm reduces wrapper-chain construction
+    to multiprocessor scheduling: distribute scan chains (items with
+    fixed weights) over [k] wrapper chains (bins) so that the longest
+    bin is as short as possible. BFD — sort items by decreasing weight,
+    always place into the currently shortest bin — is the published
+    heuristic and is what we implement. *)
+
+type 'a bin = { load : int; items : 'a list }
+
+val bfd : k:int -> weight:('a -> int) -> 'a list -> 'a bin array
+(** [bfd ~k ~weight items] returns [k] bins. Items appear exactly once
+    across bins; within a bin, heavier items come first.
+    @raise Invalid_argument if [k <= 0] or any weight is negative. *)
+
+val spread : k:int -> int -> int array
+(** [spread ~k n] splits [n] indistinguishable unit items (functional
+    I/O cells) as evenly as possible over [k] bins:
+    [n mod k] bins receive [n/k + 1], the rest [n/k]. *)
+
+val max_load : 'a bin array -> int
+(** Longest bin; 0 for an all-empty partition. *)

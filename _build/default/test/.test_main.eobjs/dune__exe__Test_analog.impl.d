@@ -1,0 +1,1 @@
+test/test_analog.ml: Alcotest Float Gen List Msoc_analog Msoc_util Printf QCheck QCheck_alcotest Test

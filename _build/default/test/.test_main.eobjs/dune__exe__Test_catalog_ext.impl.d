@@ -1,0 +1,1 @@
+test/test_catalog_ext.ml: Alcotest List Msoc_analog Msoc_itc02 Msoc_tam Msoc_testplan Printf

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array List Msoc_analog Msoc_itc02 Msoc_mixedsig Msoc_tam Msoc_testplan Msoc_wrapper Printf

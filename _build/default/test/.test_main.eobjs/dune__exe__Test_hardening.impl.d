@@ -1,0 +1,1 @@
+test/test_hardening.ml: Alcotest Char Format Lazy List Msoc_itc02 Msoc_tam Msoc_testplan Msoc_util Msoc_wrapper Printf QCheck String

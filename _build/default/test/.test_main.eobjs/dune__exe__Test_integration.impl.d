@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Float Fun Lazy List Msoc_analog Msoc_itc02 Msoc_mixedsig Msoc_signal Msoc_tam Msoc_testplan Printf

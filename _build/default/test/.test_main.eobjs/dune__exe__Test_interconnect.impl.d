@@ -1,0 +1,1 @@
+test/test_interconnect.ml: Alcotest List Msoc_itc02 Msoc_tam Msoc_testplan Msoc_wrapper Printf QCheck

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest List Msoc_analog Msoc_itc02 Msoc_tam Msoc_testplan Msoc_util Msoc_wrapper

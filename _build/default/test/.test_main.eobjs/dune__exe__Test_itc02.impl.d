@@ -1,0 +1,1 @@
+test/test_itc02.ml: Alcotest Filename Float Gen List Msoc_itc02 Printf QCheck QCheck_alcotest Sys Test

@@ -1,0 +1,1 @@
+test/test_measurements.ml: Alcotest Array Float Format List Msoc_mixedsig Msoc_signal Printf QCheck QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_metrology.ml: Alcotest Array Float List Msoc_mixedsig Msoc_signal Msoc_util Printf

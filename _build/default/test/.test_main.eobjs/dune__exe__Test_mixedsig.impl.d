@@ -1,0 +1,1 @@
+test/test_mixedsig.ml: Alcotest Array Float Fun List Msoc_analog Msoc_mixedsig Msoc_util Printf QCheck QCheck_alcotest Test

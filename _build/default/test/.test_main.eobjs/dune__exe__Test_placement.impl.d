@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest List Msoc_analog Msoc_itc02 Msoc_testplan Msoc_util Printf String

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Gen List Msoc_tam Msoc_wrapper Printf QCheck QCheck_alcotest Test

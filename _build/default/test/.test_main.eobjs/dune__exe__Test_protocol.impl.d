@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Float List Msoc_itc02 Msoc_mixedsig Msoc_wrapper Printf QCheck String

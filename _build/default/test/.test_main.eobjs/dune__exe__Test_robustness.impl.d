@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Float Gen List Msoc_analog Msoc_itc02 Msoc_mixedsig Msoc_tam Msoc_testplan Msoc_wrapper Printf QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_signal.ml: Alcotest Array Complex Float List Msoc_signal Msoc_util Printf QCheck QCheck_alcotest Test

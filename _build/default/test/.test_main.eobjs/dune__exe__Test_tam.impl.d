@@ -1,0 +1,1 @@
+test/test_tam.ml: Alcotest Gen List Msoc_itc02 Msoc_tam Msoc_util Msoc_wrapper Printf QCheck QCheck_alcotest Test

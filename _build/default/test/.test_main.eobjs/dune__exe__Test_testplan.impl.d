@@ -1,0 +1,1 @@
+test/test_testplan.ml: Alcotest Lazy List Msoc_analog Msoc_itc02 Msoc_tam Msoc_testplan Printf String

@@ -1,0 +1,1 @@
+test/test_toolkit.ml: Alcotest Array Float Fun List Msoc_analog Msoc_itc02 Msoc_mixedsig Msoc_signal Msoc_tam Msoc_testplan Printf String

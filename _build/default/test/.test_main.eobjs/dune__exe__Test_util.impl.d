@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun List Msoc_util Printf QCheck QCheck_alcotest String Test

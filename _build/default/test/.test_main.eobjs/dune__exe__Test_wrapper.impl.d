@@ -1,0 +1,1 @@
+test/test_wrapper.ml: Alcotest Array Fun Gen List Msoc_itc02 Msoc_wrapper QCheck QCheck_alcotest Test

@@ -1,0 +1,176 @@
+(* Tests for the exploration helpers, the annealing packer and the
+   digital DFT area model. *)
+
+module Types = Msoc_itc02.Types
+module Job = Msoc_tam.Job
+module Schedule = Msoc_tam.Schedule
+module Packer = Msoc_tam.Packer
+module Dft_area = Msoc_wrapper.Dft_area
+module Catalog = Msoc_analog.Catalog
+module Problem = Msoc_testplan.Problem
+module Plan = Msoc_testplan.Plan
+module Explore = Msoc_testplan.Explore
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let problem_of_width tam_width =
+  Problem.make ~soc:(Msoc_itc02.Synthetic.d281s ())
+    ~analog_cores:[ Catalog.core_c; Catalog.core_e ] ~tam_width ~weight_time:0.5 ()
+
+(* --- Explore --- *)
+
+let test_minimal_width_meets_budget () =
+  (* a generous budget: the analog serial chain (C+E = 307,685) plus
+     room for the digital cores at a narrow width *)
+  let budget_cycles = 400_000 in
+  match Explore.minimal_width ~lo:5 ~hi:48 ~budget_cycles problem_of_width with
+  | None -> Alcotest.fail "expected a feasible width"
+  | Some (width, plan) ->
+    checkb "meets budget" true (Plan.makespan plan <= budget_cycles);
+    checkb "width in range" true (width >= 5 && width <= 48);
+    (* one narrower step must miss the budget or be infeasible *)
+    if width > 5 then begin
+      match
+        Explore.width_sweep ~widths:[ width - 1 ] problem_of_width
+      with
+      | [ (_, narrower) ] ->
+        checkb
+          (Printf.sprintf "width-1 misses: %d > %d" (Plan.makespan narrower) budget_cycles)
+          true
+          (Plan.makespan narrower > budget_cycles)
+      | _ -> () (* width-1 infeasible: fine *)
+    end
+
+let test_minimal_width_impossible_budget () =
+  (* nothing can beat the analog serial chain of the sharing the
+     planner picks; ask for less than any single test *)
+  checkb "impossible budget -> None" true
+    (Explore.minimal_width ~lo:5 ~hi:64 ~budget_cycles:10_000 problem_of_width = None)
+
+let test_minimal_width_validation () =
+  match Explore.minimal_width ~lo:8 ~hi:4 ~budget_cycles:1 problem_of_width with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "lo > hi accepted"
+
+let test_weight_sweep () =
+  let problem_of_weight weight_time =
+    Problem.make ~soc:(Msoc_itc02.Synthetic.d281s ())
+      ~analog_cores:[ Catalog.core_c; Catalog.core_d; Catalog.core_e ]
+      ~tam_width:24 ~weight_time ()
+  in
+  let sweep = Explore.weight_sweep ~weights:[ 0.0; 0.5; 1.0 ] problem_of_weight in
+  checki "three plans" 3 (List.length sweep);
+  let c_a w = (List.assoc w sweep).Plan.best.Msoc_testplan.Evaluate.c_a in
+  checkb "area weight favors lower C_A" true (c_a 0.0 <= c_a 1.0 +. 1e-9)
+
+let test_width_sweep_skips_infeasible () =
+  (* width 3 < core D's 10-wire test -> Problem.make raises, skipped *)
+  let problem_of_width tam_width =
+    Problem.make ~soc:(Msoc_itc02.Synthetic.d281s ())
+      ~analog_cores:[ Catalog.core_d ] ~tam_width ~weight_time:0.5 ()
+  in
+  let sweep = Explore.width_sweep ~widths:[ 3; 16 ] problem_of_width in
+  checki "only the feasible width" 1 (List.length sweep);
+  checkb "it is W=16" true (List.mem_assoc 16 sweep)
+
+(* --- anneal --- *)
+
+let test_anneal_never_worse () =
+  let soc = Msoc_itc02.Synthetic.d281s () in
+  let jobs = List.map (Job.of_core ~max_width:12) soc.Types.cores in
+  let baseline = Schedule.makespan (Packer.pack_optimized ~width:12 jobs) in
+  let annealed = Packer.anneal ~iterations:60 ~width:12 jobs in
+  checkb "<= pack_optimized" true (Schedule.makespan annealed <= baseline);
+  checki "valid" 0 (List.length (Schedule.check annealed))
+
+let test_anneal_deterministic () =
+  let soc = Msoc_itc02.Synthetic.d281s () in
+  let jobs = List.map (Job.of_core ~max_width:10) soc.Types.cores in
+  let a = Packer.anneal ~seed:7 ~iterations:40 ~width:10 jobs in
+  let b = Packer.anneal ~seed:7 ~iterations:40 ~width:10 jobs in
+  checki "same makespan for same seed" (Schedule.makespan a) (Schedule.makespan b)
+
+let test_anneal_respects_constraints () =
+  let jobs =
+    [
+      Job.analog ~label:"a" ~width:2 ~time:500 ~group:0;
+      Job.analog ~label:"b" ~width:2 ~time:400 ~group:0;
+      Job.with_power (Job.digital ~label:"c" (Msoc_wrapper.Pareto.fixed ~width:3 ~time:600)) 5;
+      Job.with_power (Job.digital ~label:"d" (Msoc_wrapper.Pareto.fixed ~width:3 ~time:600)) 5;
+    ]
+  in
+  let s = Packer.anneal ~power_budget:8 ~iterations:50 ~width:8 jobs in
+  checki "valid with power + groups" 0 (List.length (Schedule.check s));
+  checkb "power respected" true (Schedule.peak_power s <= 8)
+
+let test_anneal_empty () =
+  let s = Packer.anneal ~width:4 [] in
+  checki "empty schedule" 0 (List.length s.Schedule.placements)
+
+(* --- Dft_area --- *)
+
+let test_dft_core_cost () =
+  let core =
+    Types.core ~id:1 ~name:"d" ~inputs:10 ~outputs:6 ~bidirs:2 ~scan_chains:[ 50 ]
+      ~patterns:10
+  in
+  let c = Dft_area.core_wrapper_cost core in
+  checki "boundary cells" 20 c.Dft_area.boundary_cells;
+  checki "gates" ((20 * 8) + 60) c.Dft_area.gate_equivalents;
+  checkb "positive area" true (c.Dft_area.area_mm2 > 0.0)
+
+let test_dft_soc_cost_sums () =
+  let soc = Msoc_itc02.Synthetic.d281s () in
+  let total = Dft_area.soc_wrapper_cost soc in
+  let sum =
+    List.fold_left
+      (fun acc core -> acc + (Dft_area.core_wrapper_cost core).Dft_area.gate_equivalents)
+      0 soc.Types.cores
+  in
+  checki "gates sum" sum total.Dft_area.gate_equivalents
+
+let test_dft_technology_scaling () =
+  let soc = Msoc_itc02.Synthetic.d281s () in
+  let coarse = (Dft_area.soc_wrapper_cost ~tech_um:0.5 soc).Dft_area.area_mm2 in
+  let fine = (Dft_area.soc_wrapper_cost ~tech_um:0.12 soc).Dft_area.area_mm2 in
+  checkb "lambda^2 scaling" true
+    (Msoc_util.Numeric.close ~rel:1e-6 (coarse /. fine) ((0.5 /. 0.12) ** 2.0))
+
+let test_dft_analog_share () =
+  (* p93791m: five 8-10 bit analog wrappers at 0.12um vs 32 digital
+     wrappers — the analog share should be substantial but not total,
+     supporting (and quantifying) the paper's premise. *)
+  let soc = Msoc_itc02.Synthetic.p93791s () in
+  let analog_mm2 =
+    5.0 *. Msoc_mixedsig.Cost_model.wrapper_area_mm2 ~tech_um:0.12 ()
+  in
+  let share = Dft_area.analog_share_pct ~soc ~analog_wrappers_mm2:analog_mm2 () in
+  checkb (Printf.sprintf "share %.1f%% in (5, 95)" share) true
+    (share > 5.0 && share < 95.0)
+
+let suites =
+  [
+    ( "explore",
+      [
+        Alcotest.test_case "minimal width meets budget" `Slow test_minimal_width_meets_budget;
+        Alcotest.test_case "impossible budget" `Quick test_minimal_width_impossible_budget;
+        Alcotest.test_case "validation" `Quick test_minimal_width_validation;
+        Alcotest.test_case "weight sweep" `Quick test_weight_sweep;
+        Alcotest.test_case "width sweep skips infeasible" `Quick test_width_sweep_skips_infeasible;
+      ] );
+    ( "anneal",
+      [
+        Alcotest.test_case "never worse" `Quick test_anneal_never_worse;
+        Alcotest.test_case "deterministic" `Quick test_anneal_deterministic;
+        Alcotest.test_case "respects constraints" `Quick test_anneal_respects_constraints;
+        Alcotest.test_case "empty" `Quick test_anneal_empty;
+      ] );
+    ( "dft_area",
+      [
+        Alcotest.test_case "core cost" `Quick test_dft_core_cost;
+        Alcotest.test_case "soc cost sums" `Quick test_dft_soc_cost_sums;
+        Alcotest.test_case "technology scaling" `Quick test_dft_technology_scaling;
+        Alcotest.test_case "analog share" `Quick test_dft_analog_share;
+      ] );
+  ]

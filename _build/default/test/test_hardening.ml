@@ -1,0 +1,217 @@
+(* Hardening: fuzz the parsers (they must fail only with their own
+   exceptions), stress the packer with adversarial shapes, and cover
+   reporting paths not exercised elsewhere. *)
+
+module Types = Msoc_itc02.Types
+module Soc_file = Msoc_itc02.Soc_file
+module Full = Msoc_itc02.Full
+module Job = Msoc_tam.Job
+module Schedule = Msoc_tam.Schedule
+module Packer = Msoc_tam.Packer
+module Export = Msoc_testplan.Export
+module Report = Msoc_testplan.Report
+module Plan = Msoc_testplan.Plan
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* --- parser fuzz: any input either parses or raises Parse_error --- *)
+
+let garbage_gen =
+  QCheck.Gen.(
+    let* n = int_range 0 400 in
+    let* chars =
+      list_repeat n
+        (frequency
+           [
+             (* bias toward format-ish tokens to reach deep parser paths *)
+             (3, oneofl [ 'M'; 'o'; 'd'; 'u'; 'l'; 'e'; 'T'; 's'; ' '; '\n'; ':' ]);
+             (2, char_range '0' '9');
+             (1, char_range 'a' 'z');
+             (1, oneofl [ '#'; '-'; '\t'; '"'; '\\' ]);
+           ])
+    in
+    return (String.init n (List.nth chars)))
+
+let keyword_soup_gen =
+  QCheck.Gen.(
+    let* n = int_range 0 40 in
+    let* words =
+      list_repeat n
+        (oneofl
+           [ "SocName"; "Module"; "Test"; "Name"; "Level"; "Inputs"; "Outputs";
+             "Bidirs"; "Patterns"; "ScanChains"; "ScanUse"; "TamUse"; ":"; "7";
+             "x"; "-3"; "\n"; "99999999999999999999" ])
+    in
+    return (String.concat " " words))
+
+let test_soc_file_fuzz () =
+  let run gen =
+    QCheck.Test.check_exn
+      (QCheck.Test.make ~name:"soc_file total" ~count:300 (QCheck.make gen)
+         (fun text ->
+           match Soc_file.of_string text with
+           | _ -> true
+           | exception Soc_file.Parse_error _ -> true
+           | exception Invalid_argument _ -> true (* semantic validation *)))
+  in
+  run garbage_gen;
+  run keyword_soup_gen
+
+let test_full_fuzz () =
+  let run gen =
+    QCheck.Test.check_exn
+      (QCheck.Test.make ~name:"full dialect total" ~count:300 (QCheck.make gen)
+         (fun text ->
+           match Full.of_string text with
+           | _ -> true
+           | exception Full.Parse_error _ -> true
+           | exception Invalid_argument _ -> true))
+  in
+  run garbage_gen;
+  run keyword_soup_gen
+
+(* --- packer stress --- *)
+
+let test_packer_all_full_width () =
+  (* every job needs the whole TAM: forced full serialization *)
+  let jobs =
+    List.init 6 (fun i ->
+        Job.digital
+          ~label:(Printf.sprintf "wide%d" i)
+          (Msoc_wrapper.Pareto.fixed ~width:8 ~time:100))
+  in
+  let s = Packer.pack ~width:8 jobs in
+  checki "valid" 0 (List.length (Schedule.check s));
+  checki "serial makespan" 600 (Schedule.makespan s)
+
+let test_packer_single_wire () =
+  let jobs =
+    List.init 10 (fun i ->
+        Job.digital ~label:(Printf.sprintf "j%d" i)
+          (Msoc_wrapper.Pareto.fixed ~width:1 ~time:(10 + i)))
+  in
+  let s = Packer.pack ~width:1 jobs in
+  checki "valid" 0 (List.length (Schedule.check s));
+  checki "sum of times" (10 * 10 + 45) (Schedule.makespan s)
+
+let test_packer_deep_precedence_chain () =
+  let jobs =
+    List.init 20 (fun i ->
+        let j =
+          Job.digital ~label:(Printf.sprintf "c%d" i)
+            (Msoc_wrapper.Pareto.fixed ~width:2 ~time:10)
+        in
+        if i = 0 then j else Job.with_predecessors j [ Printf.sprintf "c%d" (i - 1) ])
+  in
+  let s = Packer.pack ~width:8 jobs in
+  checki "valid" 0 (List.length (Schedule.check s));
+  checki "chain serializes fully" 200 (Schedule.makespan s)
+
+let test_packer_conflict_clique () =
+  (* pairwise conflicting jobs: a clique forces full serialization even
+     on a wide TAM *)
+  let labels = List.init 5 (fun i -> Printf.sprintf "k%d" i) in
+  let jobs =
+    List.map
+      (fun l ->
+        Job.with_conflicts
+          (Job.digital ~label:l (Msoc_wrapper.Pareto.fixed ~width:1 ~time:50))
+          (List.filter (fun o -> o <> l) labels))
+      labels
+  in
+  let s = Packer.pack ~width:16 jobs in
+  checki "valid" 0 (List.length (Schedule.check s));
+  checki "clique serializes" 250 (Schedule.makespan s)
+
+let test_packer_mixed_stress_qcheck () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"stress shapes stay valid" ~count:60
+       QCheck.(triple (int_range 1 2000) (int_range 2 10) (int_range 1 6))
+       (fun (seed, width, groups) ->
+         let rng = Msoc_util.Rng.create ~seed in
+         let n = Msoc_util.Rng.int_in rng ~lo:3 ~hi:18 in
+         let jobs =
+           List.init n (fun i ->
+               let label = Printf.sprintf "s%d" i in
+               let w = Msoc_util.Rng.int_in rng ~lo:1 ~hi:width in
+               let t = Msoc_util.Rng.int_in rng ~lo:5 ~hi:2_000 in
+               let base =
+                 if Msoc_util.Rng.bool rng then
+                   Job.analog ~label ~width:w ~time:t
+                     ~group:(Msoc_util.Rng.int rng ~bound:groups)
+                 else Job.digital ~label (Msoc_wrapper.Pareto.fixed ~width:w ~time:t)
+               in
+               let base =
+                 if i > 0 && Msoc_util.Rng.int rng ~bound:3 = 0 then
+                   Job.with_predecessors base [ Printf.sprintf "s%d" (i - 1) ]
+                 else base
+               in
+               if i > 1 && Msoc_util.Rng.int rng ~bound:4 = 0 then
+                 Job.with_conflicts base [ Printf.sprintf "s%d" (i - 2) ]
+               else base)
+         in
+         let s = Packer.pack ~width jobs in
+         Schedule.check s = []))
+
+(* --- reporting paths --- *)
+
+let plan = lazy (Plan.run (Msoc_testplan.Instances.d281m ~tam_width:24 ()))
+
+let test_utilization_table () =
+  let out = Report.utilization_table (Lazy.force plan) in
+  checkb "one row per wire" true
+    (List.length (String.split_on_char '\n' out) >= 24 + 3);
+  checkb "prints efficiency" true (contains out "overall efficiency")
+
+let test_export_escaping_qcheck () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"json strings never contain raw control chars"
+       ~count:300
+       QCheck.(string_gen QCheck.Gen.(char_range '\000' '\255'))
+       (fun s ->
+         let out = Export.to_string (Export.String s) in
+         (* the payload between the quotes must be free of raw control
+            characters and unescaped quotes *)
+         let inner = String.sub out 1 (String.length out - 2) in
+         let ok = ref true in
+         String.iteri
+           (fun i c ->
+             if Char.code c < 0x20 then ok := false
+             else if c = '"' && (i = 0 || inner.[i - 1] <> '\\') then ok := false)
+           inner;
+         !ok))
+
+let test_gantt_power_annotation () =
+  let jobs = [ Job.with_power (Job.digital ~label:"p" (Msoc_wrapper.Pareto.fixed ~width:1 ~time:10)) 3 ] in
+  let s = Packer.pack ~power_budget:5 ~width:2 jobs in
+  let pp = Format.asprintf "%a" Schedule.pp s in
+  checkb "pp mentions power" true (contains pp "power 3/5")
+
+let suites =
+  [
+    ( "hardening.parsers",
+      [
+        Alcotest.test_case "soc_file fuzz" `Quick test_soc_file_fuzz;
+        Alcotest.test_case "full dialect fuzz" `Quick test_full_fuzz;
+      ] );
+    ( "hardening.packer",
+      [
+        Alcotest.test_case "all full width" `Quick test_packer_all_full_width;
+        Alcotest.test_case "single wire" `Quick test_packer_single_wire;
+        Alcotest.test_case "deep precedence chain" `Quick test_packer_deep_precedence_chain;
+        Alcotest.test_case "conflict clique" `Quick test_packer_conflict_clique;
+        Alcotest.test_case "mixed stress" `Quick test_packer_mixed_stress_qcheck;
+      ] );
+    ( "hardening.reporting",
+      [
+        Alcotest.test_case "utilization table" `Quick test_utilization_table;
+        Alcotest.test_case "json escaping" `Quick test_export_escaping_qcheck;
+        Alcotest.test_case "gantt power annotation" `Quick test_gantt_power_annotation;
+      ] );
+  ]

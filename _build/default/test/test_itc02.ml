@@ -1,0 +1,214 @@
+(* Tests for Msoc_itc02: core/SOC model, .soc file round-trips and the
+   synthetic benchmark generator's calibration contract. *)
+
+module Types = Msoc_itc02.Types
+module Soc_file = Msoc_itc02.Soc_file
+module Synthetic = Msoc_itc02.Synthetic
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let sample_core =
+  Types.core ~id:1 ~name:"cpu" ~inputs:10 ~outputs:5 ~bidirs:2
+    ~scan_chains:[ 100; 50; 25 ] ~patterns:200
+
+(* --- Types --- *)
+
+let test_core_derived () =
+  checki "scan cells" 175 (Types.scan_cells sample_core);
+  checki "terminals" 19 (Types.terminal_count sample_core);
+  (* volume = p*(cells+in+bidir) + p*(cells+out+bidir) *)
+  checki "volume" ((200 * (175 + 10 + 2)) + (200 * (175 + 5 + 2)))
+    (Types.test_data_volume sample_core)
+
+let test_core_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "bad id" (fun () ->
+      Types.core ~id:0 ~name:"x" ~inputs:1 ~outputs:1 ~bidirs:0 ~scan_chains:[]
+        ~patterns:1);
+  expect_invalid "negative inputs" (fun () ->
+      Types.core ~id:1 ~name:"x" ~inputs:(-1) ~outputs:1 ~bidirs:0 ~scan_chains:[]
+        ~patterns:1);
+  expect_invalid "zero patterns" (fun () ->
+      Types.core ~id:1 ~name:"x" ~inputs:1 ~outputs:1 ~bidirs:0 ~scan_chains:[]
+        ~patterns:0);
+  expect_invalid "zero-length chain" (fun () ->
+      Types.core ~id:1 ~name:"x" ~inputs:1 ~outputs:1 ~bidirs:0 ~scan_chains:[ 0 ]
+        ~patterns:1)
+
+let test_soc_validation () =
+  let c2 = { sample_core with Types.id = 2 } in
+  let soc = Types.soc ~name:"s" ~cores:[ sample_core; c2 ] in
+  checki "core count" 2 (List.length soc.Types.cores);
+  (match Types.soc ~name:"s" ~cores:[ sample_core; sample_core ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate ids accepted");
+  checki "find_core" 2 (Types.find_core soc ~id:2).Types.id;
+  (match Types.find_core soc ~id:99 with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "find_core on missing id")
+
+let test_combinational_core () =
+  let c =
+    Types.core ~id:3 ~name:"glue" ~inputs:8 ~outputs:4 ~bidirs:0 ~scan_chains:[]
+      ~patterns:50
+  in
+  checki "no scan cells" 0 (Types.scan_cells c)
+
+(* --- Soc_file --- *)
+
+let roundtrip soc =
+  let text = Soc_file.to_string soc in
+  Soc_file.of_string text
+
+let test_file_roundtrip () =
+  let soc =
+    Types.soc ~name:"demo"
+      ~cores:
+        [
+          sample_core;
+          Types.core ~id:2 ~name:"glue" ~inputs:3 ~outputs:4 ~bidirs:0
+            ~scan_chains:[] ~patterns:10;
+        ]
+  in
+  let back = roundtrip soc in
+  checks "name" soc.Types.name back.Types.name;
+  checkb "cores equal" true (soc.Types.cores = back.Types.cores)
+
+let test_file_roundtrip_synthetic () =
+  let soc = Synthetic.p93791s () in
+  checkb "synthetic round-trips" true ((roundtrip soc).Types.cores = soc.Types.cores)
+
+let test_file_comments_and_blanks () =
+  let text =
+    "# a comment\n\nSocName t  # trailing\nModule 1 Name a Inputs 1 Outputs 1 \
+     Bidirs 0 Patterns 5 ScanChains 2 : 10 20\n\n"
+  in
+  let soc = Soc_file.of_string text in
+  checks "name" "t" soc.Types.name;
+  checki "chains parsed" 2
+    (List.length (List.nth soc.Types.cores 0).Types.scan_chains)
+
+let test_file_errors () =
+  let expect_parse_error text =
+    match Soc_file.of_string text with
+    | exception Soc_file.Parse_error _ -> ()
+    | _ -> Alcotest.failf "accepted malformed: %s" text
+  in
+  expect_parse_error "Module 1 Name a Inputs 1 Outputs 1 Bidirs 0 Patterns 5 ScanChains 0\n";
+  (* missing SocName *)
+  expect_parse_error "SocName x\nModule 1 Name a Inputs z Outputs 1 Bidirs 0 Patterns 5 ScanChains 0\n";
+  expect_parse_error "SocName x\nModule 1 Name a Inputs 1 Bidirs 0 Patterns 5 ScanChains 0\n";
+  (* missing Outputs *)
+  expect_parse_error "SocName x\nModule 1 Name a Inputs 1 Outputs 1 Bidirs 0 Patterns 5 ScanChains 2 : 10\n";
+  (* wrong chain count *)
+  expect_parse_error "SocName x\nBogus directive\n";
+  expect_parse_error "SocName x y\n"
+
+let test_file_load_save () =
+  let path = Filename.temp_file "msoc" ".soc" in
+  let soc = Synthetic.d281s () in
+  Soc_file.save path soc;
+  let back = Soc_file.load path in
+  Sys.remove path;
+  checkb "load(save(x)) = x" true (back.Types.cores = soc.Types.cores)
+
+(* --- Synthetic --- *)
+
+let test_synthetic_deterministic () =
+  let a = Synthetic.p93791s () and b = Synthetic.p93791s () in
+  checkb "same SOC every call" true (a = b)
+
+let test_synthetic_seed_changes () =
+  let a = Synthetic.generate ~seed:1 ~name:"x" Synthetic.default_profile in
+  let b = Synthetic.generate ~seed:2 ~name:"x" Synthetic.default_profile in
+  checkb "different seeds differ" true (a <> b)
+
+let test_synthetic_profile () =
+  let soc = Synthetic.p93791s () in
+  checki "32 cores" 32 (List.length soc.Types.cores);
+  checkb "chains bounded" true
+    (List.for_all
+       (fun c -> List.length c.Types.scan_chains <= 46)
+       soc.Types.cores)
+
+let test_synthetic_area_calibration () =
+  (* The generator promises the total test area within ~1% of the
+     profile target (DESIGN.md: calibrates the makespan curve). *)
+  let soc = Synthetic.p93791s () in
+  let area (c : Types.core) =
+    c.Types.patterns
+    * (Types.scan_cells c + ((c.Types.inputs + c.Types.outputs) / 2) + c.Types.bidirs)
+  in
+  let total = List.fold_left (fun acc c -> acc + area c) 0 soc.Types.cores in
+  let target = Synthetic.default_profile.Synthetic.target_area in
+  let err = Float.abs (float_of_int (total - target)) /. float_of_int target in
+  checkb "total area within 2% of target" true (err < 0.02)
+
+let test_synthetic_d281s () =
+  let soc = Synthetic.d281s () in
+  checki "8 cores" 8 (List.length soc.Types.cores);
+  checkb "ids 1..8" true
+    (List.map (fun c -> c.Types.id) soc.Types.cores = List.init 8 (fun i -> i + 1))
+
+let qcheck_tests =
+  let open QCheck in
+  let core_gen =
+    let open Gen in
+    let* id = int_range 1 50 in
+    let* inputs = int_range 0 300 in
+    let* outputs = int_range 0 300 in
+    let* bidirs = int_range 0 80 in
+    let* chains = list_size (int_range 0 12) (int_range 1 500) in
+    let* patterns = int_range 1 5000 in
+    return
+      (Types.core ~id ~name:(Printf.sprintf "g%d" id) ~inputs ~outputs ~bidirs
+         ~scan_chains:chains ~patterns)
+  in
+  let arbitrary_core = make core_gen in
+  [
+    Test.make ~name:"soc file round-trips any core" ~count:200 arbitrary_core
+      (fun core ->
+        let soc = Types.soc ~name:"prop" ~cores:[ core ] in
+        (roundtrip soc).Types.cores = soc.Types.cores);
+    Test.make ~name:"test_data_volume positive and monotone in patterns" ~count:200
+      arbitrary_core
+      (fun core ->
+        let more = { core with Types.patterns = core.Types.patterns + 1 } in
+        Types.test_data_volume core > 0
+        && Types.test_data_volume more > Types.test_data_volume core);
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "itc02.types",
+      [
+        Alcotest.test_case "derived quantities" `Quick test_core_derived;
+        Alcotest.test_case "core validation" `Quick test_core_validation;
+        Alcotest.test_case "soc validation" `Quick test_soc_validation;
+        Alcotest.test_case "combinational core" `Quick test_combinational_core;
+      ] );
+    ( "itc02.file",
+      [
+        Alcotest.test_case "round-trip" `Quick test_file_roundtrip;
+        Alcotest.test_case "round-trip synthetic" `Quick test_file_roundtrip_synthetic;
+        Alcotest.test_case "comments and blanks" `Quick test_file_comments_and_blanks;
+        Alcotest.test_case "parse errors" `Quick test_file_errors;
+        Alcotest.test_case "load/save" `Quick test_file_load_save;
+      ] );
+    ( "itc02.synthetic",
+      [
+        Alcotest.test_case "deterministic" `Quick test_synthetic_deterministic;
+        Alcotest.test_case "seed changes output" `Quick test_synthetic_seed_changes;
+        Alcotest.test_case "profile respected" `Quick test_synthetic_profile;
+        Alcotest.test_case "area calibration" `Quick test_synthetic_area_calibration;
+        Alcotest.test_case "d281s" `Quick test_synthetic_d281s;
+      ] );
+    ("itc02.properties", qcheck_tests);
+  ]

@@ -1,0 +1,142 @@
+(* Tests for the metrology additions: sine-histogram converter BIST
+   (IEEE 1241 style) and Welch PSD estimation. *)
+
+module Adc = Msoc_mixedsig.Adc
+module Bist = Msoc_mixedsig.Bist
+module Spectrum = Msoc_signal.Spectrum
+module Tone = Msoc_signal.Tone
+module Rng = Msoc_util.Rng
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- sine histogram --- *)
+
+let test_histogram_ideal_adc () =
+  let adc = Adc.create Adc.Modular_pipeline ~bits:8 in
+  let r = Bist.sine_histogram ~samples:200_000 adc in
+  checki "no missing codes" 0 r.Bist.missing_codes;
+  checkb (Printf.sprintf "INL %.3f < 0.3 LSB" r.Bist.inl_lsb) true
+    (r.Bist.inl_lsb < 0.3);
+  checkb (Printf.sprintf "DNL %.3f < 0.5 LSB" r.Bist.dnl_lsb) true
+    (r.Bist.dnl_lsb < 0.5)
+
+let test_histogram_detects_bad_adc () =
+  let good = Adc.create Adc.Modular_pipeline ~bits:8 in
+  let bad =
+    Adc.create ~threshold_sigma_lsb:2.0 ~seed:31 Adc.Modular_pipeline ~bits:8
+  in
+  let rg = Bist.sine_histogram ~samples:120_000 good in
+  let rb = Bist.sine_histogram ~samples:120_000 bad in
+  checkb
+    (Printf.sprintf "bad INL %.2f > good %.2f + 0.5" rb.Bist.inl_lsb rg.Bist.inl_lsb)
+    true
+    (rb.Bist.inl_lsb > rg.Bist.inl_lsb +. 0.5)
+
+let test_histogram_flash_vs_pipeline_agree () =
+  (* Both ideal architectures implement the same transfer function, so
+     the histogram test must agree on them. *)
+  let flash = Bist.sine_histogram ~samples:100_000 (Adc.create Adc.Flash ~bits:8) in
+  let pipe =
+    Bist.sine_histogram ~samples:100_000 (Adc.create Adc.Modular_pipeline ~bits:8)
+  in
+  checkb "same INL to 0.05 LSB" true
+    (Float.abs (flash.Bist.inl_lsb -. pipe.Bist.inl_lsb) < 0.05)
+
+let test_histogram_validation () =
+  let adc = Adc.create Adc.Flash ~bits:6 in
+  (match Bist.sine_histogram ~samples:10 adc with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "tiny sample count accepted");
+  match Bist.sine_histogram ~overdrive:0.9 adc with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "under-range sine accepted"
+
+(* --- Welch PSD --- *)
+
+let white_noise ~sigma ~n ~seed =
+  let rng = Rng.create ~seed in
+  Array.init n (fun _ ->
+      let u1 = Float.max 1e-12 (Rng.float rng ~bound:1.0) in
+      let u2 = Rng.float rng ~bound:1.0 in
+      sigma *. Float.sqrt (-2.0 *. Float.log u1) *. Float.cos (2.0 *. Float.pi *. u2))
+
+let test_welch_white_noise_level () =
+  (* White noise of variance sigma^2 has two-sided PSD sigma^2/fs,
+     i.e. one-sided 2*sigma^2/fs. *)
+  let fs = 1.0e6 and sigma = 0.1 in
+  let x = white_noise ~sigma ~n:65_536 ~seed:3 in
+  let psd = Spectrum.welch_psd ~fs x in
+  let mid = Array.sub psd 50 400 in
+  let mean =
+    Array.fold_left (fun a (_, p) -> a +. p) 0.0 mid /. float_of_int (Array.length mid)
+  in
+  let expected = 2.0 *. sigma *. sigma /. fs in
+  checkb
+    (Printf.sprintf "PSD %.3g within 15%% of %.3g" mean expected)
+    true
+    (Float.abs (mean -. expected) /. expected < 0.15)
+
+let test_welch_variance_reduction () =
+  (* More averaging -> flatter estimate: the relative spread across
+     bins shrinks with the number of segments. *)
+  let fs = 1.0e6 in
+  let x = white_noise ~sigma:0.1 ~n:65_536 ~seed:4 in
+  let spread segment =
+    let psd = Spectrum.welch_psd ~segment ~fs x in
+    let vals = Array.to_list (Array.map snd (Array.sub psd 20 200)) in
+    let mean = Msoc_util.Numeric.mean vals in
+    let var =
+      Msoc_util.Numeric.mean (List.map (fun v -> (v -. mean) ** 2.0) vals)
+    in
+    Float.sqrt var /. mean
+  in
+  let few_segments = spread 16_384 (* ~7 segments *) in
+  let many_segments = spread 1_024 (* ~127 segments *) in
+  checkb
+    (Printf.sprintf "spread %.3f (many) < %.3f (few)" many_segments few_segments)
+    true
+    (many_segments < few_segments /. 2.0)
+
+let test_welch_tone_sits_on_top () =
+  let fs = 1.0e6 in
+  let f = Tone.coherent_freq ~fs ~n:1024 100_000.0 in
+  let x =
+    Array.mapi
+      (fun i noise ->
+        noise +. (0.5 *. Float.sin (2.0 *. Float.pi *. f *. float_of_int i /. fs)))
+      (white_noise ~sigma:0.01 ~n:32_768 ~seed:5)
+  in
+  let psd = Spectrum.welch_psd ~fs x in
+  let peak_f, _ =
+    Array.fold_left
+      (fun (bf, bp) (fr, p) -> if p > bp then (fr, p) else (bf, bp))
+      (0.0, 0.0) psd
+  in
+  checkb "peak at the tone" true (Float.abs (peak_f -. f) < 2.0 *. fs /. 1024.0)
+
+let test_welch_validation () =
+  (match Spectrum.welch_psd ~fs:1.0e6 (Array.make 100 0.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "short record accepted");
+  match Spectrum.welch_psd ~overlap:0.99 ~fs:1.0e6 (Array.make 4096 0.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "extreme overlap accepted"
+
+let suites =
+  [
+    ( "metrology.histogram",
+      [
+        Alcotest.test_case "ideal ADC" `Quick test_histogram_ideal_adc;
+        Alcotest.test_case "detects bad ADC" `Quick test_histogram_detects_bad_adc;
+        Alcotest.test_case "flash vs pipeline" `Quick test_histogram_flash_vs_pipeline_agree;
+        Alcotest.test_case "validation" `Quick test_histogram_validation;
+      ] );
+    ( "metrology.welch",
+      [
+        Alcotest.test_case "white noise level" `Quick test_welch_white_noise_level;
+        Alcotest.test_case "variance reduction" `Quick test_welch_variance_reduction;
+        Alcotest.test_case "tone on top" `Quick test_welch_tone_sits_on_top;
+        Alcotest.test_case "validation" `Quick test_welch_validation;
+      ] );
+  ]

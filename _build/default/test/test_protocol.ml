@@ -1,0 +1,240 @@
+(* Tests for the protocol-level models: the cycle-accurate scan
+   simulation (which must re-derive the closed-form test time), the
+   IEEE 1500-style wrapper, sigma-delta conversion, and the test-data
+   volume analysis. *)
+
+module Types = Msoc_itc02.Types
+module Design = Msoc_wrapper.Design
+module Scan_sim = Msoc_wrapper.Scan_sim
+module Ieee1500 = Msoc_wrapper.Ieee1500
+module Sd = Msoc_mixedsig.Sigma_delta
+module Volume = Msoc_itc02.Volume
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- Scan_sim: the formula is a theorem of the protocol --- *)
+
+let sample_core ~patterns ~chains =
+  Types.core ~id:1 ~name:"sim" ~inputs:14 ~outputs:9 ~bidirs:3
+    ~scan_chains:chains ~patterns
+
+let test_scan_sim_matches_formula () =
+  List.iter
+    (fun (patterns, chains, width) ->
+      let d = Design.design (sample_core ~patterns ~chains) ~width in
+      checki
+        (Printf.sprintf "p=%d chains=%d w=%d" patterns (List.length chains) width)
+        (Scan_sim.formula_cycles d)
+        (Scan_sim.simulated_cycles d))
+    [
+      (1, [], 1); (1, [ 50 ], 1); (10, [ 100; 80 ], 2); (7, [ 33 ], 4);
+      (100, [ 120; 80; 80; 40 ], 3); (5, [ 10; 10; 10 ], 8); (2, [ 500 ], 16);
+    ]
+
+let test_scan_sim_trace_structure () =
+  let d = Design.design (sample_core ~patterns:3 ~chains:[ 20; 20 ]) ~width:2 in
+  let trace = Scan_sim.simulate d in
+  checki "trace length = simulated cycles" (Scan_sim.simulated_cycles d)
+    (List.length trace);
+  let captures =
+    List.length (List.filter (fun e -> e = Scan_sim.Capture) trace)
+  in
+  checki "one capture per pattern" 3 captures;
+  (* the trace must start with the priming shift-in *)
+  checkb "starts with shifts" true
+    (match trace with Scan_sim.Shift :: _ -> true | _ -> false)
+
+let test_scan_sim_qcheck () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"simulation = formula for random cores" ~count:200
+       QCheck.(
+         quad (int_range 1 300) (int_range 0 6) (int_range 10 200) (int_range 1 12))
+       (fun (patterns, n_chains, chain_len, width) ->
+         let chains = List.init n_chains (fun _ -> chain_len) in
+         let d = Design.design (sample_core ~patterns ~chains) ~width in
+         Scan_sim.simulated_cycles d = Scan_sim.formula_cycles d))
+
+let test_scan_sim_summary () =
+  let d = Design.design (sample_core ~patterns:3 ~chains:[ 20 ]) ~width:1 in
+  let s = Scan_sim.trace_summary d in
+  checkb "mentions patterns" true (String.length s > 20)
+
+(* --- IEEE 1500 --- *)
+
+(* A 4-in, 4-out core computing bitwise NOT. *)
+let not_core bits = Array.map not bits
+
+(* 3-in, 2-out: [parity; all_ones] *)
+let parity_core bits =
+  let ones = Array.fold_left (fun n b -> if b then n + 1 else n) 0 bits in
+  [| ones mod 2 = 1; ones = Array.length bits |]
+
+let test_1500_bypass_is_one_bit () =
+  let w = Ieee1500.create ~inputs:4 ~outputs:4 ~core:not_core in
+  checkb "starts in bypass" true (Ieee1500.instruction w = Ieee1500.Wby);
+  (* a bit falls out exactly one shift later *)
+  checkb "first out is false" true (Ieee1500.shift w true = false);
+  checkb "then the pushed bit" true (Ieee1500.shift w false = true)
+
+let test_1500_intest_not_core () =
+  let w = Ieee1500.create ~inputs:4 ~outputs:4 ~core:not_core in
+  Ieee1500.load_instruction w Ieee1500.Wintest;
+  let response = Ieee1500.apply_pattern w [ true; false; true; true ] in
+  Alcotest.(check (list bool)) "NOT applied" [ false; true; false; false ] response
+
+let test_1500_intest_parity_core () =
+  let w = Ieee1500.create ~inputs:3 ~outputs:2 ~core:parity_core in
+  Ieee1500.load_instruction w Ieee1500.Wintest;
+  Alcotest.(check (list bool)) "parity of 101" [ false; false ]
+    (Ieee1500.apply_pattern w [ true; false; true ]);
+  Alcotest.(check (list bool)) "parity of 111" [ true; true ]
+    (Ieee1500.apply_pattern w [ true; true; true ])
+
+let test_1500_pattern_sequence () =
+  (* many patterns back to back keep producing correct responses:
+     the drain of one pattern must not corrupt the next load *)
+  let w = Ieee1500.create ~inputs:4 ~outputs:4 ~core:not_core in
+  Ieee1500.load_instruction w Ieee1500.Wintest;
+  for i = 0 to 15 do
+    let bits = List.init 4 (fun b -> i land (1 lsl b) <> 0) in
+    let expect = List.map not bits in
+    Alcotest.(check (list bool)) (Printf.sprintf "pattern %d" i) expect
+      (Ieee1500.apply_pattern w bits)
+  done
+
+let test_1500_wbr_shift_through () =
+  (* In Wextest the whole WBR is one chain: a bit pushed in appears
+     after wbr_length shifts. *)
+  let w = Ieee1500.create ~inputs:3 ~outputs:2 ~core:parity_core in
+  Ieee1500.load_instruction w Ieee1500.Wextest;
+  let n = Ieee1500.wbr_length w in
+  let outputs = List.init (2 * n) (fun i -> Ieee1500.shift w (i = 0)) in
+  checkb "marker appears after wbr_length shifts" true (List.nth outputs n)
+
+let test_1500_validation () =
+  (match Ieee1500.create ~inputs:0 ~outputs:1 ~core:not_core with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "0 inputs accepted");
+  let w = Ieee1500.create ~inputs:2 ~outputs:2 ~core:not_core in
+  (match Ieee1500.apply_pattern w [ true; false ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "apply in bypass accepted");
+  Ieee1500.load_instruction w Ieee1500.Wintest;
+  match Ieee1500.apply_pattern w [ true ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "short pattern accepted"
+
+(* --- Sigma-delta --- *)
+
+let test_sd_dc_tracking () =
+  (* the bit-stream average of a DC input equals the input *)
+  List.iter
+    (fun dc ->
+      let bits = Sd.modulate ~order:Sd.First (Array.make 4096 dc) in
+      let avg =
+        Array.fold_left (fun a b -> a +. b) 0.0 (Sd.bipolar bits) /. 4096.0
+      in
+      checkb
+        (Printf.sprintf "dc %.2f tracked (avg %.3f)" dc avg)
+        true
+        (Float.abs (avg -. dc) < 0.02))
+    [ -0.5; -0.1; 0.0; 0.3; 0.7 ]
+
+let test_sd_cic_dc_gain () =
+  let out = Sd.decimate_cic ~stages:3 ~ratio:8 (Array.make 512 1.0) in
+  checki "length / ratio" 64 (Array.length out);
+  (* after the filter fills, DC passes at unit gain *)
+  checkb "unit DC gain" true (Float.abs (out.(63) -. 1.0) < 1e-9)
+
+let test_sd_enob_improves_with_osr () =
+  let enob osr = Sd.measured_enob ~order:Sd.Second ~osr ~fs:2.048e6 ~signal_hz:1_000.0 () in
+  let e32 = enob 32 and e128 = enob 128 in
+  checkb
+    (Printf.sprintf "osr 128 (%.1f bits) beats osr 32 (%.1f bits) by > 2" e128 e32)
+    true
+    (e128 > e32 +. 2.0);
+  checkb "audio-grade at osr 128" true (e128 > 10.0)
+
+let test_sd_second_order_beats_first () =
+  let enob order = Sd.measured_enob ~order ~osr:64 ~fs:2.048e6 ~signal_hz:1_000.0 () in
+  checkb "steeper noise shaping" true (enob Sd.Second > enob Sd.First +. 1.0)
+
+let test_sd_validation () =
+  (match Sd.decimate_cic ~stages:0 ~ratio:4 [| 1.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "0 stages accepted");
+  match Sd.decimate_cic ~stages:2 ~ratio:1 [| 1.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ratio 1 accepted"
+
+(* --- Volume --- *)
+
+let test_volume_core_stats () =
+  let c =
+    Types.core ~id:1 ~name:"v" ~inputs:10 ~outputs:5 ~bidirs:2
+      ~scan_chains:[ 100; 50 ] ~patterns:20
+  in
+  let s = Volume.core_stats c in
+  checki "in bits" (150 + 10 + 2) s.Volume.scan_in_bits;
+  checki "out bits" (150 + 5 + 2) s.Volume.scan_out_bits;
+  checki "total" (20 * (162 + 157)) s.Volume.total_bits;
+  checki "matches Types.test_data_volume" (Types.test_data_volume c) s.Volume.total_bits
+
+let test_volume_soc_stats () =
+  let soc = Msoc_itc02.Synthetic.d281s () in
+  let stats = Volume.soc_stats soc in
+  checki "one row per core" 8 (List.length stats.Volume.cores);
+  checkb "largest <= total" true (stats.Volume.largest_bits <= stats.Volume.total_bits);
+  let sum =
+    List.fold_left (fun a (s : Volume.core_stats) -> a + s.Volume.total_bits) 0
+      stats.Volume.cores
+  in
+  checki "total is the sum" sum stats.Volume.total_bits
+
+let test_volume_ate_depth () =
+  let soc = Msoc_itc02.Synthetic.d281s () in
+  let d16 = Volume.ate_depth_bits soc ~width:16 in
+  let d32 = Volume.ate_depth_bits soc ~width:32 in
+  checkb "wider TAM, shallower memory" true (d32 < d16);
+  checkb "halving relation" true (abs ((2 * d32) - d16) <= 2)
+
+let test_volume_report () =
+  let soc = Msoc_itc02.Synthetic.d281s () in
+  let r = Volume.report soc in
+  checkb "has total line" true (String.length r > 100)
+
+let suites =
+  [
+    ( "protocol.scan_sim",
+      [
+        Alcotest.test_case "matches formula" `Quick test_scan_sim_matches_formula;
+        Alcotest.test_case "trace structure" `Quick test_scan_sim_trace_structure;
+        Alcotest.test_case "random cores" `Quick test_scan_sim_qcheck;
+        Alcotest.test_case "summary" `Quick test_scan_sim_summary;
+      ] );
+    ( "protocol.ieee1500",
+      [
+        Alcotest.test_case "bypass one bit" `Quick test_1500_bypass_is_one_bit;
+        Alcotest.test_case "intest NOT core" `Quick test_1500_intest_not_core;
+        Alcotest.test_case "intest parity core" `Quick test_1500_intest_parity_core;
+        Alcotest.test_case "pattern sequence" `Quick test_1500_pattern_sequence;
+        Alcotest.test_case "wbr shift-through" `Quick test_1500_wbr_shift_through;
+        Alcotest.test_case "validation" `Quick test_1500_validation;
+      ] );
+    ( "protocol.sigma_delta",
+      [
+        Alcotest.test_case "dc tracking" `Quick test_sd_dc_tracking;
+        Alcotest.test_case "cic dc gain" `Quick test_sd_cic_dc_gain;
+        Alcotest.test_case "enob vs osr" `Slow test_sd_enob_improves_with_osr;
+        Alcotest.test_case "2nd beats 1st order" `Slow test_sd_second_order_beats_first;
+        Alcotest.test_case "validation" `Quick test_sd_validation;
+      ] );
+    ( "protocol.volume",
+      [
+        Alcotest.test_case "core stats" `Quick test_volume_core_stats;
+        Alcotest.test_case "soc stats" `Quick test_volume_soc_stats;
+        Alcotest.test_case "ate depth" `Quick test_volume_ate_depth;
+        Alcotest.test_case "report" `Quick test_volume_report;
+      ] );
+  ]

@@ -1,0 +1,275 @@
+(* Robustness and hardening tests: optimizer edge cases, the
+   pack_optimized refinement, Monte-Carlo yield, the p22810s second
+   benchmark, and randomized end-to-end planning. *)
+
+module Types = Msoc_itc02.Types
+module Job = Msoc_tam.Job
+module Schedule = Msoc_tam.Schedule
+module Packer = Msoc_tam.Packer
+module Catalog = Msoc_analog.Catalog
+module Sharing = Msoc_analog.Sharing
+module Spec = Msoc_analog.Spec
+module Problem = Msoc_testplan.Problem
+module Plan = Msoc_testplan.Plan
+module Yield = Msoc_mixedsig.Yield
+module Bist = Msoc_mixedsig.Bist
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- planner edge cases --- *)
+
+let test_plan_single_analog_core () =
+  let problem =
+    Problem.make ~soc:(Msoc_itc02.Synthetic.d281s ())
+      ~analog_cores:[ Catalog.core_c ] ~tam_width:16 ~weight_time:0.5 ()
+  in
+  let plan = Plan.run problem in
+  checki "one candidate (no sharing)" 1 plan.Plan.considered;
+  Alcotest.(check string) "no sharing" "none" (Sharing.short_name (Plan.sharing plan));
+  checki "valid" 0
+    (List.length (Schedule.check plan.Plan.best.Msoc_testplan.Evaluate.schedule))
+
+let test_plan_incompatible_cores_fall_back () =
+  (* A fast core and a precise core can never share; with only those
+     two, no paper combination survives and the planner must fall back
+     to no sharing rather than fail. *)
+  let fast =
+    Spec.core ~label:"F" ~name:"fast"
+      ~tests:
+        [
+          Spec.test ~name:"t" ~f_low_hz:1.0e6 ~f_high_hz:1.0e6 ~f_sample_hz:100.0e6
+            ~cycles:1_000 ~tam_width:2 ~resolution_bits:6;
+        ]
+  in
+  let precise =
+    Spec.core ~label:"P" ~name:"precise"
+      ~tests:
+        [
+          Spec.test ~name:"t" ~f_low_hz:100.0 ~f_high_hz:100.0 ~f_sample_hz:10.0e3
+            ~cycles:2_000 ~tam_width:1 ~resolution_bits:14;
+        ]
+  in
+  let problem =
+    Problem.make ~soc:(Msoc_itc02.Synthetic.d281s ()) ~analog_cores:[ fast; precise ]
+      ~tam_width:16 ~weight_time:0.5 ()
+  in
+  let plan = Plan.run problem in
+  checki "no-sharing fallback" 1 plan.Plan.considered;
+  checki "both cores scheduled" 2
+    (plan.Plan.best.Msoc_testplan.Evaluate.schedule.Schedule.placements
+    |> List.filter (fun (p : Schedule.placement) ->
+           p.Schedule.job.Job.exclusion <> None)
+    |> List.length)
+
+let test_plan_weight_extremes () =
+  List.iter
+    (fun weight_time ->
+      let plan =
+        Plan.run (Msoc_testplan.Instances.d281m ~weight_time ~tam_width:24 ())
+      in
+      checkb "finite cost" true (Float.is_finite plan.Plan.best.Msoc_testplan.Evaluate.cost))
+    [ 0.0; 1.0 ]
+
+(* --- pack_optimized --- *)
+
+let jobs_with_awkward_rectangle () =
+  [
+    Job.digital ~label:"slab" (Msoc_wrapper.Pareto.fixed ~width:6 ~time:900);
+    Job.digital ~label:"a" (Msoc_wrapper.Pareto.fixed ~width:3 ~time:500);
+    Job.digital ~label:"b" (Msoc_wrapper.Pareto.fixed ~width:3 ~time:500);
+    Job.digital ~label:"c" (Msoc_wrapper.Pareto.fixed ~width:2 ~time:450);
+    Job.analog ~label:"x" ~width:1 ~time:700 ~group:0;
+    Job.analog ~label:"y" ~width:1 ~time:600 ~group:0;
+  ]
+
+let test_pack_optimized_no_worse () =
+  let soc = Msoc_itc02.Synthetic.d281s () in
+  List.iter
+    (fun width ->
+      let jobs = List.map (Job.of_core ~max_width:width) soc.Types.cores in
+      let plain = Schedule.makespan (Packer.pack ~width jobs) in
+      let better = Packer.pack_optimized ~width jobs in
+      checkb "<= plain" true (Schedule.makespan better <= plain);
+      checki "still valid" 0 (List.length (Schedule.check better)))
+    [ 8; 16; 24 ]
+
+let test_pack_optimized_awkward_instance () =
+  let jobs = jobs_with_awkward_rectangle () in
+  let plain = Schedule.makespan (Packer.pack ~width:8 jobs) in
+  let optimized = Schedule.makespan (Packer.pack_optimized ~width:8 jobs) in
+  checkb "no regression" true (optimized <= plain);
+  checkb "respects LB" true (optimized >= Packer.lower_bound ~width:8 jobs)
+
+let test_plan_polish_no_worse () =
+  let plan = Plan.run (Msoc_testplan.Instances.d281m ~tam_width:24 ()) in
+  let polished = Plan.polish plan in
+  checkb "polish never worse" true
+    (Schedule.makespan polished <= Plan.makespan plan);
+  checki "polished schedule valid" 0 (List.length (Schedule.check polished))
+
+let test_pack_optimized_with_power () =
+  let jobs =
+    List.map (fun j -> Job.with_power j 3) (jobs_with_awkward_rectangle ())
+  in
+  let s = Packer.pack_optimized ~power_budget:9 ~width:8 jobs in
+  checki "valid under budget" 0 (List.length (Schedule.check s));
+  checkb "peak within budget" true (Schedule.peak_power s <= 9)
+
+(* --- yield --- *)
+
+let test_yield_ideal_is_one () =
+  let r =
+    Yield.estimate ~trials:20 ~die:(fun _seed -> true)
+  in
+  checkb "yield 1" true (r.Yield.yield = 1.0);
+  checkb "ci upper 1" true (r.Yield.ci_high >= 0.99)
+
+let test_yield_bist_acceptance () =
+  (* Tight mismatch passes the BIST acceptance on every die; gross
+     mismatch fails on some. *)
+  let die sigma seed =
+    let wrapper = Yield.wrapper_for_die ~dac_mismatch_sigma:sigma ~seed () in
+    Bist.passes (Bist.loopback_linearity wrapper)
+  in
+  let tight = Yield.estimate ~trials:25 ~die:(die 0.002) in
+  let gross = Yield.estimate ~trials:25 ~die:(die 0.12) in
+  checkb
+    (Printf.sprintf "tight %.2f > gross %.2f" tight.Yield.yield gross.Yield.yield)
+    true
+    (tight.Yield.yield > gross.Yield.yield);
+  checkb "tight nearly full" true (tight.Yield.yield >= 0.9)
+
+let test_wilson_interval () =
+  let low, high = Yield.wilson_interval ~trials:100 ~passes:95 in
+  checkb "contains p" true (low < 0.95 && 0.95 < high);
+  checkb "sane bounds" true (low > 0.85 && high < 1.0);
+  let low0, _ = Yield.wilson_interval ~trials:10 ~passes:0 in
+  checkb "zero passes -> low 0" true (low0 = 0.0);
+  match Yield.wilson_interval ~trials:0 ~passes:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "trials 0 accepted"
+
+let test_yield_deterministic () =
+  let die seed =
+    let wrapper = Yield.wrapper_for_die ~dac_mismatch_sigma:0.05 ~seed () in
+    Bist.passes ~max_error:2 (Bist.loopback_linearity wrapper)
+  in
+  let a = Yield.estimate ~trials:15 ~die and b = Yield.estimate ~trials:15 ~die in
+  checkb "same result" true (a = b)
+
+(* --- p22810s --- *)
+
+let test_p22810s_shape () =
+  let soc = Msoc_itc02.Synthetic.p22810s () in
+  checki "28 cores" 28 (List.length soc.Types.cores);
+  checkb "deterministic" true (soc = Msoc_itc02.Synthetic.p22810s ())
+
+let test_p22810s_plans () =
+  let problem =
+    Problem.make ~soc:(Msoc_itc02.Synthetic.p22810s ()) ~analog_cores:Catalog.all
+      ~tam_width:32 ~weight_time:0.5 ()
+  in
+  let plan = Plan.run problem in
+  checki "valid schedule" 0
+    (List.length (Schedule.check plan.Plan.best.Msoc_testplan.Evaluate.schedule));
+  (* p22810s is lighter than p93791s: at W=32 the analog chain can
+     dominate, so the reference is at least the analog serial time *)
+  checkb "reference >= analog chain" true
+    (plan.Plan.reference_makespan >= Catalog.total_time)
+
+(* --- randomized end-to-end --- *)
+
+let qcheck_tests =
+  let open QCheck in
+  let instance =
+    make
+      (let open Gen in
+       let* seed = int_range 1 5_000 in
+       let* n_cores = int_range 2 10 in
+       let* width = int_range 12 40 in
+       let* analog_mask = int_range 1 30 in
+       return (seed, n_cores, width, analog_mask))
+  in
+  [
+    Test.make ~name:"random instances plan to valid schedules" ~count:25 instance
+      (fun (seed, n_cores, width, analog_mask) ->
+        let soc =
+          Msoc_itc02.Synthetic.generate ~seed ~name:"rand"
+            {
+              Msoc_itc02.Synthetic.n_cores;
+              target_area = 400_000 * n_cores;
+              max_chains = 10;
+              bottleneck = false;
+            }
+        in
+        let analog_cores =
+          List.filteri (fun i _ -> analog_mask land (1 lsl i) <> 0) Catalog.all
+        in
+        let analog_cores = if analog_cores = [] then [ Catalog.core_e ] else analog_cores in
+        (* width must accommodate the widest analog test *)
+        let width =
+          max width
+            (List.fold_left (fun acc c -> max acc (Spec.core_width c)) 1 analog_cores)
+        in
+        let problem =
+          Problem.make ~soc ~analog_cores ~tam_width:width ~weight_time:0.5 ()
+        in
+        let plan = Plan.run problem in
+        Schedule.check plan.Plan.best.Msoc_testplan.Evaluate.schedule = []
+        && Plan.makespan plan
+           >= Msoc_analog.Bounds.lower_bound (Plan.sharing plan));
+    Test.make ~name:"heuristic never beats exhaustive" ~count:10 instance
+      (fun (seed, n_cores, width, _) ->
+        let soc =
+          Msoc_itc02.Synthetic.generate ~seed ~name:"rand"
+            {
+              Msoc_itc02.Synthetic.n_cores;
+              target_area = 300_000 * n_cores;
+              max_chains = 8;
+              bottleneck = false;
+            }
+        in
+        let width = max width 10 in
+        let problem =
+          Problem.make ~soc ~analog_cores:[ Catalog.core_c; Catalog.core_d; Catalog.core_e ]
+            ~tam_width:width ~weight_time:0.5 ()
+        in
+        let prepared = Msoc_testplan.Evaluate.prepare problem in
+        let exh = Msoc_testplan.Exhaustive.run prepared in
+        let heur = Msoc_testplan.Cost_optimizer.run prepared in
+        heur.Msoc_testplan.Cost_optimizer.best.Msoc_testplan.Evaluate.cost
+        >= exh.Msoc_testplan.Exhaustive.best.Msoc_testplan.Evaluate.cost -. 1e-9);
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "robustness.planner",
+      [
+        Alcotest.test_case "single analog core" `Quick test_plan_single_analog_core;
+        Alcotest.test_case "incompatible cores fall back" `Quick
+          test_plan_incompatible_cores_fall_back;
+        Alcotest.test_case "weight extremes" `Quick test_plan_weight_extremes;
+      ] );
+    ( "robustness.pack_optimized",
+      [
+        Alcotest.test_case "no worse than pack" `Quick test_pack_optimized_no_worse;
+        Alcotest.test_case "awkward instance" `Quick test_pack_optimized_awkward_instance;
+        Alcotest.test_case "with power budget" `Quick test_pack_optimized_with_power;
+        Alcotest.test_case "plan polish" `Quick test_plan_polish_no_worse;
+      ] );
+    ( "robustness.yield",
+      [
+        Alcotest.test_case "ideal is one" `Quick test_yield_ideal_is_one;
+        Alcotest.test_case "bist acceptance" `Quick test_yield_bist_acceptance;
+        Alcotest.test_case "wilson interval" `Quick test_wilson_interval;
+        Alcotest.test_case "deterministic" `Quick test_yield_deterministic;
+      ] );
+    ( "robustness.p22810s",
+      [
+        Alcotest.test_case "shape" `Quick test_p22810s_shape;
+        Alcotest.test_case "plans" `Slow test_p22810s_plans;
+      ] );
+    ("robustness.properties", qcheck_tests);
+  ]

@@ -1,0 +1,407 @@
+(* Tests for Msoc_signal: FFT correctness (impulse, sine, Parseval,
+   linearity, inverse), windows, Butterworth filters and cut-off
+   extraction. *)
+
+module Fft = Msoc_signal.Fft
+module Window = Msoc_signal.Window
+module Tone = Msoc_signal.Tone
+module Filter = Msoc_signal.Filter
+module Spectrum = Msoc_signal.Spectrum
+module Cutoff = Msoc_signal.Cutoff
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let close = Msoc_util.Numeric.close
+
+(* --- Fft --- *)
+
+let test_next_pow2 () =
+  checki "0 -> 1" 1 (Fft.next_pow2 0);
+  checki "1 -> 1" 1 (Fft.next_pow2 1);
+  checki "5 -> 8" 8 (Fft.next_pow2 5);
+  checki "4551 -> 8192" 8192 (Fft.next_pow2 4551);
+  checki "1024 -> 1024" 1024 (Fft.next_pow2 1024)
+
+let test_fft_rejects_non_pow2 () =
+  match Fft.forward (Array.make 5 Complex.zero) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length 5 accepted"
+
+let test_fft_impulse () =
+  (* delta -> flat spectrum of ones *)
+  let x = Array.make 16 Complex.zero in
+  x.(0) <- Complex.one;
+  let spectrum = Fft.forward x in
+  Array.iter
+    (fun c ->
+      checkb "flat 1" true (close ~abs_tol:1e-12 (Complex.norm c) 1.0))
+    spectrum
+
+let test_fft_dc () =
+  let x = Array.make 8 Complex.one in
+  let s = Fft.forward x in
+  checkb "bin 0 = N" true (close (Complex.norm s.(0)) 8.0);
+  for i = 1 to 7 do
+    checkb "other bins 0" true (Complex.norm s.(i) < 1e-10)
+  done
+
+let test_fft_sine_bin () =
+  (* coherent sine lands in exactly one (mirrored) bin with height N/2 *)
+  let n = 256 in
+  let k = 13 in
+  let x =
+    Array.init n (fun i ->
+        {
+          Complex.re = Float.sin (2.0 *. Float.pi *. float_of_int (k * i) /. float_of_int n);
+          im = 0.0;
+        })
+  in
+  let s = Fft.forward x in
+  checkb "peak at k" true (close ~rel:1e-9 (Complex.norm s.(k)) (float_of_int n /. 2.0));
+  checkb "mirror at n-k" true
+    (close ~rel:1e-9 (Complex.norm s.(n - k)) (float_of_int n /. 2.0));
+  for i = 0 to n - 1 do
+    if i <> k && i <> n - k then
+      checkb "elsewhere zero" true (Complex.norm s.(i) < 1e-8)
+  done
+
+let test_fft_inverse_roundtrip () =
+  let rng = Msoc_util.Rng.create ~seed:11 in
+  let x =
+    Array.init 64 (fun _ ->
+        { Complex.re = Msoc_util.Rng.float_in rng ~lo:(-1.0) ~hi:1.0;
+          im = Msoc_util.Rng.float_in rng ~lo:(-1.0) ~hi:1.0 })
+  in
+  let back = Fft.inverse (Fft.forward x) in
+  Array.iteri
+    (fun i c ->
+      checkb "re restored" true (close ~abs_tol:1e-9 c.Complex.re x.(i).Complex.re);
+      checkb "im restored" true (close ~abs_tol:1e-9 c.Complex.im x.(i).Complex.im))
+    back
+
+let test_fft_parseval () =
+  let rng = Msoc_util.Rng.create ~seed:12 in
+  let n = 128 in
+  let x =
+    Array.init n (fun _ ->
+        { Complex.re = Msoc_util.Rng.float_in rng ~lo:(-1.0) ~hi:1.0; im = 0.0 })
+  in
+  let time_energy =
+    Array.fold_left (fun acc c -> acc +. Complex.norm2 c) 0.0 x
+  in
+  let freq_energy =
+    Array.fold_left (fun acc c -> acc +. Complex.norm2 c) 0.0 (Fft.forward x)
+    /. float_of_int n
+  in
+  checkb "Parseval" true (close ~rel:1e-9 time_energy freq_energy)
+
+let test_fft_linearity () =
+  let rng = Msoc_util.Rng.create ~seed:13 in
+  let mk () =
+    Array.init 32 (fun _ ->
+        { Complex.re = Msoc_util.Rng.float_in rng ~lo:(-1.0) ~hi:1.0; im = 0.0 })
+  in
+  let a = mk () and b = mk () in
+  let sum = Array.init 32 (fun i -> Complex.add a.(i) b.(i)) in
+  let fa = Fft.forward a and fb = Fft.forward b and fsum = Fft.forward sum in
+  Array.iteri
+    (fun i c ->
+      checkb "additive" true
+        (close ~abs_tol:1e-9 (Complex.norm (Complex.sub c (Complex.add fa.(i) fb.(i)))) 0.0))
+    fsum
+
+let test_of_real_padding () =
+  let x = Fft.of_real [| 1.0; 2.0; 3.0 |] in
+  checki "padded to 4" 4 (Array.length x);
+  checkb "zeros appended" true (x.(3) = Complex.zero);
+  match Fft.of_real ~pad_to:2 [| 1.0; 2.0; 3.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "pad smaller than input accepted"
+
+(* --- Window --- *)
+
+let test_window_bounds () =
+  List.iter
+    (fun w ->
+      let c = Window.coefficients w 64 in
+      Array.iter (fun v -> checkb "in [0,1.001]" true (v >= -1e-9 && v <= 1.001)) c)
+    [ Window.Rectangular; Window.Hann; Window.Hamming; Window.Blackman ]
+
+let test_window_hann_shape () =
+  let c = Window.coefficients Window.Hann 65 in
+  checkb "ends at 0" true (close ~abs_tol:1e-12 c.(0) 0.0);
+  checkb "peak 1 at center" true (close c.(32) 1.0);
+  checkb "symmetric" true (close c.(10) c.(54))
+
+let test_window_mean_matches_coherent_gain () =
+  List.iter
+    (fun w ->
+      let c = Window.coefficients w 4096 in
+      let mean = Array.fold_left ( +. ) 0.0 c /. 4096.0 in
+      checkb "mean ~ coherent gain" true
+        (Float.abs (mean -. Window.coherent_gain w) < 0.01))
+    [ Window.Rectangular; Window.Hann; Window.Hamming; Window.Blackman ]
+
+(* --- Tone --- *)
+
+let test_tone_sample () =
+  let t = Tone.tone ~amplitude:2.0 1000.0 in
+  let s = Tone.sample ~tones:[ t ] ~fs:8000.0 ~n:8 in
+  checkb "starts at 0 (sine)" true (close ~abs_tol:1e-12 s.(0) 0.0);
+  (* sample 2 is sin(2π·1000·2/8000)·2 = 2·sin(π/2) = 2 *)
+  checkb "quarter period peak" true (close s.(2) 2.0)
+
+let test_tone_coherent () =
+  let f = Tone.coherent_freq ~fs:1.7e6 ~n:4551 60_000.0 in
+  (* integer number of cycles in the record *)
+  let cycles = f *. 4551.0 /. 1.7e6 in
+  checkb "integral cycles" true (close ~abs_tol:1e-6 cycles (Float.round cycles));
+  checkb "close to request" true (Float.abs (f -. 60_000.0) < 1.7e6 /. 4551.0)
+
+let test_tone_crest_factor () =
+  let t = Tone.tone 100.0 in
+  let s = Tone.sample ~tones:[ t ] ~fs:100_000.0 ~n:10_000 in
+  checkb "sine crest ~ sqrt(2)" true
+    (Float.abs (Tone.crest_factor s -. Float.sqrt 2.0) < 0.01)
+
+(* --- Filter --- *)
+
+let test_butterworth_minus3db_at_fc () =
+  List.iter
+    (fun order ->
+      let f = Filter.butterworth_lowpass ~order ~fc:60_000.0 ~fs:1.7e6 in
+      let g = Filter.magnitude_response f ~fs:1.7e6 60_000.0 in
+      checkb
+        (Printf.sprintf "order %d: |H(fc)| = -3dB" order)
+        true
+        (close ~rel:1e-6 g (1.0 /. Float.sqrt 2.0)))
+    [ 1; 2; 3; 4; 5; 8 ]
+
+let test_butterworth_dc_gain () =
+  let f = Filter.butterworth_lowpass ~order:4 ~fc:10_000.0 ~fs:1.0e6 in
+  checkb "unit DC gain" true
+    (close ~rel:1e-6 (Filter.magnitude_response f ~fs:1.0e6 1.0) 1.0)
+
+let test_butterworth_monotone () =
+  let f = Filter.butterworth_lowpass ~order:3 ~fc:50_000.0 ~fs:1.7e6 in
+  let freqs = List.init 40 (fun i -> 1_000.0 +. (float_of_int i *. 20_000.0)) in
+  let gains = List.map (Filter.magnitude_response f ~fs:1.7e6) freqs in
+  let rec decreasing = function
+    | a :: b :: rest -> a >= b -. 1e-12 && decreasing (b :: rest)
+    | [ _ ] | [] -> true
+  in
+  checkb "monotone decreasing" true (decreasing gains)
+
+let test_butterworth_rolloff_slope () =
+  (* order n rolls off ~ 6n dB/octave deep in the stop band *)
+  let fs = 10.0e6 in
+  let f = Filter.butterworth_lowpass ~order:2 ~fc:10_000.0 ~fs in
+  let g1 = Filter.magnitude_response f ~fs 160_000.0 in
+  let g2 = Filter.magnitude_response f ~fs 320_000.0 in
+  let slope_db = Msoc_util.Numeric.db g2 -. Msoc_util.Numeric.db g1 in
+  checkb "≈ -12 dB/octave" true (Float.abs (slope_db +. 12.0) < 1.0)
+
+let test_filter_process_attenuates () =
+  let fs = 1.7e6 in
+  let filter = Filter.butterworth_lowpass ~order:2 ~fc:20_000.0 ~fs in
+  let tone_hi = Tone.tone (Tone.coherent_freq ~fs ~n:4096 200_000.0) in
+  let input = Tone.sample ~tones:[ tone_hi ] ~fs ~n:4096 in
+  let output = Filter.process filter input in
+  let rms a =
+    Float.sqrt (Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 a /. 4096.0)
+  in
+  checkb "stop-band tone crushed" true (rms output < 0.05 *. rms input)
+
+let test_filter_cutoff_bisection () =
+  let f = Filter.butterworth_lowpass ~order:2 ~fc:61_000.0 ~fs:1.7e6 in
+  let found = Filter.cutoff_minus3db f ~fs:1.7e6 in
+  checkb "bisection finds design fc" true (Float.abs (found -. 61_000.0) < 50.0)
+
+let test_filter_validation () =
+  (match Filter.butterworth_lowpass ~order:0 ~fc:1000.0 ~fs:10_000.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "order 0 accepted");
+  match Filter.butterworth_lowpass ~order:2 ~fc:6_000.0 ~fs:10_000.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "fc above Nyquist accepted"
+
+(* --- Spectrum --- *)
+
+let test_spectrum_tone_amplitude () =
+  let fs = 1.0e6 in
+  let n = 4096 in
+  let f = Tone.coherent_freq ~fs ~n 50_000.0 in
+  let s =
+    Spectrum.analyze ~fs (Tone.sample ~tones:[ Tone.tone ~amplitude:0.8 f ] ~fs ~n)
+  in
+  checkb "amplitude recovered" true
+    (Float.abs (Spectrum.tone_amplitude s f -. 0.8) < 0.02)
+
+let test_spectrum_multi_tone_separation () =
+  let fs = 1.0e6 in
+  let n = 8192 in
+  let f1 = Tone.coherent_freq ~fs ~n 20_000.0
+  and f2 = Tone.coherent_freq ~fs ~n 90_000.0 in
+  let tones = [ Tone.tone ~amplitude:1.0 f1; Tone.tone ~amplitude:0.25 f2 ] in
+  let s = Spectrum.analyze ~fs (Tone.sample ~tones ~fs ~n) in
+  checkb "tone 1" true (Float.abs (Spectrum.tone_amplitude s f1 -. 1.0) < 0.03);
+  checkb "tone 2" true (Float.abs (Spectrum.tone_amplitude s f2 -. 0.25) < 0.03)
+
+let test_spectrum_peaks () =
+  let fs = 1.0e6 in
+  let n = 8192 in
+  let f1 = Tone.coherent_freq ~fs ~n 30_000.0
+  and f2 = Tone.coherent_freq ~fs ~n 120_000.0 in
+  let s =
+    Spectrum.analyze ~fs
+      (Tone.sample ~tones:[ Tone.tone f1; Tone.tone ~amplitude:0.5 f2 ] ~fs ~n)
+  in
+  match Spectrum.peaks s ~count:2 with
+  | [ (pf1, _); (pf2, _) ] ->
+    checkb "strongest first" true (Float.abs (pf1 -. f1) < 300.0);
+    checkb "second peak" true (Float.abs (pf2 -. f2) < 300.0)
+  | peaks -> Alcotest.failf "expected 2 peaks, got %d" (List.length peaks)
+
+let test_spectrum_series () =
+  let fs = 1.0e6 in
+  let s = Spectrum.analyze ~fs (Array.make 1024 0.0) in
+  let series = Spectrum.series_db s in
+  checki "one-sided length" 513 (Array.length series);
+  checkb "silence is floor" true (snd series.(10) <= -100.0)
+
+(* --- Cutoff --- *)
+
+let test_cutoff_fit_exact_model () =
+  (* Gains generated from the model itself must be recovered. *)
+  let fc = 58_000.0 in
+  let gains =
+    List.map
+      (fun f -> (f, Cutoff.model_gain ~order:2 ~fc f))
+      [ 20_000.0; 60_000.0; 150_000.0 ]
+  in
+  let fit = Cutoff.fit ~order:2 gains in
+  checkb "recovers fc" true (Float.abs (fit -. fc) /. fc < 0.005)
+
+let test_cutoff_fit_with_gain_offset () =
+  (* An overall gain factor (unnormalized measurements) must not bias
+     the estimate. *)
+  let fc = 61_000.0 in
+  let gains =
+    List.map
+      (fun f -> (f, 3.7 *. Cutoff.model_gain ~order:2 ~fc f))
+      [ 10_000.0; 50_000.0; 100_000.0; 200_000.0 ]
+  in
+  checkb "gain factor fitted out" true
+    (Float.abs (Cutoff.fit ~order:2 gains -. fc) /. fc < 0.01)
+
+let test_cutoff_from_filter_measurement () =
+  (* End-to-end: butterworth filter, multi-tone, spectra, fit. *)
+  let fs = 1.7e6 in
+  let n = 4551 in
+  let pad = 8192 in
+  let filter = Filter.butterworth_lowpass ~order:2 ~fc:61_000.0 ~fs in
+  let tones =
+    List.map (Tone.coherent_freq ~fs ~n:pad) [ 20_000.0; 60_000.0; 150_000.0 ]
+  in
+  let input = Tone.sample ~tones:(List.map (Tone.tone ~amplitude:0.6) tones) ~fs ~n in
+  let output = Filter.process filter input in
+  let s_in = Spectrum.analyze ~fs ~pad_to:pad input in
+  let s_out = Spectrum.analyze ~fs ~pad_to:pad output in
+  let fit = Cutoff.from_spectra ~order:2 ~input:s_in ~output:s_out tones in
+  checkb
+    (Printf.sprintf "measured fc %.0f within 5%% of 61 kHz" fit)
+    true
+    (Float.abs (fit -. 61_000.0) /. 61_000.0 < 0.05)
+
+let test_cutoff_fit_validation () =
+  (match Cutoff.fit [ (100.0, 1.0) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "single tone accepted");
+  match Cutoff.fit [ (100.0, 1.0); (200.0, -0.5) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative gain accepted"
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"fft-ifft roundtrip" ~count:50
+      (pair (int_range 0 1000) (int_range 2 7))
+      (fun (seed, logn) ->
+        let n = 1 lsl logn in
+        let rng = Msoc_util.Rng.create ~seed in
+        let x =
+          Array.init n (fun _ ->
+              { Complex.re = Msoc_util.Rng.float_in rng ~lo:(-1.0) ~hi:1.0; im = 0.0 })
+        in
+        let back = Fft.inverse (Fft.forward x) in
+        Array.for_all2
+          (fun a b -> close ~abs_tol:1e-8 a.Complex.re b.Complex.re)
+          back x);
+    Test.make ~name:"butterworth |H| <= 1 everywhere" ~count:100
+      (pair (int_range 1 8) (float_range 0.01 0.4))
+      (fun (order, fc_ratio) ->
+        let fs = 1.0e6 in
+        let f = Filter.butterworth_lowpass ~order ~fc:(fc_ratio *. fs) ~fs in
+        List.for_all
+          (fun i ->
+            Filter.magnitude_response f ~fs (float_of_int i *. fs /. 64.0) <= 1.0 +. 1e-9)
+          (List.init 31 (fun i -> i + 1)));
+    Test.make ~name:"model_gain decreasing in f" ~count:100
+      (pair (float_range 1e3 1e6) (int_range 1 4))
+      (fun (fc, order) ->
+        Cutoff.model_gain ~order ~fc (fc /. 2.0) > Cutoff.model_gain ~order ~fc (fc *. 2.0));
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "signal.fft",
+      [
+        Alcotest.test_case "next_pow2" `Quick test_next_pow2;
+        Alcotest.test_case "rejects non-pow2" `Quick test_fft_rejects_non_pow2;
+        Alcotest.test_case "impulse" `Quick test_fft_impulse;
+        Alcotest.test_case "dc" `Quick test_fft_dc;
+        Alcotest.test_case "sine bin" `Quick test_fft_sine_bin;
+        Alcotest.test_case "inverse roundtrip" `Quick test_fft_inverse_roundtrip;
+        Alcotest.test_case "Parseval" `Quick test_fft_parseval;
+        Alcotest.test_case "linearity" `Quick test_fft_linearity;
+        Alcotest.test_case "of_real padding" `Quick test_of_real_padding;
+      ] );
+    ( "signal.window",
+      [
+        Alcotest.test_case "bounds" `Quick test_window_bounds;
+        Alcotest.test_case "hann shape" `Quick test_window_hann_shape;
+        Alcotest.test_case "coherent gain" `Quick test_window_mean_matches_coherent_gain;
+      ] );
+    ( "signal.tone",
+      [
+        Alcotest.test_case "sample" `Quick test_tone_sample;
+        Alcotest.test_case "coherent freq" `Quick test_tone_coherent;
+        Alcotest.test_case "crest factor" `Quick test_tone_crest_factor;
+      ] );
+    ( "signal.filter",
+      [
+        Alcotest.test_case "-3dB at fc" `Quick test_butterworth_minus3db_at_fc;
+        Alcotest.test_case "unit DC gain" `Quick test_butterworth_dc_gain;
+        Alcotest.test_case "monotone" `Quick test_butterworth_monotone;
+        Alcotest.test_case "roll-off slope" `Quick test_butterworth_rolloff_slope;
+        Alcotest.test_case "process attenuates" `Quick test_filter_process_attenuates;
+        Alcotest.test_case "cutoff bisection" `Quick test_filter_cutoff_bisection;
+        Alcotest.test_case "validation" `Quick test_filter_validation;
+      ] );
+    ( "signal.spectrum",
+      [
+        Alcotest.test_case "tone amplitude" `Quick test_spectrum_tone_amplitude;
+        Alcotest.test_case "multi-tone separation" `Quick test_spectrum_multi_tone_separation;
+        Alcotest.test_case "peaks" `Quick test_spectrum_peaks;
+        Alcotest.test_case "series" `Quick test_spectrum_series;
+      ] );
+    ( "signal.cutoff",
+      [
+        Alcotest.test_case "fit exact model" `Quick test_cutoff_fit_exact_model;
+        Alcotest.test_case "fit with gain offset" `Quick test_cutoff_fit_with_gain_offset;
+        Alcotest.test_case "from filter measurement" `Quick test_cutoff_from_filter_measurement;
+        Alcotest.test_case "fit validation" `Quick test_cutoff_fit_validation;
+      ] );
+    ("signal.properties", qcheck_tests);
+  ]

@@ -1,0 +1,248 @@
+(* Tests for Msoc_wrapper: BFD partitioning, Design_wrapper and the
+   Pareto staircase. *)
+
+module Types = Msoc_itc02.Types
+module Partition = Msoc_wrapper.Partition
+module Design = Msoc_wrapper.Design
+module Pareto = Msoc_wrapper.Pareto
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- Partition --- *)
+
+let test_bfd_conserves_items () =
+  let items = [ 5; 3; 8; 1; 9; 2 ] in
+  let bins = Partition.bfd ~k:3 ~weight:Fun.id items in
+  let all = Array.to_list bins |> List.concat_map (fun b -> b.Partition.items) in
+  Alcotest.(check (list int)) "items conserved" (List.sort compare items)
+    (List.sort compare all)
+
+let test_bfd_loads_consistent () =
+  let bins = Partition.bfd ~k:4 ~weight:Fun.id [ 7; 7; 7; 7; 1 ] in
+  Array.iter
+    (fun b ->
+      checki "load = sum of items" (List.fold_left ( + ) 0 b.Partition.items)
+        b.Partition.load)
+    bins
+
+let test_bfd_balances_equal_items () =
+  let bins = Partition.bfd ~k:4 ~weight:Fun.id [ 5; 5; 5; 5 ] in
+  checki "perfect balance" 5 (Partition.max_load bins)
+
+let test_bfd_single_bin () =
+  let bins = Partition.bfd ~k:1 ~weight:Fun.id [ 3; 4; 5 ] in
+  checki "everything in one bin" 12 (Partition.max_load bins)
+
+let test_bfd_more_bins_than_items () =
+  let bins = Partition.bfd ~k:10 ~weight:Fun.id [ 6; 2 ] in
+  checki "max load is biggest item" 6 (Partition.max_load bins)
+
+let test_bfd_rejects_bad_input () =
+  (match Partition.bfd ~k:0 ~weight:Fun.id [ 1 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "k=0 accepted");
+  match Partition.bfd ~k:2 ~weight:Fun.id [ -1 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative weight accepted"
+
+let test_spread () =
+  Alcotest.(check (array int)) "7 over 3" [| 3; 2; 2 |] (Partition.spread ~k:3 7);
+  Alcotest.(check (array int)) "0 over 2" [| 0; 0 |] (Partition.spread ~k:2 0)
+
+(* --- Design --- *)
+
+let scan_core =
+  Types.core ~id:1 ~name:"scan" ~inputs:20 ~outputs:10 ~bidirs:4
+    ~scan_chains:[ 120; 80; 80; 40 ] ~patterns:100
+
+let comb_core =
+  Types.core ~id:2 ~name:"comb" ~inputs:60 ~outputs:30 ~bidirs:0 ~scan_chains:[]
+    ~patterns:500
+
+let test_design_depths () =
+  let d = Design.design scan_core ~width:2 in
+  (* BFD over 2 bins: {120, 40} vs {80, 80} -> both 160 scan cells;
+     I/O cells level on top. *)
+  checkb "si >= scan partition depth" true (d.Design.scan_in >= 160);
+  checkb "si accounts inputs" true
+    (d.Design.scan_in <= 160 + ((20 + 4) / 2) + 1 + 4);
+  checki "uses both chains" 2 d.Design.used_width
+
+let test_design_test_time_formula () =
+  let d = Design.design scan_core ~width:4 in
+  let si = d.Design.scan_in and so = d.Design.scan_out in
+  checki "T matches formula" (((1 + max si so) * 100) + min si so) (Design.test_time d)
+
+let test_design_width_one () =
+  let d = Design.design scan_core ~width:1 in
+  checki "all scan on one chain" (320 + 20 + 4) d.Design.scan_in;
+  checki "scan out side" (320 + 10 + 4) d.Design.scan_out
+
+let test_design_combinational () =
+  let d = Design.design comb_core ~width:6 in
+  checki "inputs spread over 6" 10 d.Design.scan_in;
+  checki "outputs spread over 6" 5 d.Design.scan_out;
+  checkb "time = (1+si)*p + so" true (Design.test_time d = ((1 + 10) * 500) + 5)
+
+let test_design_used_width_bounded () =
+  let d = Design.design comb_core ~width:200 in
+  checkb "cannot use more chains than cells" true (d.Design.used_width <= 90);
+  checkb "at least one" true (d.Design.used_width >= 1)
+
+let test_design_monotone_enough () =
+  (* Doubling the width never increases the designed test time. *)
+  let t1 = Design.test_time_at scan_core ~width:1 in
+  let t2 = Design.test_time_at scan_core ~width:2 in
+  let t4 = Design.test_time_at scan_core ~width:4 in
+  checkb "staircase trend" true (t1 >= t2 && t2 >= t4)
+
+let test_design_rejects_zero_width () =
+  match Design.design scan_core ~width:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "width 0 accepted"
+
+(* --- Pareto --- *)
+
+let test_staircase_strictly_decreasing () =
+  let points = Pareto.points (Pareto.staircase scan_core ~max_width:16) in
+  let rec check_pairs = function
+    | (a : Pareto.point) :: (b : Pareto.point) :: rest ->
+      checkb "width increases" true (b.Pareto.width > a.Pareto.width);
+      checkb "time decreases" true (b.Pareto.time < a.Pareto.time);
+      check_pairs (b :: rest)
+    | [ _ ] | [] -> ()
+  in
+  check_pairs points
+
+let test_staircase_time_at () =
+  let s = Pareto.staircase scan_core ~max_width:16 in
+  checki "time at min width" (Design.test_time_at scan_core ~width:1)
+    (Pareto.time_at s ~width:1);
+  checkb "wider never slower" true
+    (Pareto.time_at s ~width:16 <= Pareto.time_at s ~width:2);
+  (* Querying beyond the widest point returns the widest time. *)
+  checki "saturates" (Pareto.min_time s) (Pareto.time_at s ~width:1000)
+
+let test_staircase_below_min_width () =
+  let s = Pareto.fixed ~width:4 ~time:100 in
+  match Pareto.time_at s ~width:3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "width below minimum accepted"
+
+let test_fixed_staircase () =
+  let s = Pareto.fixed ~width:5 ~time:42 in
+  checki "min width" 5 (Pareto.min_width s);
+  checki "max width" 5 (Pareto.max_width s);
+  checki "min time" 42 (Pareto.min_time s);
+  checki "width_for" 5 (Pareto.width_for s ~width:60)
+
+let test_staircase_dominance_vs_design () =
+  (* Every staircase point is at least as good as the raw design at
+     the same width (the frontier may only improve on it). *)
+  let s = Pareto.staircase scan_core ~max_width:12 in
+  List.iter
+    (fun (p : Pareto.point) ->
+      checkb "frontier beats or ties design" true
+        (p.Pareto.time <= Design.test_time_at scan_core ~width:p.Pareto.width))
+    (Pareto.points s)
+
+let qcheck_tests =
+  let open QCheck in
+  let core_arb =
+    make
+      (let open Gen in
+       let* inputs = int_range 1 200 in
+       let* outputs = int_range 1 150 in
+       let* bidirs = int_range 0 40 in
+       let* chains = list_size (int_range 0 10) (int_range 10 400) in
+       let* patterns = int_range 1 2000 in
+       return
+         (Types.core ~id:1 ~name:"q" ~inputs ~outputs ~bidirs ~scan_chains:chains
+            ~patterns))
+  in
+  [
+    Test.make ~name:"bfd max load >= ceil(total/k) and >= max item" ~count:300
+      (pair (int_range 1 16) (list_of_size (Gen.int_range 1 30) (int_range 0 500)))
+      (fun (k, items) ->
+        let bins = Partition.bfd ~k ~weight:Fun.id items in
+        let total = List.fold_left ( + ) 0 items in
+        let biggest = List.fold_left max 0 items in
+        let load = Partition.max_load bins in
+        load >= (total + k - 1) / k && load >= biggest);
+    Test.make ~name:"bfd within 4/3 OPT bound for makespan" ~count:300
+      (pair (int_range 1 8) (list_of_size (Gen.int_range 1 20) (int_range 1 100)))
+      (fun (k, items) ->
+        let bins = Partition.bfd ~k ~weight:Fun.id items in
+        let total = List.fold_left ( + ) 0 items in
+        let biggest = List.fold_left max 0 items in
+        let opt_lb = max biggest ((total + k - 1) / k) in
+        (* LPT guarantee: load <= (4/3 - 1/(3k)) OPT *)
+        3 * Partition.max_load bins <= 4 * opt_lb + biggest);
+    Test.make ~name:"staircase monotone for random cores" ~count:100 core_arb
+      (fun core ->
+        let points = Pareto.points (Pareto.staircase core ~max_width:20) in
+        let rec ok = function
+          | (a : Pareto.point) :: (b : Pareto.point) :: rest ->
+            a.Pareto.width < b.Pareto.width && a.Pareto.time > b.Pareto.time
+            && ok (b :: rest)
+          | [ _ ] | [] -> true
+        in
+        ok points);
+    Test.make ~name:"design si/so bound the per-chain loads" ~count:100 core_arb
+      (fun core ->
+        let d = Design.design core ~width:6 in
+        Array.for_all
+          (fun c ->
+            Design.chain_scan_in c <= d.Design.scan_in
+            && Design.chain_scan_out c <= d.Design.scan_out)
+          d.Design.chains);
+    Test.make ~name:"design conserves cells" ~count:100 core_arb
+      (fun core ->
+        let d = Design.design core ~width:5 in
+        let ins = Array.fold_left (fun a c -> a + c.Design.input_cells) 0 d.Design.chains in
+        let outs = Array.fold_left (fun a c -> a + c.Design.output_cells) 0 d.Design.chains in
+        let bids = Array.fold_left (fun a c -> a + c.Design.bidir_cells) 0 d.Design.chains in
+        let scan =
+          Array.fold_left
+            (fun a c -> a + List.fold_left ( + ) 0 c.Design.scan)
+            0 d.Design.chains
+        in
+        ins = core.Types.inputs && outs = core.Types.outputs
+        && bids = core.Types.bidirs
+        && scan = Types.scan_cells core);
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "wrapper.partition",
+      [
+        Alcotest.test_case "conserves items" `Quick test_bfd_conserves_items;
+        Alcotest.test_case "loads consistent" `Quick test_bfd_loads_consistent;
+        Alcotest.test_case "balances equal items" `Quick test_bfd_balances_equal_items;
+        Alcotest.test_case "single bin" `Quick test_bfd_single_bin;
+        Alcotest.test_case "more bins than items" `Quick test_bfd_more_bins_than_items;
+        Alcotest.test_case "rejects bad input" `Quick test_bfd_rejects_bad_input;
+        Alcotest.test_case "spread" `Quick test_spread;
+      ] );
+    ( "wrapper.design",
+      [
+        Alcotest.test_case "depths" `Quick test_design_depths;
+        Alcotest.test_case "test time formula" `Quick test_design_test_time_formula;
+        Alcotest.test_case "width one" `Quick test_design_width_one;
+        Alcotest.test_case "combinational" `Quick test_design_combinational;
+        Alcotest.test_case "used width bounded" `Quick test_design_used_width_bounded;
+        Alcotest.test_case "monotone trend" `Quick test_design_monotone_enough;
+        Alcotest.test_case "rejects zero width" `Quick test_design_rejects_zero_width;
+      ] );
+    ( "wrapper.pareto",
+      [
+        Alcotest.test_case "strictly decreasing" `Quick test_staircase_strictly_decreasing;
+        Alcotest.test_case "time_at" `Quick test_staircase_time_at;
+        Alcotest.test_case "below min width" `Quick test_staircase_below_min_width;
+        Alcotest.test_case "fixed point" `Quick test_fixed_staircase;
+        Alcotest.test_case "dominates raw design" `Quick test_staircase_dominance_vs_design;
+      ] );
+    ("wrapper.properties", qcheck_tests);
+  ]
