@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench doc examples clean artifacts
+.PHONY: all build test check bench doc examples clean artifacts
 
 all: build
 
@@ -9,6 +9,10 @@ build:
 
 test:
 	dune runtest
+
+# Single entry point for CI and builders: full build + full test suite
+check:
+	dune build @all && dune runtest
 
 # Regenerate every paper table/figure + ablations (writes bench_output.txt)
 bench:

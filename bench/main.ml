@@ -5,7 +5,7 @@
    Usage: dune exec bench/main.exe [-- section ...]
    Sections: table1 table2 table3 table4 fig2 fig4 fig5 ablation-delta
    ablation-serial ablation-placement ablation-selftest ablation-fixed
-   ablation-power scaling timings (default: all). *)
+   ablation-power ablation-engine scaling timings (default: all). *)
 
 let sections =
   [
@@ -23,6 +23,7 @@ let sections =
     ("ablation-fixed", Ablations.ablation_fixed_partition);
     ("ablation-power", Ablations.ablation_power);
     ("ablation-packer", Ablations.ablation_packer);
+    ("ablation-engine", Engine.run);
     ("generality", Ablations.generality);
     ("sigma-delta", Figures.sigma_delta);
     ("tradeoff", Ablations.tradeoff);

@@ -51,6 +51,19 @@ let delta_arg =
   let doc = "Cost_Optimizer pruning threshold (0 = aggressive, paper default)." in
   Arg.(value & opt float 0.0 & info [ "delta" ] ~docv:"DELTA" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel sharing-combination evaluation. Defaults to \
+     $(b,MSOC_JOBS) when set, else 1 (serial). The plan is bit-identical at \
+     any job count."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs = function
+  | Some n when n >= 1 -> n
+  | Some n -> Fmt.failwith "--jobs must be >= 1, got %d" n
+  | None -> Msoc_util.Pool.default_jobs ()
+
 let schedule_flag =
   let doc = "Print the full test schedule (one row per test)." in
   Arg.(value & flag & info [ "schedule" ] ~doc)
@@ -78,8 +91,8 @@ let parse_analog labels =
 
 (* --- plan --- *)
 
-let run_plan width weight_time soc_file analog_labels search delta with_schedule
-    with_gantt as_json =
+let run_plan width weight_time soc_file analog_labels search delta jobs
+    with_schedule with_gantt as_json =
   let soc = load_soc soc_file in
   let analog_cores = parse_analog analog_labels in
   let problem =
@@ -90,7 +103,10 @@ let run_plan width weight_time soc_file analog_labels search delta with_schedule
     | `Heuristic -> Plan.Heuristic { delta }
     | `Exhaustive -> Plan.Exhaustive_search
   in
-  let plan = Plan.run ~search problem in
+  let plan =
+    Msoc_util.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
+        Plan.run ~search ~pool problem)
+  in
   if as_json then
     print_string (Msoc_testplan.Export.plan_to_string ~pretty:true plan)
   else begin
@@ -114,8 +130,8 @@ let plan_cmd =
     (Cmd.info "plan" ~doc)
     Term.(
       const run_plan $ width_arg $ weight_time_arg $ soc_file_arg
-      $ analog_labels_arg $ search_arg $ delta_arg $ schedule_flag $ gantt_flag
-      $ json_flag)
+      $ analog_labels_arg $ search_arg $ delta_arg $ jobs_arg $ schedule_flag
+      $ gantt_flag $ json_flag)
 
 (* --- soc-info --- *)
 

@@ -7,7 +7,7 @@ type result = {
   surviving_groups : int list list;
 }
 
-let run ?(delta = 0.0) ?combinations prepared =
+let run ?(delta = 0.0) ?combinations ?pool prepared =
   if delta < 0.0 then invalid_arg "Cost_optimizer.run: negative delta";
   let candidates =
     match combinations with
@@ -20,8 +20,9 @@ let run ?(delta = 0.0) ?combinations prepared =
      cost (e.g. all 3+2 splits together, all 4-sharings together). *)
   let groups = Msoc_util.Combinat.group_by Sharing.degree_signature candidates in
   (* Lines 2-9: per group, fully evaluate the member with the least
-     preliminary cost. *)
-  let representatives =
+     preliminary cost. Preliminary costs are schedule-free and cheap,
+     so only the full evaluations go through the (pooled) engine. *)
+  let chosen_per_group =
     List.map
       (fun (degree, members) ->
         let scored =
@@ -32,8 +33,17 @@ let run ?(delta = 0.0) ?combinations prepared =
             (match scored with s :: _ -> s | [] -> assert false)
             scored
         in
-        (degree, members, Evaluate.evaluate prepared chosen))
+        (degree, members, chosen))
       groups
+  in
+  let representative_evals =
+    Evaluate.evaluate_many ?pool prepared
+      (List.map (fun (_, _, chosen) -> chosen) chosen_per_group)
+  in
+  let representatives =
+    List.map2
+      (fun (degree, members, _) e -> (degree, members, e))
+      chosen_per_group representative_evals
   in
   (* Lines 10-17: prune groups against the best representative. *)
   let c_min =
@@ -44,18 +54,21 @@ let run ?(delta = 0.0) ?combinations prepared =
   let survivors =
     List.filter (fun (_, _, e) -> e.Evaluate.cost -. c_min <= delta) representatives
   in
-  (* Line 18: full evaluation of the surviving groups (representatives
-     are already done). *)
-  let finals =
+  (* Line 18: full evaluation of the surviving groups. The
+     representatives re-enter the candidate list (in the same position
+     as before) but only hit the schedule cache, so the evaluation
+     order — and hence the first-wins tie-break below — is exactly the
+     serial seed's. *)
+  let final_combos =
     List.concat_map
       (fun (_, members, representative) ->
-        representative
-        :: (members
-           |> List.filter (fun c ->
-                  not (Sharing.equal c representative.Evaluate.combination))
-           |> List.map (Evaluate.evaluate prepared)))
+        representative.Evaluate.combination
+        :: List.filter
+             (fun c -> not (Sharing.equal c representative.Evaluate.combination))
+             members)
       survivors
   in
+  let finals = Evaluate.evaluate_many ?pool prepared final_combos in
   let best =
     List.fold_left
       (fun acc e -> if e.Evaluate.cost < acc.Evaluate.cost then e else acc)

@@ -30,10 +30,15 @@ type result = {
 val run :
   ?delta:float ->
   ?combinations:Msoc_analog.Sharing.t list ->
+  ?pool:Msoc_util.Pool.t ->
   Evaluate.prepared ->
   result
 (** [delta] defaults to 0, the paper's Table 4 setting. Candidates
-    default to {!Problem.combinations}.
+    default to {!Problem.combinations}. With [pool], the group
+    representatives and the surviving members are packed on the worker
+    domains (two synchronized waves — the pruning decision between
+    them is inherently sequential); results are bit-identical to the
+    serial run.
     @raise Invalid_argument on an empty candidate list or negative
     [delta]. *)
 

@@ -6,11 +6,34 @@ module Job = Msoc_tam.Job
 module Packer = Msoc_tam.Packer
 module Schedule = Msoc_tam.Schedule
 
+(* Schedule memo: a packed schedule depends only on the job set —
+   i.e. on the sharing combination (plus the per-[prepared] TAM width
+   and self-test setting) — never on the cost weights, so one cache
+   entry serves every weight point and every optimizer that revisits
+   the combination. Keyed on the canonical partition name
+   ([Sharing.full_name] of the canonicalized groups). *)
+type cache = {
+  table : (string, Schedule.t) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
 type prepared = {
   problem : Problem.t;
   digital_jobs : Job.t list;
   reference_makespan : int;
+  cache : cache;
 }
+
+(* Process-wide count of TAM-optimizer invocations ([Packer.pack]
+   runs), maintained atomically so pool workers can bump it too.
+   Tests and benches read the delta around a search to verify the
+   cache really avoids repacking. *)
+let packs = Atomic.make 0
+
+let total_packs () = Atomic.get packs
 
 (* One wrapper per group: its optional converter self-test runs first
    (Fig. 1's self-test mode), gating the group's core tests via a
@@ -67,17 +90,53 @@ let jobs_for_groups prepared groups =
   prepared.digital_jobs
   @ analog_jobs ~self_test:prepared.problem.Problem.self_test groups
 
+let combination_key (combination : Sharing.t) = Sharing.full_name combination
+
+let pack_jobs p jobs =
+  Atomic.incr packs;
+  Packer.pack ~width:p.problem.Problem.tam_width jobs
+
+(* Single-domain cache lookup; the parallel path in [evaluate_many]
+   packs on workers but fills the table from the calling domain only,
+   so the cache itself never needs locking. *)
+let schedule_for p combination =
+  let key = combination_key combination in
+  match Hashtbl.find_opt p.cache.table key with
+  | Some schedule ->
+    p.cache.hits <- p.cache.hits + 1;
+    schedule
+  | None ->
+    let schedule = pack_jobs p (jobs_for_groups p combination.Sharing.groups) in
+    p.cache.misses <- p.cache.misses + 1;
+    Hashtbl.replace p.cache.table key schedule;
+    schedule
+
 let prepare (problem : Problem.t) =
   let digital_jobs =
     List.map
       (Job.of_core ~max_width:problem.Problem.tam_width)
       problem.Problem.soc.Msoc_itc02.Types.cores
   in
-  let provisional = { problem; digital_jobs; reference_makespan = 0 } in
+  let cache = { table = Hashtbl.create 64; hits = 0; misses = 0 } in
+  let provisional = { problem; digital_jobs; reference_makespan = 0; cache } in
   let full = Sharing.full_sharing problem.Problem.analog_cores in
-  let jobs = jobs_for_groups provisional full.Sharing.groups in
-  let schedule = Packer.pack ~width:problem.Problem.tam_width jobs in
+  (* Seeding through [schedule_for] leaves the full-sharing schedule
+     in the cache: when full sharing is also a candidate combination
+     (it usually is), the optimizers never repack the reference. *)
+  let schedule = schedule_for provisional full in
   { provisional with reference_makespan = Schedule.makespan schedule }
+
+let reweight p (problem : Problem.t) =
+  if not (Problem.same_structure p.problem problem) then
+    invalid_arg "Evaluate.reweight: problems differ beyond the cost weights";
+  { p with problem }
+
+let cache_stats p =
+  {
+    hits = p.cache.hits;
+    misses = p.cache.misses;
+    entries = Hashtbl.length p.cache.table;
+  }
 
 let problem p = p.problem
 
@@ -98,11 +157,14 @@ type evaluation = {
 }
 
 let evaluate p combination =
-  let jobs = jobs_for p combination in
-  let schedule = Packer.pack ~width:p.problem.Problem.tam_width jobs in
+  let schedule = schedule_for p combination in
   let makespan = Schedule.makespan schedule in
+  (* Convention: an empty reference (a SOC with no jobs packs to
+     makespan 0) prices C_T as 0 rather than raising or going NaN — a
+     NaN here would silently poison every [<] pruning comparison in
+     Cost_optimizer. See DESIGN.md §7. *)
   let c_t =
-    Msoc_util.Numeric.percent_of (float_of_int makespan)
+    Msoc_util.Numeric.percent_of_or ~default:0.0 (float_of_int makespan)
       (float_of_int p.reference_makespan)
   in
   let c_a = Area.cost_ca ~model:p.problem.Problem.area_model combination in
@@ -111,6 +173,41 @@ let evaluate p combination =
   in
   { combination; schedule; makespan; c_t; c_a; cost }
 
+let evaluate_many ?pool p combinations =
+  (match pool with
+  | None -> ()
+  | Some pool when Msoc_util.Pool.jobs pool <= 1 -> ()
+  | Some pool ->
+    (* Pack the schedules the cache is missing on the worker domains.
+       Workers run the pure (jobs, width) -> schedule function only;
+       the table and counters are touched from this domain alone.
+       [Pool.map] returns in input order and packing is deterministic,
+       so the filled cache — and every evaluation below — is
+       bit-identical to the serial path. *)
+    let queued = Hashtbl.create 16 in
+    let missing =
+      List.filter
+        (fun c ->
+          let key = combination_key c in
+          if Hashtbl.mem p.cache.table key || Hashtbl.mem queued key then false
+          else begin
+            Hashtbl.add queued key ();
+            true
+          end)
+        combinations
+    in
+    let schedules =
+      Msoc_util.Pool.map pool
+        (fun c -> pack_jobs p (jobs_for_groups p c.Sharing.groups))
+        missing
+    in
+    List.iter2
+      (fun c schedule ->
+        p.cache.misses <- p.cache.misses + 1;
+        Hashtbl.replace p.cache.table (combination_key c) schedule)
+      missing schedules);
+  List.map (evaluate p) combinations
+
 let preliminary_cost p combination =
   let analog_total =
     List.fold_left
@@ -118,7 +215,7 @@ let preliminary_cost p combination =
       0 p.problem.Problem.analog_cores
   in
   let t_lb_norm =
-    Msoc_util.Numeric.percent_of
+    Msoc_util.Numeric.percent_of_or ~default:0.0
       (float_of_int (Bounds.lower_bound combination))
       (float_of_int analog_total)
   in

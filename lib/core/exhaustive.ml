@@ -4,14 +4,14 @@ type result = {
   all : Evaluate.evaluation list;
 }
 
-let run ?combinations prepared =
+let run ?combinations ?pool prepared =
   let candidates =
     match combinations with
     | Some cs -> cs
     | None -> Problem.combinations (Evaluate.problem prepared)
   in
   if candidates = [] then invalid_arg "Exhaustive.run: no candidate combinations";
-  let all = List.map (Evaluate.evaluate prepared) candidates in
+  let all = Evaluate.evaluate_many ?pool prepared candidates in
   let best =
     match all with
     | [] -> assert false

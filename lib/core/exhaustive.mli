@@ -11,6 +11,12 @@ type result = {
 }
 
 val run :
-  ?combinations:Msoc_analog.Sharing.t list -> Evaluate.prepared -> result
-(** Candidates default to {!Problem.combinations}.
+  ?combinations:Msoc_analog.Sharing.t list ->
+  ?pool:Msoc_util.Pool.t ->
+  Evaluate.prepared ->
+  result
+(** Candidates default to {!Problem.combinations}. With [pool],
+    cache-missing combinations are packed on the worker domains; the
+    result (best, tie-breaking, order of [all]) is bit-identical to
+    the serial run — see {!Evaluate.evaluate_many}.
     @raise Invalid_argument on an empty candidate list. *)

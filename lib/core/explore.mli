@@ -3,10 +3,21 @@
     The planner answers "given W, what is the best architecture?";
     a test engineer usually starts from the other end — a test-time
     budget, or a curiosity about how the decision moves with the cost
-    weights. These helpers run the planner across the relevant axis. *)
+    weights. These helpers run the planner across the relevant axis.
+
+    Infeasible axis points never crash a sweep: both
+    [Invalid_argument] (from problem construction) and
+    {!Msoc_tam.Packer.Infeasible} (from packing a job set the width
+    cannot carry) are treated as "this point misses the constraints"
+    and skipped.
+
+    All helpers accept an optional {!Msoc_util.Pool.t}; combinations
+    are then packed on the worker domains with bit-identical results
+    (see {!Evaluate.evaluate_many}). *)
 
 val minimal_width :
   ?search:Plan.search ->
+  ?pool:Msoc_util.Pool.t ->
   ?lo:int ->
   ?hi:int ->
   budget_cycles:int ->
@@ -17,20 +28,31 @@ val minimal_width :
     makespan budget, by binary search on the first width meeting the
     budget (makespan is monotonically non-increasing in W up to
     heuristic noise; the returned plan is re-verified against the
-    budget). Widths where [problem_of_width] raises
-    [Invalid_argument] (e.g. below an analog core's TAM need) are
-    treated as infeasible. Returns [None] when even [hi] misses the
-    budget. *)
+    budget). Widths where [problem_of_width] or the planner raises
+    [Invalid_argument] or [Packer.Infeasible] (e.g. below an analog
+    core's TAM need) are treated as infeasible — the search may probe
+    arbitrarily far below feasibility, including [lo = 1]. Returns
+    [None] when even [hi] misses the budget. *)
 
 val weight_sweep :
   ?search:Plan.search ->
+  ?pool:Msoc_util.Pool.t ->
   weights:float list ->
   (float -> Problem.t) ->
   (float * Plan.t) list
 (** Plan once per time-weight; the caller inspects how the chosen
-    sharing moves along the time/area trade-off. *)
+    sharing moves along the time/area trade-off. Weight points whose
+    problems share a structure ({!Problem.same_structure}) share one
+    preparation and schedule cache, so the sweep performs at most one
+    pack per distinct sharing combination — not per (combination,
+    weight) pair. *)
 
 val width_sweep :
-  ?search:Plan.search -> widths:int list -> (int -> Problem.t) -> (int * Plan.t) list
+  ?search:Plan.search ->
+  ?pool:Msoc_util.Pool.t ->
+  widths:int list ->
+  (int -> Problem.t) ->
+  (int * Plan.t) list
 (** Plan once per TAM width. Widths that are infeasible for the
-    instance are skipped. *)
+    instance are skipped. (No cross-width caching: schedules depend
+    on the TAM width.) *)

@@ -8,16 +8,16 @@ type t = {
   reference_makespan : int;
 }
 
-let run_prepared ?(search = Heuristic { delta = 0.0 }) prepared =
+let run_prepared ?(search = Heuristic { delta = 0.0 }) ?pool prepared =
   let problem = Evaluate.problem prepared in
   let considered = List.length (Problem.combinations problem) in
   let best, evaluations =
     match search with
     | Exhaustive_search ->
-      let r = Exhaustive.run prepared in
+      let r = Exhaustive.run ?pool prepared in
       (r.Exhaustive.best, r.Exhaustive.evaluations)
     | Heuristic { delta } ->
-      let r = Cost_optimizer.run ~delta prepared in
+      let r = Cost_optimizer.run ~delta ?pool prepared in
       (r.Cost_optimizer.best, r.Cost_optimizer.evaluations)
   in
   {
@@ -28,7 +28,7 @@ let run_prepared ?(search = Heuristic { delta = 0.0 }) prepared =
     reference_makespan = Evaluate.reference_makespan prepared;
   }
 
-let run ?search problem = run_prepared ?search (Evaluate.prepare problem)
+let run ?search ?pool problem = run_prepared ?search ?pool (Evaluate.prepare problem)
 
 let makespan t = t.best.Evaluate.makespan
 

@@ -19,12 +19,16 @@ type t = {
   reference_makespan : int;  (** full-sharing makespan (C_T base) *)
 }
 
-val run : ?search:search -> Problem.t -> t
-(** Default search: [Heuristic { delta = 0. }]. *)
+val run : ?search:search -> ?pool:Msoc_util.Pool.t -> Problem.t -> t
+(** Default search: [Heuristic { delta = 0. }]. With [pool],
+    independent combinations are packed on the worker domains; the
+    plan is bit-identical to the serial one (same best cost, same
+    tie-breaking — see {!Evaluate.evaluate_many}). *)
 
-val run_prepared : ?search:search -> Evaluate.prepared -> t
-(** Same, reusing an existing {!Evaluate.prepare} result (the bench
-    harness sweeps many weight settings over one preparation). *)
+val run_prepared : ?search:search -> ?pool:Msoc_util.Pool.t -> Evaluate.prepared -> t
+(** Same, reusing an existing {!Evaluate.prepare} result and its
+    schedule cache (the bench harness sweeps many weight settings
+    over one preparation). *)
 
 val makespan : t -> int
 

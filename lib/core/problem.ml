@@ -43,6 +43,17 @@ let make ?(area_model = Area.default_model) ?(policy = Spec.default_policy)
     self_test;
   }
 
+let same_structure a b =
+  (* area_model holds closures, so compare it physically; everything
+     else is plain data. Weights are deliberately ignored: schedules
+     (and hence the evaluation cache) depend only on the structure. *)
+  a.soc = b.soc
+  && a.analog_cores = b.analog_cores
+  && a.tam_width = b.tam_width
+  && a.area_model == b.area_model
+  && a.policy = b.policy
+  && a.self_test = b.self_test
+
 let filter_candidates t candidates =
   candidates
   |> List.filter (Sharing.is_feasible ~policy:t.policy)

@@ -40,6 +40,14 @@ val make :
     [tam_width >= 1], the analog list is non-empty, and every analog
     core's width fits in [tam_width]. *)
 
+val same_structure : t -> t -> bool
+(** [same_structure a b] holds when [a] and [b] differ at most in
+    their cost weights (w_T, w_A): same SOC, analog cores, TAM width,
+    area model (physical equality — models carry closures), policy and
+    self-test setting. Packed schedules depend only on the structure,
+    so structurally equal problems can share one evaluation cache
+    (see {!Evaluate.reweight}). *)
+
 val combinations : t -> Msoc_analog.Sharing.t list
 (** The candidate sharing combinations the optimizers search: the
     paper's enumeration ({!Msoc_analog.Sharing.paper_combinations}),

@@ -9,10 +9,29 @@ type t = {
   conflicts : string list;
 }
 
+(* A zero-cycle (or zero-wire) operating point would occupy a
+   degenerate [start, start) interval that every busy-interval check
+   accepts, so the packer would happily stack it on busy wires —
+   reject it at construction instead. *)
+let check_points ~context staircase =
+  List.iter
+    (fun (p : Pareto.point) ->
+      if p.Pareto.width <= 0 || p.Pareto.time <= 0 then
+        invalid_arg
+          (Printf.sprintf
+             "%s: non-positive operating point (width %d, time %d cycles)"
+             context p.Pareto.width p.Pareto.time))
+    (Pareto.points staircase)
+
 let digital ~label staircase =
+  check_points ~context:(Printf.sprintf "Job.digital: job %s" label) staircase;
   { label; staircase; exclusion = None; power = 0; predecessors = []; conflicts = [] }
 
 let analog ~label ~width ~time ~group =
+  if width <= 0 then
+    invalid_arg (Printf.sprintf "Job.analog: job %s needs a positive width, got %d" label width);
+  if time <= 0 then
+    invalid_arg (Printf.sprintf "Job.analog: job %s needs a positive time, got %d cycles" label time);
   {
     label;
     staircase = Pareto.fixed ~width ~time;

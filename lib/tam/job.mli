@@ -28,11 +28,15 @@ type t = {
 }
 
 val digital : label:string -> Msoc_wrapper.Pareto.t -> t
-(** No exclusion group, zero power, no predecessors. *)
+(** No exclusion group, zero power, no predecessors.
+    @raise Invalid_argument if any staircase point has a non-positive
+    width or time — a zero-cycle rectangle would degenerate to an
+    empty busy interval and schedule on top of busy wires. *)
 
 val analog : label:string -> width:int -> time:int -> group:int -> t
 (** Fixed-shape rectangle (analog test time does not scale with TAM
-    wires) bound to exclusion group [group]. *)
+    wires) bound to exclusion group [group].
+    @raise Invalid_argument unless [width] and [time] are positive. *)
 
 val of_core : Msoc_itc02.Types.core -> max_width:int -> t
 (** Digital job from a core description: designs wrappers at widths

@@ -6,6 +6,9 @@ let percent_of part whole =
   if whole = 0.0 then invalid_arg "Numeric.percent_of: zero whole";
   100.0 *. part /. whole
 
+let percent_of_or ~default part whole =
+  if whole = 0.0 || Float.is_nan whole then default else 100.0 *. part /. whole
+
 let clamp ~lo ~hi v = Float.min hi (Float.max lo v)
 
 let clamp_int ~lo ~hi v = min hi (max lo v)

@@ -9,6 +9,13 @@ val percent_of : float -> float -> float
 (** [percent_of part whole] is [100 * part / whole].
     @raise Invalid_argument if [whole = 0]. *)
 
+val percent_of_or : default:float -> float -> float -> float
+(** [percent_of_or ~default part whole] is {!percent_of}, except a
+    zero (or NaN) [whole] yields [default] instead of raising — for
+    normalizations whose base can legitimately be empty (e.g. a cost
+    normalized to a reference makespan of 0 jobs). Never NaN as long
+    as [part] and [default] are not. *)
+
 val clamp : lo:float -> hi:float -> float -> float
 (** Clamp into [\[lo, hi\]]. *)
 

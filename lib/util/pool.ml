@@ -1,0 +1,114 @@
+(* Fixed-size Domain-based worker pool (OCaml 5, stdlib only).
+
+   Workers block on a condition variable over a shared queue of
+   thunks; [map] fans a list out to the queue and waits for every
+   element, writing results into a slot array so the output order is
+   the input order regardless of completion order. With [jobs = 1] no
+   domain is ever spawned and [map] degenerates to [List.map], so a
+   pool value can be threaded unconditionally through serial code. *)
+
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  queue : task Queue.t;
+  lock : Mutex.t;
+  work_available : Condition.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+let rec worker pool =
+  Mutex.lock pool.lock;
+  while Queue.is_empty pool.queue && not pool.stopping do
+    Condition.wait pool.work_available pool.lock
+  done;
+  match Queue.take_opt pool.queue with
+  | Some task ->
+    Mutex.unlock pool.lock;
+    task ();
+    worker pool
+  | None -> Mutex.unlock pool.lock (* stopping and drained *)
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let pool =
+    {
+      jobs;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      work_available = Condition.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    pool.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  pool.stopping <- true;
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let map pool f xs =
+  if pool.stopping then invalid_arg "Pool.map: pool already shut down";
+  match xs with
+  | [] -> []
+  | _ when pool.workers = [] -> List.map f xs
+  | xs ->
+    let items = Array.of_list xs in
+    let n = Array.length items in
+    let results = Array.make n None in
+    let done_lock = Mutex.create () in
+    let all_done = Condition.create () in
+    let remaining = ref n in
+    Mutex.lock pool.lock;
+    if pool.stopping then begin
+      Mutex.unlock pool.lock;
+      invalid_arg "Pool.map: pool already shut down"
+    end;
+    Array.iteri
+      (fun i x ->
+        Queue.add
+          (fun () ->
+            let r = try Ok (f x) with e -> Error e in
+            Mutex.lock done_lock;
+            results.(i) <- Some r;
+            decr remaining;
+            if !remaining = 0 then Condition.signal all_done;
+            Mutex.unlock done_lock)
+          pool.queue)
+      items;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.lock;
+    Mutex.lock done_lock;
+    while !remaining > 0 do
+      Condition.wait all_done done_lock
+    done;
+    Mutex.unlock done_lock;
+    (* every slot is filled; re-raise the first failure in input order
+       so error reporting is deterministic *)
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok y) -> y
+         | Some (Error e) -> raise e
+         | None -> assert false)
+
+let default_jobs () =
+  match Sys.getenv_opt "MSOC_JOBS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None ->
+      invalid_arg (Printf.sprintf "MSOC_JOBS must be a positive integer, got %S" s))

@@ -64,6 +64,35 @@ let test_weight_sweep () =
   let c_a w = (List.assoc w sweep).Plan.best.Msoc_testplan.Evaluate.c_a in
   checkb "area weight favors lower C_A" true (c_a 0.0 <= c_a 1.0 +. 1e-9)
 
+(* Regression: a width below a core's TAM need must read as "this
+   width misses the budget", never crash the sweep — whether the
+   constructor rejects it (Invalid_argument, e.g. core D's 10-wire
+   test below) or the feasibility check is deferred to the packer
+   (Packer.Infeasible). *)
+let test_minimal_width_from_one () =
+  (* built-in instance with lo=1: widths 1..9 are infeasible for core
+     D and must be probed without crashing *)
+  let problem_of_width tam_width = Msoc_testplan.Instances.d281m ~tam_width () in
+  match Explore.minimal_width ~lo:1 ~hi:64 ~budget_cycles:2_000_000 problem_of_width with
+  | None -> Alcotest.fail "expected a feasible width"
+  | Some (width, _) -> checkb "width at least core D's need" true (width >= 10)
+
+let test_infeasible_width_is_none_not_crash () =
+  (* model a problem source that defers width checking to the packer *)
+  let problem_of_width tam_width =
+    if tam_width < 10 then
+      raise
+        (Msoc_tam.Packer.Infeasible
+           (Printf.sprintf "job D:gain needs width 10 > TAM width %d" tam_width))
+    else problem_of_width tam_width
+  in
+  let sweep = Explore.width_sweep ~widths:[ 3; 16 ] problem_of_width in
+  checki "packer-infeasible width skipped" 1 (List.length sweep);
+  checkb "the feasible width survives" true (List.mem_assoc 16 sweep);
+  match Explore.minimal_width ~lo:1 ~hi:48 ~budget_cycles:400_000 problem_of_width with
+  | None -> Alcotest.fail "binary search crashed or missed the feasible range"
+  | Some (width, _) -> checkb "found a width at or above 10" true (width >= 10)
+
 let test_width_sweep_skips_infeasible () =
   (* width 3 < core D's 10-wire test -> Problem.make raises, skipped *)
   let problem_of_width tam_width =
@@ -157,6 +186,9 @@ let suites =
         Alcotest.test_case "impossible budget" `Quick test_minimal_width_impossible_budget;
         Alcotest.test_case "validation" `Quick test_minimal_width_validation;
         Alcotest.test_case "weight sweep" `Quick test_weight_sweep;
+        Alcotest.test_case "minimal width from lo=1" `Slow test_minimal_width_from_one;
+        Alcotest.test_case "infeasible width is None, not a crash" `Slow
+          test_infeasible_width_is_none_not_crash;
         Alcotest.test_case "width sweep skips infeasible" `Quick test_width_sweep_skips_infeasible;
       ] );
     ( "anneal",
