@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench doc examples clean artifacts
+.PHONY: all build test check lint bench doc examples clean artifacts
 
 all: build
 
@@ -13,6 +13,13 @@ test:
 # Single entry point for CI and builders: full build + full test suite
 check:
 	dune build @all && dune runtest
+
+# Strict gate: warnings-as-errors build, full tests, and the independent
+# plan verifier over the checked-in benchmark (nonzero exit on findings)
+lint:
+	dune build @all
+	dune runtest
+	dune exec bin/msoc_plan.exe -- check --soc data/p93791s.soc
 
 # Regenerate every paper table/figure + ablations (writes bench_output.txt)
 bench:

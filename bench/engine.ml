@@ -76,6 +76,35 @@ let run () =
     (Domain.recommended_domain_count ()) identical;
   if not identical then failwith "ablation-engine: parallel plan differs from serial";
 
+  (* Every schedule packed above must pass the independent verifier:
+     the whole cost surface rests on these rectangles. The reference
+     makespan is read back from the full-sharing candidate. *)
+  let reference_makespan =
+    match
+      List.find_opt
+        (fun (e : Evaluate.evaluation) ->
+          Sharing.equal e.Evaluate.combination
+            (Sharing.full_sharing problem.Problem.analog_cores))
+        serial.Exhaustive.all
+    with
+    | Some e -> e.Evaluate.makespan
+    | None -> failwith "ablation-engine: full-sharing reference not among candidates"
+  in
+  let errors =
+    List.concat_map
+      (fun (e : Evaluate.evaluation) ->
+        Msoc_check.Verify.evaluation ~problem ~reference_makespan e)
+      (serial.Exhaustive.all @ parallel.Exhaustive.all)
+    |> Msoc_check.Diagnostic.errors
+  in
+  Printf.printf "verifier: %d schedules re-checked, %d error diagnostics\n"
+    (List.length serial.Exhaustive.all + List.length parallel.Exhaustive.all)
+    (List.length errors);
+  if errors <> [] then begin
+    print_string (Msoc_check.Diagnostic.render_text errors);
+    failwith "ablation-engine: a packed schedule failed verification"
+  end;
+
   (* (b) the cache across a weight sweep: schedules depend only on the
      sharing groups, so 5 weight points cost at most one pack per
      distinct combination — not 5x. *)

@@ -44,7 +44,7 @@ let fig5_experiment ?(bits = 8) ?(n = 4551) ?(ideal = false) () =
      range around the 2 V bias — no clipping. *)
   let bias = 2.0 in
   let stimulus =
-    Tone.sample ~tones:(List.map (Tone.tone ~amplitude:0.6) tones) ~fs ~n
+    Tone.sample ~tones:(List.map (fun hz -> Tone.tone ~amplitude:0.6 hz) tones) ~fs ~n
     |> Array.map (fun v -> bias +. v)
   in
   let core samples =
@@ -135,7 +135,7 @@ let fig5 () =
     in
     let bias = 2.0 in
     let stimulus =
-      Tone.sample ~tones:(List.map (Tone.tone ~amplitude:0.25) tones) ~fs ~n
+      Tone.sample ~tones:(List.map (fun hz -> Tone.tone ~amplitude:0.25 hz) tones) ~fs ~n
       |> Array.map (fun v -> bias +. v)
     in
     let core samples =

@@ -3,9 +3,15 @@
 
    Subcommands:
      plan      - plan a SOC (built-in instance or .soc file + analog set)
+     check     - lint a .soc input and verify a produced plan (Msoc_check)
+     explore   - sweep TAM widths or cost weights
+     optimize  - Cost_Optimizer front end with pruning statistics
      soc-info  - describe a .soc file (cores, staircases, volumes)
      sharing   - list wrapper-sharing combinations with C_A and T_LB
-     generate  - emit a synthetic .soc benchmark file *)
+     generate  - emit a synthetic .soc benchmark file
+
+   Exit codes: 0 clean; 1 when `check` or `--verify` finds an
+   error-severity diagnostic; cmdliner's 124/125 on CLI misuse. *)
 
 open Cmdliner
 
@@ -16,6 +22,8 @@ module Report = Msoc_testplan.Report
 module Catalog = Msoc_analog.Catalog
 module Sharing = Msoc_analog.Sharing
 module Table = Msoc_util.Ascii_table
+module Diagnostic = Msoc_check.Diagnostic
+module Evaluate = Msoc_testplan.Evaluate
 
 (* --- shared argument definitions --- *)
 
@@ -76,6 +84,21 @@ let json_flag =
   let doc = "Emit the plan as JSON instead of tables." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+let verify_flag =
+  let doc =
+    "Re-verify the result with the independent checker ($(b,Msoc_check)): \
+     schedule invariants and cost cross-checks. Findings go to stderr; any \
+     error-severity diagnostic makes the command exit 1."
+  in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
+(* Print verifier findings to stderr; exit 1 on error severity. *)
+let report_verification ~context diags =
+  let diags = Diagnostic.sort diags in
+  prerr_string (Diagnostic.render_text diags);
+  Fmt.epr "%s: %s@." context (Diagnostic.summary diags);
+  if Diagnostic.has_errors diags then exit 1
+
 let load_soc = function
   | None -> Msoc_itc02.Synthetic.p93791s ()
   | Some path -> Msoc_itc02.Soc_file.load path
@@ -91,18 +114,20 @@ let parse_analog labels =
 
 (* --- plan --- *)
 
-let run_plan width weight_time soc_file analog_labels search delta jobs
-    with_schedule with_gantt as_json =
+let make_problem ?(weight_time = 0.5) ~width soc_file analog_labels =
   let soc = load_soc soc_file in
   let analog_cores = parse_analog analog_labels in
-  let problem =
-    Problem.make ~soc ~analog_cores ~tam_width:width ~weight_time ()
-  in
-  let search =
-    match search with
-    | `Heuristic -> Plan.Heuristic { delta }
-    | `Exhaustive -> Plan.Exhaustive_search
-  in
+  Problem.make ~soc ~analog_cores ~tam_width:width ~weight_time ()
+
+let resolve_search search delta =
+  match search with
+  | `Heuristic -> Plan.Heuristic { delta }
+  | `Exhaustive -> Plan.Exhaustive_search
+
+let run_plan width weight_time soc_file analog_labels search delta jobs
+    with_schedule with_gantt as_json verify =
+  let problem = make_problem ~weight_time ~width soc_file analog_labels in
+  let search = resolve_search search delta in
   let plan =
     Msoc_util.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
         Plan.run ~search ~pool problem)
@@ -122,7 +147,8 @@ let run_plan width weight_time soc_file analog_labels search delta jobs
       print_string
         (Msoc_tam.Gantt.render plan.Plan.best.Msoc_testplan.Evaluate.schedule)
     end
-  end
+  end;
+  if verify then report_verification ~context:"plan --verify" (Msoc_check.Verify.plan plan)
 
 let plan_cmd =
   let doc = "plan a mixed-signal SOC: wrapper sharing + TAM schedule" in
@@ -131,7 +157,199 @@ let plan_cmd =
     Term.(
       const run_plan $ width_arg $ weight_time_arg $ soc_file_arg
       $ analog_labels_arg $ search_arg $ delta_arg $ jobs_arg $ schedule_flag
-      $ gantt_flag $ json_flag)
+      $ gantt_flag $ json_flag $ verify_flag)
+
+(* --- check --- *)
+
+let run_check width weight_time soc_file analog_labels search delta jobs
+    lint_only as_json =
+  let lint_diags =
+    match soc_file with Some path -> Msoc_check.Lint.file path | None -> []
+  in
+  let plan_diags =
+    (* planning a file that fails lint would only re-report the same
+       defects as exceptions; stop at the lint findings *)
+    if lint_only || Diagnostic.has_errors lint_diags then []
+    else begin
+      let problem = make_problem ~weight_time ~width soc_file analog_labels in
+      let search = resolve_search search delta in
+      let plan =
+        Msoc_util.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
+            Plan.run ~search ~pool problem)
+      in
+      Msoc_check.Verify.plan plan
+    end
+  in
+  let diags = Diagnostic.sort (lint_diags @ plan_diags) in
+  if as_json then
+    print_string (Msoc_testplan.Export.pretty (Diagnostic.report_json diags))
+  else begin
+    print_string (Diagnostic.render_text diags);
+    Fmt.pr "check: %s@." (Diagnostic.summary diags)
+  end;
+  exit (Diagnostic.exit_code diags)
+
+let check_cmd =
+  let doc =
+    "verify a plan end to end: lint the .soc input, plan it, re-check the \
+     schedule and costs independently; exit 1 on any error finding"
+  in
+  let lint_only_flag =
+    Arg.(
+      value & flag
+      & info [ "lint-only" ] ~doc:"Stop after linting the .soc input; do not plan.")
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const run_check $ width_arg $ weight_time_arg $ soc_file_arg
+      $ analog_labels_arg $ search_arg $ delta_arg $ jobs_arg $ lint_only_flag
+      $ json_flag)
+
+(* --- explore --- *)
+
+let parse_int_list ~what s =
+  String.split_on_char ',' s
+  |> List.filter (fun t -> String.trim t <> "")
+  |> List.map (fun t ->
+         match int_of_string_opt (String.trim t) with
+         | Some n -> n
+         | None -> Fmt.failwith "%s: expected an integer, got %S" what t)
+
+let parse_float_list ~what s =
+  String.split_on_char ',' s
+  |> List.filter (fun t -> String.trim t <> "")
+  |> List.map (fun t ->
+         match float_of_string_opt (String.trim t) with
+         | Some x -> x
+         | None -> Fmt.failwith "%s: expected a number, got %S" what t)
+
+let run_explore widths weights weight_time soc_file analog_labels search delta
+    jobs verify =
+  let search = resolve_search search delta in
+  let plans =
+    Msoc_util.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
+        match weights with
+        | Some weights ->
+          let widths = parse_int_list ~what:"--widths" widths in
+          let width =
+            match widths with
+            | [ w ] -> w
+            | _ -> Fmt.failwith "--weights sweeps need exactly one --widths value"
+          in
+          Msoc_testplan.Explore.weight_sweep ~search ~pool
+            ~weights:(parse_float_list ~what:"--weights" weights)
+            (fun weight_time -> make_problem ~weight_time ~width soc_file analog_labels)
+          |> List.map (fun (w, plan) -> (Printf.sprintf "w_T=%.2f" w, plan))
+        | None ->
+          Msoc_testplan.Explore.width_sweep ~search ~pool
+            ~widths:(parse_int_list ~what:"--widths" widths)
+            (fun width -> make_problem ~weight_time ~width soc_file analog_labels)
+          |> List.map (fun (w, plan) -> (Printf.sprintf "W=%d" w, plan)))
+  in
+  if plans = [] then Fmt.failwith "explore: no feasible point in the sweep";
+  let columns =
+    [
+      Table.column "point";
+      Table.column "sharing";
+      Table.column ~align:Table.Right "cost";
+      Table.column ~align:Table.Right "C_T";
+      Table.column ~align:Table.Right "C_A";
+      Table.column ~align:Table.Right "makespan";
+      Table.column ~align:Table.Right "evals";
+    ]
+  in
+  let rows =
+    List.map
+      (fun (point, (plan : Plan.t)) ->
+        let e = plan.Plan.best in
+        [
+          point;
+          Sharing.short_name e.Evaluate.combination;
+          Table.float_cell e.Evaluate.cost;
+          Table.float_cell e.Evaluate.c_t;
+          Table.float_cell e.Evaluate.c_a;
+          Table.int_cell e.Evaluate.makespan;
+          string_of_int plan.Plan.evaluations;
+        ])
+      plans
+  in
+  Table.print ~columns ~rows;
+  if verify then
+    report_verification ~context:"explore --verify"
+      (List.concat_map (fun (_, plan) -> Msoc_check.Verify.plan plan) plans)
+
+let explore_cmd =
+  let doc = "sweep TAM widths or cost weights and tabulate the chosen plans" in
+  let widths_arg =
+    Arg.(
+      value
+      & opt string "16,24,32,48,64"
+      & info [ "widths" ] ~docv:"W1,W2,.." ~doc:"Comma-separated TAM widths to sweep.")
+  in
+  let weights_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "weights" ] ~docv:"T1,T2,.."
+          ~doc:
+            "Comma-separated time weights (0..1) to sweep at a single --widths \
+             value, instead of a width sweep.")
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(
+      const run_explore $ widths_arg $ weights_arg $ weight_time_arg
+      $ soc_file_arg $ analog_labels_arg $ search_arg $ delta_arg $ jobs_arg
+      $ verify_flag)
+
+(* --- optimize --- *)
+
+let run_optimize width weight_time soc_file analog_labels delta jobs as_json
+    verify =
+  let problem = make_problem ~weight_time ~width soc_file analog_labels in
+  let prepared = Evaluate.prepare problem in
+  let result =
+    Msoc_util.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
+        Msoc_testplan.Cost_optimizer.run ~delta ~pool prepared)
+  in
+  let plan =
+    {
+      Plan.problem;
+      best = result.Msoc_testplan.Cost_optimizer.best;
+      evaluations = result.Msoc_testplan.Cost_optimizer.evaluations;
+      considered = result.Msoc_testplan.Cost_optimizer.considered;
+      reference_makespan = Evaluate.reference_makespan prepared;
+    }
+  in
+  if as_json then
+    print_string (Msoc_testplan.Export.plan_to_string ~pretty:true plan)
+  else begin
+    print_string (Report.summary plan);
+    print_newline ();
+    Fmt.pr "pruning: %d of %d combinations fully evaluated (%.0f%% saved)@."
+      result.Msoc_testplan.Cost_optimizer.evaluations
+      result.Msoc_testplan.Cost_optimizer.considered
+      (100.0
+      *. (1.0
+         -. float_of_int result.Msoc_testplan.Cost_optimizer.evaluations
+            /. float_of_int (max 1 result.Msoc_testplan.Cost_optimizer.considered)));
+    Fmt.pr "surviving degree signatures: %s@."
+      (String.concat " "
+         (List.map
+            (fun sig_ ->
+              "[" ^ String.concat ";" (List.map string_of_int sig_) ^ "]")
+            result.Msoc_testplan.Cost_optimizer.surviving_groups))
+  end;
+  if verify then
+    report_verification ~context:"optimize --verify" (Msoc_check.Verify.plan plan)
+
+let optimize_cmd =
+  let doc =
+    "run the paper's Cost_Optimizer directly and report its pruning statistics"
+  in
+  Cmd.v (Cmd.info "optimize" ~doc)
+    Term.(
+      const run_optimize $ width_arg $ weight_time_arg $ soc_file_arg
+      $ analog_labels_arg $ delta_arg $ jobs_arg $ json_flag $ verify_flag)
 
 (* --- soc-info --- *)
 
@@ -303,4 +521,14 @@ let () =
   let info = Cmd.info "msoc_plan" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ plan_cmd; soc_info_cmd; sharing_cmd; generate_cmd; bist_cmd ]))
+       (Cmd.group info
+          [
+            plan_cmd;
+            check_cmd;
+            explore_cmd;
+            optimize_cmd;
+            soc_info_cmd;
+            sharing_cmd;
+            generate_cmd;
+            bist_cmd;
+          ]))

@@ -11,7 +11,6 @@ module Table = Msoc_util.Ascii_table
 module Job = Msoc_tam.Job
 module Packer = Msoc_tam.Packer
 module Schedule = Msoc_tam.Schedule
-module Sharing = Msoc_analog.Sharing
 module Catalog = Msoc_analog.Catalog
 module Evaluate = Msoc_testplan.Evaluate
 module Instances = Msoc_testplan.Instances

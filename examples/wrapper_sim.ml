@@ -38,7 +38,7 @@ let () =
     List.map (Tone.coherent_freq ~fs ~n:pad) [ 20_000.0; 60_000.0; 150_000.0 ]
   in
   let stimulus =
-    Tone.sample ~tones:(List.map (Tone.tone ~amplitude:0.6) tones) ~fs ~n
+    Tone.sample ~tones:(List.map (fun hz -> Tone.tone ~amplitude:0.6 hz) tones) ~fs ~n
     |> Array.map (fun v -> bias +. v)
   in
   Printf.printf "Stimulus: %d samples at %.1f MHz, tones at %s kHz\n" n (fs /. 1.0e6)

@@ -1,0 +1,78 @@
+let e101 = "MSOC-E101"
+let e102 = "MSOC-E102"
+let e103 = "MSOC-E103"
+let e104 = "MSOC-E104"
+let e105 = "MSOC-E105"
+let e106 = "MSOC-E106"
+let e107 = "MSOC-E107"
+let e108 = "MSOC-E108"
+let e109 = "MSOC-E109"
+let e110 = "MSOC-E110"
+let e111 = "MSOC-E111"
+let e112 = "MSOC-E112"
+let e113 = "MSOC-E113"
+let e114 = "MSOC-E114"
+let w101 = "MSOC-W101"
+let e201 = "MSOC-E201"
+let e202 = "MSOC-E202"
+let e203 = "MSOC-E203"
+let e204 = "MSOC-E204"
+let e205 = "MSOC-E205"
+let w201 = "MSOC-W201"
+let e301 = "MSOC-E301"
+let e302 = "MSOC-E302"
+let e303 = "MSOC-E303"
+let e304 = "MSOC-E304"
+let e305 = "MSOC-E305"
+let e306 = "MSOC-E306"
+let e307 = "MSOC-E307"
+let e308 = "MSOC-E308"
+let e309 = "MSOC-E309"
+let w301 = "MSOC-W301"
+let w302 = "MSOC-W302"
+let w303 = "MSOC-W303"
+
+type info = { code : string; severity : Diagnostic.severity; title : string }
+
+let error code title = { code; severity = Diagnostic.Error; title }
+
+let warning code title = { code; severity = Diagnostic.Warning; title }
+
+let all =
+  [
+    error e101 "TAM wire double-booked by two overlapping tests";
+    error e102 "busy width exceeds the TAM width at some cycle";
+    error e103 "degenerate rectangle (non-positive width/time or negative start)";
+    error e104 "rectangle wider than the TAM";
+    error e105 "malformed wire assignment (count, range or duplicates)";
+    error e106 "tests sharing one analog wrapper overlap in time";
+    error e107 "test scheduled more than once";
+    error e108 "expected test missing from the schedule";
+    error e109 "scheduled test not in the expected job set";
+    error e110 "operating point off the job's Pareto staircase";
+    error e111 "test starts before its predecessor finishes";
+    error e112 "reported makespan differs from the recomputed one";
+    error e113 "declared-conflict jobs overlap in time";
+    error e114 "instantaneous power exceeds the budget";
+    warning w101 "schedule has no placements";
+    error e201 "C_A diverges from the Equation-1 recomputation";
+    error e202 "C_T diverges from the makespan normalization";
+    error e203 "total cost is not the weighted C_T/C_A sum";
+    error e204 "reported makespan differs from the schedule's";
+    error e205 "sharing combination does not partition the analog cores";
+    warning w201 "zero reference makespan: C_T priced as 0 by convention";
+    error e301 "duplicate core id";
+    error e302 "malformed token or field value";
+    error e303 "missing required Module field";
+    error e304 "ScanChains count does not match the lengths given";
+    error e305 "missing SocName directive";
+    error e306 "non-positive pattern count";
+    error e307 "non-positive scan-chain length";
+    error e308 "duplicate core name (test labels would collide)";
+    error e309 "core carries no test data (zero-length staircase)";
+    warning w301 "unknown directive (skipped)";
+    warning w302 "SocName redeclared";
+    warning w303 "SOC declares no cores";
+  ]
+
+let describe code = List.find_opt (fun i -> i.code = code) all

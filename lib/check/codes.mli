@@ -1,0 +1,87 @@
+(** Registry of stable diagnostic codes.
+
+    Codes are part of the tool's contract: scripts grep for them and
+    the mutation tests assert them, so once published a code keeps its
+    meaning forever (retired codes are never reused). Numbering:
+    E1xx/W1xx schedule checks, E2xx/W2xx cost cross-checks,
+    E3xx/W3xx [.soc] input lint. The table in DESIGN.md §8 is
+    generated from {!all}. *)
+
+(* schedule checks *)
+
+val e101 : string  (** TAM wire double-booked by two overlapping tests *)
+
+val e102 : string  (** busy width exceeds the TAM width at some cycle *)
+
+val e103 : string  (** degenerate rectangle: non-positive width/time or negative start *)
+
+val e104 : string  (** rectangle wider than the TAM *)
+
+val e105 : string  (** malformed wire assignment (count/range/duplicates) *)
+
+val e106 : string  (** tests sharing one analog wrapper overlap in time *)
+
+val e107 : string  (** a test is scheduled more than once *)
+
+val e108 : string  (** an expected test is missing from the schedule *)
+
+val e109 : string  (** a scheduled test is not in the expected job set *)
+
+val e110 : string  (** operating point off the job's Pareto staircase *)
+
+val e111 : string  (** a test starts before its predecessor finishes *)
+
+val e112 : string  (** reported makespan differs from the recomputed one *)
+
+val e113 : string  (** declared-conflict jobs overlap in time *)
+
+val e114 : string  (** instantaneous power exceeds the budget *)
+
+val w101 : string  (** schedule has no placements *)
+
+(* cost cross-checks *)
+
+val e201 : string  (** C_A diverges from the Equation-1 recomputation *)
+
+val e202 : string  (** C_T diverges from the makespan normalization *)
+
+val e203 : string  (** total cost is not the weighted C_T/C_A sum *)
+
+val e204 : string  (** reported makespan differs from the schedule's *)
+
+val e205 : string  (** sharing combination does not partition the analog cores *)
+
+val w201 : string  (** zero reference makespan: C_T priced as 0 by convention *)
+
+(* .soc input lint *)
+
+val e301 : string  (** duplicate core id *)
+
+val e302 : string  (** malformed token or field value *)
+
+val e303 : string  (** missing required Module field *)
+
+val e304 : string  (** ScanChains count does not match the lengths given *)
+
+val e305 : string  (** missing SocName directive *)
+
+val e306 : string  (** non-positive pattern count *)
+
+val e307 : string  (** non-positive scan-chain length *)
+
+val e308 : string  (** duplicate core name (test labels would collide) *)
+
+val e309 : string  (** core carries no test data (zero-length staircase) *)
+
+val w301 : string  (** unknown directive (skipped) *)
+
+val w302 : string  (** SocName redeclared *)
+
+val w303 : string  (** SOC declares no cores *)
+
+type info = { code : string; severity : Diagnostic.severity; title : string }
+
+val all : info list
+(** Every registered code, in numbering order; codes are unique. *)
+
+val describe : string -> info option

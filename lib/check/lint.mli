@@ -1,0 +1,16 @@
+(** Line-anchored lint for [.soc] benchmark descriptions.
+
+    Unlike {!Msoc_itc02.Soc_file.of_string}, which raises on the first
+    problem, the linter scans the whole file tolerantly and reports
+    every finding as a {!Diagnostic.t} anchored to its source line —
+    duplicate core ids and names, malformed or missing fields,
+    [ScanChains] arity mismatches, non-positive pattern counts or
+    chain lengths, and cores that carry no test data at all (whose
+    Pareto staircase would be zero-length). A file with no
+    error-severity finding is guaranteed to load cleanly. *)
+
+val string : ?file:string -> string -> Diagnostic.t list
+(** Lint [.soc] source text; [file] only labels the diagnostics. *)
+
+val file : string -> Diagnostic.t list
+(** Read and lint a file. Unreadable files yield a single E302. *)

@@ -1,0 +1,28 @@
+(** Independent verification of a packed TAM schedule.
+
+    Re-derives the rectangle-packing invariants from first principles,
+    trusting nothing the packer recorded beyond the placements
+    themselves:
+
+    - every rectangle is positive and fits within the TAM width
+      (E103/E104), with a well-formed wire assignment (E105);
+    - no wire carries two overlapping tests (E101) and — independently
+      of the recorded wire lists — the summed busy width never exceeds
+      the TAM width at any cycle (E102);
+    - tests bound to one shared analog wrapper (exclusion group) never
+      overlap (E106), declared conflicts never overlap (E113) and
+      precedences are respected (E111);
+    - against an expected job set: every job scheduled exactly once
+      (E107/E108/E109) at a point on its Pareto staircase (E110);
+    - the reported makespan equals the recomputed one (E112) and the
+      power budget holds at every instant (E114). *)
+
+val run :
+  ?expected:Msoc_tam.Job.t list ->
+  ?reported_makespan:int ->
+  Msoc_tam.Schedule.t ->
+  Diagnostic.t list
+(** [run ?expected ?reported_makespan schedule] returns the findings
+    in deterministic order; [[]] means the schedule verifies clean.
+    [expected] enables the exactly-once and staircase checks;
+    [reported_makespan] enables the makespan cross-check. *)

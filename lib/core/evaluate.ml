@@ -147,6 +147,12 @@ let digital_jobs p = p.digital_jobs
 let jobs_for p (combination : Sharing.t) =
   jobs_for_groups p combination.Sharing.groups
 
+let jobs_for_problem (problem : Problem.t) (combination : Sharing.t) =
+  List.map
+    (Job.of_core ~max_width:problem.Problem.tam_width)
+    problem.Problem.soc.Msoc_itc02.Types.cores
+  @ analog_jobs ~self_test:problem.Problem.self_test combination.Sharing.groups
+
 type evaluation = {
   combination : Sharing.t;
   schedule : Schedule.t;

@@ -52,6 +52,13 @@ val jobs_for : prepared -> Msoc_analog.Sharing.t -> Msoc_tam.Job.t list
 (** Digital jobs plus one job per analog test, tests of cores in the
     same sharing group bound to one exclusion group. *)
 
+val jobs_for_problem :
+  Problem.t -> Msoc_analog.Sharing.t -> Msoc_tam.Job.t list
+(** Like {!jobs_for} but derived from the problem alone — no
+    [prepared] (and hence no reference pack) needed. This is the job
+    set an independent verifier ({!Msoc_check}) compares a schedule
+    against. *)
+
 type evaluation = {
   combination : Msoc_analog.Sharing.t;
   schedule : Msoc_tam.Schedule.t;

@@ -30,7 +30,7 @@ let run_through_wrapper t stimulus =
 let coherent t f = Tone.coherent_freq ~fs:t.fs ~n:(pad_of t) f
 
 let tone_stimulus t ~tones ~amplitude =
-  Tone.sample ~tones:(List.map (Tone.tone ~amplitude) tones) ~fs:t.fs ~n:t.samples
+  Tone.sample ~tones:(List.map (fun hz -> Tone.tone ~amplitude hz) tones) ~fs:t.fs ~n:t.samples
   |> Array.map (fun v -> v +. t.bias)
 
 let spectra t stimulus =

@@ -37,6 +37,7 @@ let create ?adc ?dac ?(range = Quantize.default_range) ~bits () =
   }
 
 let bits t = t.bits
+let range t = t.range
 
 let adc t = t.adc
 

@@ -180,6 +180,15 @@ let pack_in_order ?power_budget ~width order =
       Pareto.points job.Job.staircase
       |> List.filter (fun (p : Pareto.point) -> p.width <= width)
     in
+    if points = [] then
+      (* [pack] pre-checks this, but guard the internal entry point
+         too: silently packing an out-of-bounds rectangle would defeat
+         every capacity invariant downstream. *)
+      raise
+        (Infeasible
+           (Printf.sprintf
+              "job %s has no operating point at width <= %d (narrowest needs %d wires)"
+              job.Job.label width (Job.min_width job)));
     let floor =
       List.fold_left
         (fun acc pred ->
@@ -198,7 +207,7 @@ let pack_in_order ?power_budget ~width order =
     in
     let best =
       match List.map candidate points with
-      | [] -> assert false (* min_width check in [pack] guarantees a point *)
+      | [] -> assert false (* guarded above *)
       | c :: rest ->
         List.fold_left
           (fun ((bf, bp, _, _) as b) ((f, p, _, _) as c) ->

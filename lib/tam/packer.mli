@@ -20,7 +20,11 @@
 exception Infeasible of string
 (** Raised when a job's minimum width exceeds the TAM width, a job's
     power alone exceeds the budget, or precedences form a cycle /
-    reference unknown labels. *)
+    reference unknown labels. Over-wide jobs are never clipped: a job
+    whose narrowest Pareto point needs more wires than the TAM has is
+    always rejected (with the offending label in the message), on
+    every entry point including the internal repacks of {!anneal} and
+    {!pack_optimized}. *)
 
 val pack : ?power_budget:int -> width:int -> Job.t list -> Schedule.t
 (** [pack ~width jobs] returns a feasible schedule ({!Schedule.check}

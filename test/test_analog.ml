@@ -289,7 +289,7 @@ let qcheck_tests =
              (fun acc g -> List.fold_left (fun a core -> max a (Spec.core_time core)) acc g)
              0 c.Sharing.groups);
   ]
-  |> List.map QCheck_alcotest.to_alcotest
+  |> List.map (fun t -> QCheck_alcotest.to_alcotest t)
 
 let suites =
   [

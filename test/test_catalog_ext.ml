@@ -34,7 +34,7 @@ let test_h_shares_with_everyone () =
 
 let test_feasibility_filter_prunes () =
   let all = Sharing.paper_combinations Ext.extended in
-  let feasible = List.filter Sharing.is_feasible all in
+  let feasible = List.filter (fun c -> Sharing.is_feasible c) all in
   checkb "some combinations pruned" true (List.length feasible < List.length all);
   (* no feasible combination may group F and G *)
   List.iter

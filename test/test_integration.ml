@@ -92,7 +92,7 @@ let test_wrapped_cutoff_measurement_error_small () =
   in
   let stimulus_analog =
     Msoc_signal.Tone.sample
-      ~tones:(List.map (Msoc_signal.Tone.tone ~amplitude:1.2) tones)
+      ~tones:(List.map (fun hz -> Msoc_signal.Tone.tone ~amplitude:1.2 hz) tones)
       ~fs ~n
     |> Array.map (fun v -> 2.0 +. v)
     (* bias into the 0..4V converter range *)

@@ -183,7 +183,7 @@ let qcheck_tests =
         Types.test_data_volume core > 0
         && Types.test_data_volume more > Types.test_data_volume core);
   ]
-  |> List.map QCheck_alcotest.to_alcotest
+  |> List.map (fun t -> QCheck_alcotest.to_alcotest t)
 
 let suites =
   [

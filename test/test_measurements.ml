@@ -164,8 +164,8 @@ let test_measure_slew_rate () =
   close_pct "slew" 10.0 sr (M.measure_slew_rate t ~step_volts:1.5)
 
 let test_measure_dynamic_range_tracks_noise () =
-  let quiet = M.setup ~bits:12 (Models.additive_noise ~sigma:0.001) in
-  let noisy = M.setup ~bits:12 (Models.additive_noise ~sigma:0.02) in
+  let quiet = M.setup ~bits:12 (Models.additive_noise ?seed:None ~sigma:0.001) in
+  let noisy = M.setup ~bits:12 (Models.additive_noise ?seed:None ~sigma:0.02) in
   let dr s = M.measure_dynamic_range s ~freq:50_000.0 ~amplitude:0.9 in
   let d_quiet = dr quiet and d_noisy = dr noisy in
   checkb
@@ -199,7 +199,7 @@ let qcheck_tests =
         let high = M.measure_thd t ~freq:20_000.0 ~amplitude:0.75 in
         high > low);
   ]
-  |> List.map QCheck_alcotest.to_alcotest
+  |> List.map (fun t -> QCheck_alcotest.to_alcotest t)
 
 let suites =
   [

@@ -342,7 +342,7 @@ let qcheck_tests =
           (float_of_int (Cost_model.flash_comparators ~bits)
           /. float_of_int (Cost_model.modular_comparators ~bits)));
   ]
-  |> List.map QCheck_alcotest.to_alcotest
+  |> List.map (fun t -> QCheck_alcotest.to_alcotest t)
 
 let suites =
   [

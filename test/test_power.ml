@@ -205,7 +205,7 @@ let qcheck_tests =
         let s = Packer.pack ~power_budget:budget ~width:6 jobs in
         Schedule.makespan s >= Packer.lower_bound ~power_budget:budget ~width:6 jobs);
   ]
-  |> List.map QCheck_alcotest.to_alcotest
+  |> List.map (fun t -> QCheck_alcotest.to_alcotest t)
 
 let suites =
   [

@@ -241,7 +241,7 @@ let qcheck_tests =
         heur.Msoc_testplan.Cost_optimizer.best.Msoc_testplan.Evaluate.cost
         >= exh.Msoc_testplan.Exhaustive.best.Msoc_testplan.Evaluate.cost -. 1e-9);
   ]
-  |> List.map QCheck_alcotest.to_alcotest
+  |> List.map (fun t -> QCheck_alcotest.to_alcotest t)
 
 let suites =
   [

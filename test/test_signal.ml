@@ -303,7 +303,7 @@ let test_cutoff_from_filter_measurement () =
   let tones =
     List.map (Tone.coherent_freq ~fs ~n:pad) [ 20_000.0; 60_000.0; 150_000.0 ]
   in
-  let input = Tone.sample ~tones:(List.map (Tone.tone ~amplitude:0.6) tones) ~fs ~n in
+  let input = Tone.sample ~tones:(List.map (fun hz -> Tone.tone ~amplitude:0.6 hz) tones) ~fs ~n in
   let output = Filter.process filter input in
   let s_in = Spectrum.analyze ~fs ~pad_to:pad input in
   let s_out = Spectrum.analyze ~fs ~pad_to:pad output in
@@ -351,7 +351,7 @@ let qcheck_tests =
       (fun (fc, order) ->
         Cutoff.model_gain ~order ~fc (fc /. 2.0) > Cutoff.model_gain ~order ~fc (fc *. 2.0));
   ]
-  |> List.map QCheck_alcotest.to_alcotest
+  |> List.map (fun t -> QCheck_alcotest.to_alcotest t)
 
 let suites =
   [

@@ -306,7 +306,7 @@ let qcheck_tests =
         let s = Packer.pack ~width:6 jobs in
         Schedule.makespan s >= Packer.lower_bound ~width:6 jobs);
   ]
-  |> List.map QCheck_alcotest.to_alcotest
+  |> List.map (fun t -> QCheck_alcotest.to_alcotest t)
 
 let suites =
   [

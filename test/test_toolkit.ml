@@ -180,7 +180,7 @@ let test_newman_crest_factor () =
     List.init 12 (fun i -> Tone.coherent_freq ~fs ~n (15_000.0 *. float_of_int (i + 1)))
   in
   let zero_phase =
-    Tone.sample ~tones:(List.map (Tone.tone ~amplitude:1.0) freqs) ~fs ~n
+    Tone.sample ~tones:(List.map (fun hz -> Tone.tone ~amplitude:1.0 hz) freqs) ~fs ~n
   in
   let newman = Tone.multitone ~fs ~n freqs in
   let cf_zero = Tone.crest_factor zero_phase in

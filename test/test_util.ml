@@ -248,7 +248,7 @@ let qcheck_tests =
       (float_range 1e-6 1e6)
       (fun x -> Numeric.close ~rel:1e-9 (Numeric.from_db (Numeric.db x)) x);
   ]
-  |> List.map QCheck_alcotest.to_alcotest
+  |> List.map (fun t -> QCheck_alcotest.to_alcotest t)
 
 let suites =
   [

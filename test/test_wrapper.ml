@@ -212,7 +212,7 @@ let qcheck_tests =
         && bids = core.Types.bidirs
         && scan = Types.scan_cells core);
   ]
-  |> List.map QCheck_alcotest.to_alcotest
+  |> List.map (fun t -> QCheck_alcotest.to_alcotest t)
 
 let suites =
   [
