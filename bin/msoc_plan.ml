@@ -6,12 +6,15 @@
      check     - lint a .soc input and verify a produced plan (Msoc_check)
      explore   - sweep TAM widths or cost weights
      optimize  - Cost_Optimizer front end with pruning statistics
+     serve     - resident planning service (stdio batch or Unix socket)
+     replay    - load-test client for a running serve daemon
      soc-info  - describe a .soc file (cores, staircases, volumes)
      sharing   - list wrapper-sharing combinations with C_A and T_LB
      generate  - emit a synthetic .soc benchmark file
 
    Exit codes: 0 clean; 1 when `check` or `--verify` finds an
-   error-severity diagnostic; cmdliner's 124/125 on CLI misuse. *)
+   error-severity diagnostic (or `replay` sees a failure); cmdliner's
+   124/125 on CLI misuse. *)
 
 open Cmdliner
 
@@ -472,6 +475,382 @@ let generate_cmd =
   Cmd.v (Cmd.info "generate" ~doc)
     Term.(const run_generate $ seed $ n $ area $ bottleneck $ out)
 
+(* --- serve --- *)
+
+module Serve_protocol = Msoc_serve.Protocol
+module Serve_service = Msoc_serve.Service
+module Export = Msoc_testplan.Export
+
+let run_serve socket cache_dir memory_cache queue jobs =
+  let cache =
+    Msoc_serve.Cache.create ?dir:cache_dir ~memory_capacity:memory_cache ()
+  in
+  let service = Serve_service.create ~cache ~jobs:(resolve_jobs jobs) () in
+  Fun.protect
+    ~finally:(fun () -> Serve_service.shutdown service)
+    (fun () ->
+      match socket with
+      | Some path ->
+        Fmt.epr "msoc_plan serve: listening on %s (jobs=%d, queue=%d%s)@." path
+          (Serve_service.jobs service) queue
+          (match cache_dir with
+          | Some d -> Printf.sprintf ", cache-dir=%s" d
+          | None -> ", memory cache only");
+        Msoc_serve.Server.serve_unix ~queue_capacity:queue ~socket_path:path
+          service;
+        Fmt.epr "msoc_plan serve: drained, exiting@."
+      | None -> Msoc_serve.Server.serve_channels service stdin stdout)
+
+let serve_cmd =
+  let doc =
+    "run the resident planning service: NDJSON envelopes over stdin/stdout \
+     (default) or a Unix-domain socket daemon with a bounded request queue, \
+     per-request deadlines and a two-level result cache"
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Serve as a daemon on this Unix-domain socket instead of stdio.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist results content-addressed under this directory; identical \
+             problems hit the cache across restarts and clients.")
+  in
+  let memory_cache_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "memory-cache" ] ~docv:"N"
+          ~doc:"In-memory LRU capacity (entries).")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bounded request queue capacity; requests beyond it are rejected \
+             with an $(b,overloaded) envelope.")
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run_serve $ socket_arg $ cache_dir_arg $ memory_cache_arg
+      $ queue_arg $ jobs_arg)
+
+(* --- replay --- *)
+
+(* The load-test client: generates a deterministic mixed request
+   stream, pipelines it over the daemon socket in bounded windows
+   (below the server queue so nothing is shed), validates every
+   response envelope, and optionally re-plans a sample locally to
+   prove the daemon's answers are bit-identical to the one-shot CLI. *)
+
+let replay_requests ~count ~mix ~widths ~weights ~soc_text ~analog ~deadline_ms =
+  List.init count (fun i ->
+      let op = List.nth mix (i mod List.length mix) in
+      let width = List.nth widths (i mod List.length widths) in
+      let weight = List.nth weights (i mod List.length weights) in
+      let params =
+        Export.Object
+          ((match soc_text with
+           | Some text -> [ ("soc_text", Export.String text) ]
+           | None -> [])
+          @ [
+              ("analog", Export.String analog);
+              ("width", Export.Int width);
+              ("weight_time", Export.Float weight);
+            ])
+      in
+      Serve_protocol.request ?deadline_ms ~params
+        ~id:(Printf.sprintf "q%d" i) op)
+
+let replay_exchange ~window ic oc requests =
+  (* chunked pipelining: send a window, then collect its responses;
+     responses arrive in request order on one connection, but match by
+     id anyway so a reordering bug is caught, not hidden *)
+  let latencies = Hashtbl.create 256 in
+  let responses = ref [] in
+  let malformed = ref 0 in
+  let rec chunks = function
+    | [] -> ()
+    | batch ->
+      let now = Unix.gettimeofday () in
+      let this, rest =
+        List.filteri (fun i _ -> i < window) batch,
+        List.filteri (fun i _ -> i >= window) batch
+      in
+      List.iter
+        (fun (r : Serve_protocol.request) ->
+          Hashtbl.replace latencies r.Serve_protocol.id now;
+          output_string oc (Serve_protocol.request_to_line r);
+          output_char oc '\n')
+        this;
+      flush oc;
+      List.iter
+        (fun (r : Serve_protocol.request) ->
+          match input_line ic with
+          | exception End_of_file ->
+            Fmt.failwith "server closed the connection mid-replay"
+          | line -> (
+            match Serve_protocol.response_of_line line with
+            | Error e ->
+              incr malformed;
+              Fmt.epr "malformed response for %s: %s@." r.Serve_protocol.id e
+            | Ok resp ->
+              let sent =
+                match Hashtbl.find_opt latencies resp.Serve_protocol.id with
+                | Some t -> t
+                | None -> Fmt.failwith "response for unknown id %S" resp.Serve_protocol.id
+              in
+              responses :=
+                (resp, 1e3 *. (Unix.gettimeofday () -. sent)) :: !responses))
+        this;
+      chunks rest
+  in
+  chunks requests;
+  (List.rev !responses, !malformed)
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n -> sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let run_replay socket count mix_str widths_str weights_str soc_file
+    analog_labels window repeat deadline_ms verify =
+  let mix =
+    String.split_on_char ',' mix_str
+    |> List.filter (fun s -> String.trim s <> "")
+    |> List.map (fun s ->
+           match Serve_protocol.op_of_name (String.trim s) with
+           | Some ((Serve_protocol.Plan | Serve_protocol.Optimize) as op) -> op
+           | Some _ | None ->
+             Fmt.failwith "--mix accepts plan and optimize, got %S" s)
+  in
+  if mix = [] then Fmt.failwith "--mix selects no operations";
+  let widths = parse_int_list ~what:"--widths" widths_str in
+  let weights = parse_float_list ~what:"--weights" weights_str in
+  let soc_text =
+    Option.map
+      (fun path ->
+        let ic = open_in path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic)))
+      soc_file
+  in
+  let requests =
+    List.concat
+      (List.init repeat (fun _ ->
+           replay_requests ~count ~mix ~widths ~weights ~soc_text
+             ~analog:analog_labels ~deadline_ms))
+    |> List.mapi (fun i (r : Serve_protocol.request) ->
+           { r with Serve_protocol.id = Printf.sprintf "q%d" i })
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let fail_replay msg =
+    Fmt.epr "replay: FAIL: %s@." msg;
+    exit 1
+  in
+  let t0 = Unix.gettimeofday () in
+  let responses, malformed =
+    try replay_exchange ~window ic oc requests
+    with Failure msg | Sys_error msg -> fail_replay msg
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  (* one stats envelope closes the session *)
+  let stats =
+    try
+      output_string oc
+        (Serve_protocol.request_to_line
+           (Serve_protocol.request ~id:"stats" Serve_protocol.Stats));
+      output_char oc '\n';
+      flush oc;
+      match Serve_protocol.response_of_line (input_line ic) with
+      | Ok r -> r.Serve_protocol.result
+      | Error e -> fail_replay (Printf.sprintf "malformed stats response: %s" e)
+    with End_of_file | Sys_error _ ->
+      fail_replay "server closed the connection before the stats exchange"
+  in
+  Unix.close fd;
+  let by_status = Hashtbl.create 8 in
+  List.iter
+    (fun ((r : Serve_protocol.response), _) ->
+      let k = Serve_protocol.status_name r.Serve_protocol.status in
+      Hashtbl.replace by_status k (1 + Option.value (Hashtbl.find_opt by_status k) ~default:0))
+    responses;
+  let total = List.length responses in
+  let cached =
+    List.length
+      (List.filter (fun ((r : Serve_protocol.response), _) ->
+           r.Serve_protocol.cached <> None)
+         responses)
+  in
+  let lat = Array.of_list (List.map snd responses) in
+  Array.sort compare lat;
+  Fmt.pr "replayed %d requests in %.2f s (%.0f req/s), window %d@."
+    (List.length requests) wall
+    (float_of_int (List.length requests) /. Float.max 1e-9 wall)
+    window;
+  Hashtbl.iter (fun k v -> Fmt.pr "  %-18s %d@." k v) by_status;
+  Fmt.pr "  cache hits (any level): %d of %d (%.1f%%)@." cached total
+    (100.0 *. float_of_int cached /. float_of_int (max 1 total));
+  Fmt.pr "  client latency ms: p50 %.2f  p95 %.2f  max %.2f@."
+    (percentile lat 0.50) (percentile lat 0.95) (percentile lat 1.0);
+  (match Export.member "cache" stats with
+  | Some cache_json -> Fmt.pr "  server cache: %s@." (Export.to_string cache_json)
+  | None -> ());
+  let ok_count = Option.value (Hashtbl.find_opt by_status "ok") ~default:0 in
+  let failures = ref 0 in
+  if malformed > 0 then begin
+    Fmt.epr "FAIL: %d malformed response envelopes@." malformed;
+    incr failures
+  end;
+  if total <> List.length requests then begin
+    Fmt.epr "FAIL: %d of %d responses dropped@."
+      (List.length requests - total) (List.length requests);
+    incr failures
+  end;
+  if ok_count <> total then begin
+    Fmt.epr "FAIL: %d responses were not ok@." (total - ok_count);
+    incr failures
+  end;
+  (* bit-identical spot check against the one-shot planner *)
+  if verify > 0 && total = List.length requests then begin
+    let seen = Hashtbl.create 8 in
+    let sample =
+      List.filter
+        (fun ((req : Serve_protocol.request), _) ->
+          let key = Export.to_string (Serve_protocol.request_json { req with Serve_protocol.id = "" }) in
+          if Hashtbl.mem seen key || Hashtbl.length seen >= verify then false
+          else begin
+            Hashtbl.replace seen key ();
+            true
+          end)
+        (List.combine requests (List.map fst responses))
+    in
+    List.iter
+      (fun ((req : Serve_protocol.request), (resp : Serve_protocol.response)) ->
+        let params = req.Serve_protocol.params in
+        let get_int name ~default =
+          match Export.member name params with
+          | Some (Export.Int i) -> i
+          | _ -> default
+        in
+        let get_float name ~default =
+          match Export.member name params with
+          | Some (Export.Float f) -> f
+          | Some (Export.Int i) -> float_of_int i
+          | _ -> default
+        in
+        let soc =
+          match Export.member "soc_text" params with
+          | Some (Export.String text) -> Msoc_itc02.Soc_file.of_string text
+          | _ -> Msoc_itc02.Synthetic.p93791s ()
+        in
+        let problem =
+          Problem.make ~soc ~analog_cores:(parse_analog analog_labels)
+            ~tam_width:(get_int "width" ~default:32)
+            ~weight_time:(get_float "weight_time" ~default:0.5) ()
+        in
+        let local = Plan.run ~search:(Plan.Heuristic { delta = 0.0 }) problem in
+        let local_json = Msoc_testplan.Export.plan_json local in
+        let remote_json =
+          match req.Serve_protocol.op with
+          | Serve_protocol.Optimize ->
+            Option.value
+              (Export.member "plan" resp.Serve_protocol.result)
+              ~default:Export.Null
+          | _ -> resp.Serve_protocol.result
+        in
+        if Export.to_string local_json <> Export.to_string remote_json then begin
+          Fmt.epr "FAIL: %s (%s) differs from the one-shot plan@."
+            req.Serve_protocol.id
+            (Serve_protocol.op_name req.Serve_protocol.op);
+          incr failures
+        end
+        else if Diagnostic.has_errors (Msoc_check.Verify.plan local) then begin
+          Fmt.epr "FAIL: %s fails independent verification@." req.Serve_protocol.id;
+          incr failures
+        end)
+      sample;
+    Fmt.pr "  verified %d distinct configurations against the one-shot CLI@."
+      (Hashtbl.length seen)
+  end;
+  if !failures > 0 then exit 1
+
+let replay_cmd =
+  let doc =
+    "replay a mixed request stream against a running serve daemon, validate \
+     every envelope and spot-check results against the one-shot planner"
+  in
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon socket to connect to.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "count" ] ~docv:"N" ~doc:"Requests per repetition.")
+  in
+  let mix_arg =
+    Arg.(
+      value & opt string "plan,optimize"
+      & info [ "mix" ] ~docv:"OPS" ~doc:"Comma-separated operation cycle.")
+  in
+  let widths_arg =
+    Arg.(
+      value & opt string "16,24,32,48"
+      & info [ "widths" ] ~docv:"W1,W2,.." ~doc:"TAM widths cycled through.")
+  in
+  let weights_arg =
+    Arg.(
+      value & opt string "0.25,0.5,0.75"
+      & info [ "weights" ] ~docv:"T1,T2,.." ~doc:"Time weights cycled through.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "window" ] ~docv:"N"
+          ~doc:
+            "In-flight pipeline depth; keep below the server queue to avoid \
+             shedding.")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Replay the stream N times (2+ demonstrates the warm cache).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request deadline.")
+  in
+  let verify_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "verify" ] ~docv:"K"
+          ~doc:
+            "Re-plan up to K distinct configurations locally and require \
+             bit-identical results (0 disables).")
+  in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(
+      const run_replay $ socket_arg $ count_arg $ mix_arg $ widths_arg
+      $ weights_arg $ soc_file_arg $ analog_labels_arg $ window_arg
+      $ repeat_arg $ deadline_arg $ verify_arg)
+
 (* --- bist --- *)
 
 let run_bist bits mismatch_pct trials =
@@ -527,6 +906,8 @@ let () =
             check_cmd;
             explore_cmd;
             optimize_cmd;
+            serve_cmd;
+            replay_cmd;
             soc_info_cmd;
             sharing_cmd;
             generate_cmd;

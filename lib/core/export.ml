@@ -92,6 +92,217 @@ let pretty json =
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
+(* --- parsing (the printer's inverse, so envelopes round-trip) --- *)
+
+exception Parse_failure of int * string
+
+let parse text =
+  let n = String.length text in
+  let fail pos fmt =
+    Format.kasprintf (fun message -> raise (Parse_failure (pos, message))) fmt
+  in
+  let peek pos = if pos < n then Some text.[pos] else None in
+  let rec skip_ws pos =
+    match peek pos with
+    | Some (' ' | '\t' | '\n' | '\r') -> skip_ws (pos + 1)
+    | _ -> pos
+  in
+  let expect pos c =
+    match peek pos with
+    | Some d when d = c -> pos + 1
+    | Some d -> fail pos "expected %C, got %C" c d
+    | None -> fail pos "expected %C, got end of input" c
+  in
+  let literal pos word value =
+    let len = String.length word in
+    if pos + len <= n && String.sub text pos len = word then (value, pos + len)
+    else fail pos "invalid literal"
+  in
+  let hex4 pos =
+    if pos + 4 > n then fail pos "truncated \\u escape";
+    let digit i =
+      match text.[pos + i] with
+      | '0' .. '9' as c -> Char.code c - Char.code '0'
+      | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+      | c -> fail (pos + i) "invalid hex digit %C in \\u escape" c
+    in
+    (4096 * digit 0) + (256 * digit 1) + (16 * digit 2) + digit 3
+  in
+  let add_utf8 buf cp =
+    (* UTF-8 encode one code point; the printer emits non-ASCII bytes
+       raw, so decoded escapes re-print as plain UTF-8 *)
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+  in
+  let parse_string pos =
+    let buf = Buffer.create 16 in
+    let rec go pos =
+      match peek pos with
+      | None -> fail pos "unterminated string"
+      | Some '"' -> (Buffer.contents buf, pos + 1)
+      | Some '\\' -> (
+        match peek (pos + 1) with
+        | None -> fail (pos + 1) "unterminated escape"
+        | Some c -> (
+          match c with
+          | '"' | '\\' | '/' ->
+            Buffer.add_char buf c;
+            go (pos + 2)
+          | 'n' ->
+            Buffer.add_char buf '\n';
+            go (pos + 2)
+          | 'r' ->
+            Buffer.add_char buf '\r';
+            go (pos + 2)
+          | 't' ->
+            Buffer.add_char buf '\t';
+            go (pos + 2)
+          | 'b' ->
+            Buffer.add_char buf '\b';
+            go (pos + 2)
+          | 'f' ->
+            Buffer.add_char buf '\012';
+            go (pos + 2)
+          | 'u' ->
+            let cp = hex4 (pos + 2) in
+            if cp >= 0xd800 && cp <= 0xdbff then
+              (* high surrogate: consume the paired low surrogate *)
+              if
+                pos + 6 + 6 <= n
+                && text.[pos + 6] = '\\'
+                && text.[pos + 7] = 'u'
+              then begin
+                let lo = hex4 (pos + 8) in
+                if lo < 0xdc00 || lo > 0xdfff then
+                  fail (pos + 8) "expected low surrogate, got \\u%04x" lo;
+                add_utf8 buf
+                  (0x10000 + ((cp - 0xd800) lsl 10) + (lo - 0xdc00));
+                go (pos + 12)
+              end
+              else fail pos "unpaired high surrogate \\u%04x" cp
+            else if cp >= 0xdc00 && cp <= 0xdfff then
+              fail pos "unpaired low surrogate \\u%04x" cp
+            else begin
+              add_utf8 buf cp;
+              go (pos + 6)
+            end
+          | c -> fail (pos + 1) "invalid escape \\%C" c))
+      | Some c when Char.code c < 0x20 ->
+        fail pos "unescaped control character 0x%02x in string" (Char.code c)
+      | Some c ->
+        Buffer.add_char buf c;
+        go (pos + 1)
+    in
+    go pos
+  in
+  let parse_number pos =
+    let stop = ref pos in
+    let is_float = ref false in
+    let continue = ref true in
+    while !continue && !stop < n do
+      (match text.[!stop] with
+      | '0' .. '9' | '-' | '+' -> ()
+      | '.' | 'e' | 'E' -> is_float := true
+      | _ -> continue := false);
+      if !continue then incr stop
+    done;
+    let tok = String.sub text pos (!stop - pos) in
+    let value =
+      if !is_float then
+        match float_of_string_opt tok with
+        | Some v -> Float v
+        | None -> fail pos "malformed number %S" tok
+      else
+        match int_of_string_opt tok with
+        | Some i -> Int i
+        | None -> (
+          (* an integer literal too wide for [int]: keep the magnitude *)
+          match float_of_string_opt tok with
+          | Some v -> Float v
+          | None -> fail pos "malformed number %S" tok)
+    in
+    (value, !stop)
+  in
+  let rec parse_value pos =
+    let pos = skip_ws pos in
+    match peek pos with
+    | None -> fail pos "expected a value, got end of input"
+    | Some 'n' -> literal pos "null" Null
+    | Some 't' -> literal pos "true" (Bool true)
+    | Some 'f' -> literal pos "false" (Bool false)
+    | Some '"' -> (
+      match parse_string (pos + 1) with s, pos -> (String s, pos))
+    | Some ('-' | '0' .. '9') -> parse_number pos
+    | Some '[' -> (
+      let pos = skip_ws (pos + 1) in
+      match peek pos with
+      | Some ']' -> (List [], pos + 1)
+      | _ ->
+        let rec items acc pos =
+          let item, pos = parse_value pos in
+          let pos = skip_ws pos in
+          match peek pos with
+          | Some ',' -> items (item :: acc) (pos + 1)
+          | Some ']' -> (List (List.rev (item :: acc)), pos + 1)
+          | _ -> fail pos "expected ',' or ']' in array"
+        in
+        items [] pos)
+    | Some '{' -> (
+      let pos = skip_ws (pos + 1) in
+      match peek pos with
+      | Some '}' -> (Object [], pos + 1)
+      | _ ->
+        let field pos =
+          let pos = skip_ws pos in
+          let pos = expect pos '"' in
+          let key, pos = parse_string pos in
+          let pos = expect (skip_ws pos) ':' in
+          let value, pos = parse_value pos in
+          ((key, value), pos)
+        in
+        let rec fields acc pos =
+          let f, pos = field pos in
+          let pos = skip_ws pos in
+          match peek pos with
+          | Some ',' -> fields (f :: acc) (pos + 1)
+          | Some '}' -> (Object (List.rev (f :: acc)), pos + 1)
+          | _ -> fail pos "expected ',' or '}' in object"
+        in
+        fields [] pos)
+    | Some c -> fail pos "unexpected character %C" c
+  in
+  match
+    let value, pos = parse_value 0 in
+    let pos = skip_ws pos in
+    if pos < n then fail pos "trailing content after the value";
+    value
+  with
+  | value -> Ok value
+  | exception Parse_failure (pos, message) ->
+    Error (Printf.sprintf "offset %d: %s" pos message)
+
+let parse_exn text =
+  match parse text with Ok v -> v | Error e -> failwith ("Export.parse: " ^ e)
+
+let member key = function
+  | Object fields -> List.assoc_opt key fields
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None
+
 let placement_json (p : Schedule.placement) =
   Object
     ([

@@ -22,6 +22,22 @@ val to_string : json -> string
 val pretty : json -> string
 (** Two-space-indented rendering with a trailing newline. *)
 
+val parse : string -> (json, string) result
+(** Parse one JSON value (the whole input, surrounding whitespace
+    allowed). Numbers without a fraction or exponent that fit in an
+    OCaml [int] parse as [Int], everything else as [Float]; [\uXXXX]
+    escapes decode to UTF-8 bytes. [Error] carries a
+    ["offset N: message"] description. Inverse of {!to_string} /
+    {!pretty} for every value whose floats are finite, so protocol
+    envelopes round-trip. *)
+
+val parse_exn : string -> json
+(** @raise Failure with the {!parse} error description. *)
+
+val member : string -> json -> json option
+(** [member key (Object _)] looks the field up; [None] on any other
+    constructor. *)
+
 val schedule_json : Msoc_tam.Schedule.t -> json
 (** Placements with start/finish/width/wires/exclusion group. *)
 

@@ -1,0 +1,101 @@
+module Types = Msoc_itc02.Types
+module Spec = Msoc_analog.Spec
+
+open Export
+
+(* Floats enter the canonical string through the same [float_repr] the
+   printer uses, so a problem rebuilt from a round-tripped envelope
+   hashes identically to the original. *)
+
+let digital_core_json (c : Types.core) =
+  Object
+    [
+      ("id", Int c.Types.id);
+      ("name", String c.Types.name);
+      ("inputs", Int c.Types.inputs);
+      ("outputs", Int c.Types.outputs);
+      ("bidirs", Int c.Types.bidirs);
+      ("patterns", Int c.Types.patterns);
+      ("scan_chains", List (List.map (fun l -> Int l) c.Types.scan_chains));
+    ]
+
+let analog_test_json (t : Spec.test) =
+  Object
+    [
+      ("name", String t.Spec.name);
+      ("f_low_hz", Float t.Spec.f_low_hz);
+      ("f_high_hz", Float t.Spec.f_high_hz);
+      ("f_sample_hz", Float t.Spec.f_sample_hz);
+      ("cycles", Int t.Spec.cycles);
+      ("tam_width", Int t.Spec.tam_width);
+      ("resolution_bits", Int t.Spec.resolution_bits);
+    ]
+
+let analog_core_json (c : Spec.core) =
+  Object
+    [
+      ("label", String c.Spec.label);
+      ("name", String c.Spec.name);
+      ("tests", List (List.map analog_test_json c.Spec.tests));
+    ]
+
+let problem_json (p : Problem.t) =
+  Object
+    [
+      ( "soc",
+        Object
+          [
+            ("name", String p.Problem.soc.Types.name);
+            ( "cores",
+              List (List.map digital_core_json p.Problem.soc.Types.cores) );
+          ] );
+      ("analog", List (List.map analog_core_json p.Problem.analog_cores));
+      ("tam_width", Int p.Problem.tam_width);
+      ("weight_time", Float p.Problem.weight_time);
+      ("weight_area", Float p.Problem.weight_area);
+      ( "policy",
+        Object
+          [
+            ("fast_hz", Float p.Problem.policy.Spec.fast_hz);
+            ("high_res_bits", Int p.Problem.policy.Spec.high_res_bits);
+          ] );
+      ( "self_test",
+        match p.Problem.self_test with
+        | None -> Null
+        | Some { Problem.hits_per_code } ->
+          Object [ ("hits_per_code", Int hits_per_code) ] );
+    ]
+
+let hex json = Digest.to_hex (Digest.string (to_string json))
+
+let problem_hex p = hex (problem_json p)
+
+let structure_hex (p : Problem.t) =
+  let weightless =
+    match problem_json p with
+    | Object fields ->
+      Object
+        (List.map
+           (function
+             | ("weight_time" | "weight_area"), _ as field ->
+               (fst field, Float 0.0)
+             | field -> field)
+           fields)
+    | json -> json
+  in
+  hex weightless
+
+let search_json (search : Plan.search) =
+  match search with
+  | Plan.Exhaustive_search -> Object [ ("kind", String "exhaustive") ]
+  | Plan.Heuristic { delta } ->
+    Object [ ("kind", String "heuristic"); ("delta", Float delta) ]
+
+let request_hex ~op ~search p =
+  hex
+    (Object
+       [
+         ("op", String op);
+         ("search", search_json search);
+         ("problem", problem_json p);
+       ])

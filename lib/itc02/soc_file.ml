@@ -1,7 +1,10 @@
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { file : string option; line : int; message : string }
 
-let fail line fmt =
-  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+(* [file] is diagnostic only, threaded explicitly so concurrent parses
+   (e.g. on serve worker threads) can never mislabel each other's
+   errors. *)
+let fail ~file line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { file; line; message })) fmt
 
 let tokens_of_line s =
   String.split_on_char ' ' s
@@ -13,66 +16,67 @@ let strip_comment s =
   | Some i -> String.sub s 0 i
   | None -> s
 
-let int_of_token line tok =
+let int_of_token ~file line tok =
   match int_of_string_opt tok with
   | Some n -> n
-  | None -> fail line "expected integer, got %S" tok
+  | None -> fail ~file line "expected integer, got %S" tok
 
 (* Module lines are keyword/value pairs in fixed order; we parse them
    leniently (any order for the scalar fields) to be robust against
    hand-edited files. *)
-let parse_module_line line toks =
+let parse_module_line ~file line toks =
   let rec scalars acc = function
     | [] -> (acc, None)
     | "ScanChains" :: count :: rest ->
-      let n = int_of_token line count in
+      let n = int_of_token ~file line count in
       let chains =
         match rest with
         | [] when n = 0 -> []
         | ":" :: lens ->
           if List.length lens <> n then
-            fail line "ScanChains %d but %d lengths given" n (List.length lens);
-          List.map (int_of_token line) lens
-        | _ when n = 0 -> fail line "unexpected tokens after ScanChains 0"
-        | _ -> fail line "ScanChains %d must be followed by ': l1 .. ln'" n
+            fail ~file line "ScanChains %d but %d lengths given" n
+              (List.length lens);
+          List.map (int_of_token ~file line) lens
+        | _ when n = 0 -> fail ~file line "unexpected tokens after ScanChains 0"
+        | _ -> fail ~file line "ScanChains %d must be followed by ': l1 .. ln'" n
       in
       (acc, Some chains)
     | key :: value :: rest -> scalars ((key, value) :: acc) rest
-    | [ tok ] -> fail line "dangling token %S" tok
+    | [ tok ] -> fail ~file line "dangling token %S" tok
   in
   let fields, chains = scalars [] toks in
   let chains = Option.value chains ~default:[] in
   let get key =
     match List.assoc_opt key fields with
-    | Some v -> int_of_token line v
-    | None -> fail line "missing field %s" key
+    | Some v -> int_of_token ~file line v
+    | None -> fail ~file line "missing field %s" key
   in
   let name =
     match List.assoc_opt "Name" fields with
     | Some n -> n
-    | None -> fail line "missing field Name"
+    | None -> fail ~file line "missing field Name"
   in
   fun id ->
     Types.core ~id ~name ~inputs:(get "Inputs") ~outputs:(get "Outputs")
       ~bidirs:(get "Bidirs") ~patterns:(get "Patterns") ~scan_chains:chains
 
-let of_string text =
+let of_string ?file text =
   let lines = String.split_on_char '\n' text in
   let step (lineno, name, cores) raw =
     let lineno = lineno + 1 in
     match tokens_of_line (strip_comment raw) with
     | [] -> (lineno, name, cores)
     | [ "SocName"; n ] -> (lineno, Some n, cores)
-    | "SocName" :: _ -> fail lineno "SocName takes exactly one token"
+    | "SocName" :: _ -> fail ~file lineno "SocName takes exactly one token"
     | "Module" :: id :: rest ->
-      let id = int_of_token lineno id in
-      let mk = parse_module_line lineno rest in
+      let id = int_of_token ~file lineno id in
+      let mk = parse_module_line ~file lineno rest in
       (lineno, name, mk id :: cores)
-    | tok :: _ -> fail lineno "unknown directive %S" tok
+    | tok :: _ -> fail ~file lineno "unknown directive %S" tok
   in
   let _, name, cores = List.fold_left step (0, None, []) lines in
   match name with
-  | None -> fail 0 "missing SocName directive"
+  | None -> fail ~file 0 "missing SocName directive"
   | Some name -> Types.soc ~name ~cores:(List.rev cores)
 
 let to_string (soc : Types.soc) =
@@ -97,7 +101,7 @@ let load path =
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  of_string text
+  of_string ~file:path text
 
 let save path soc =
   let oc = open_out path in

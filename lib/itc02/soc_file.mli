@@ -16,16 +16,20 @@
     test sets); the algorithms reproduced here consume exactly the
     fields above, so the dialect keeps only those (see DESIGN.md §3). *)
 
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { file : string option; line : int; message : string }
+(** [file] names the input when it came from {!load}; [None] when
+    parsed from a string — multi-file flows (the serve daemon, batch
+    verifiers) report which file broke. *)
 
-val of_string : string -> Types.soc
-(** @raise Parse_error on malformed input. *)
+val of_string : ?file:string -> string -> Types.soc
+(** @raise Parse_error on malformed input; [file] (purely diagnostic)
+    is attached to the error. *)
 
 val to_string : Types.soc -> string
 (** Round-trips through {!of_string}. *)
 
 val load : string -> Types.soc
 (** [load path] reads and parses a file.
-    @raise Parse_error or [Sys_error]. *)
+    @raise Parse_error (with [file = Some path]) or [Sys_error]. *)
 
 val save : string -> Types.soc -> unit

@@ -1,0 +1,192 @@
+module Export = Msoc_testplan.Export
+
+(* --- in-memory LRU over rendered payloads --- *)
+
+module Lru = struct
+  type entry = {
+    key : string;
+    mutable value : string;
+    mutable newer : entry option;
+    mutable older : entry option;
+  }
+
+  type t = {
+    capacity : int;
+    table : (string, entry) Hashtbl.t;
+    mutable newest : entry option;
+    mutable oldest : entry option;
+  }
+
+  let create capacity =
+    if capacity < 1 then invalid_arg "Cache: memory_capacity must be >= 1";
+    { capacity; table = Hashtbl.create capacity; newest = None; oldest = None }
+
+  let unlink t e =
+    (match e.newer with Some n -> n.older <- e.older | None -> t.newest <- e.older);
+    (match e.older with Some o -> o.newer <- e.newer | None -> t.oldest <- e.newer);
+    e.newer <- None;
+    e.older <- None
+
+  let push_newest t e =
+    e.older <- t.newest;
+    (match t.newest with Some n -> n.newer <- Some e | None -> t.oldest <- Some e);
+    t.newest <- Some e
+
+  let find t key =
+    match Hashtbl.find_opt t.table key with
+    | None -> None
+    | Some e ->
+      unlink t e;
+      push_newest t e;
+      Some e.value
+
+  let insert t key value =
+    (match Hashtbl.find_opt t.table key with
+    | Some e ->
+      e.value <- value;
+      unlink t e;
+      push_newest t e
+    | None ->
+      let e = { key; value; newer = None; older = None } in
+      Hashtbl.replace t.table key e;
+      push_newest t e);
+    while Hashtbl.length t.table > t.capacity do
+      match t.oldest with
+      | None -> assert false
+      | Some e ->
+        unlink t e;
+        Hashtbl.remove t.table e.key
+    done
+
+  let length t = Hashtbl.length t.table
+end
+
+type t = {
+  memory : Lru.t;
+  dir : string option;
+  mutable memory_hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable disk_writes : int;
+}
+
+type hit = Memory | Disk
+
+let create ?(memory_capacity = 512) ?dir () =
+  {
+    memory = Lru.create memory_capacity;
+    dir;
+    memory_hits = 0;
+    disk_hits = 0;
+    misses = 0;
+    disk_writes = 0;
+  }
+
+let dir t = t.dir
+
+(* Keys are hex digests, but guard anyway: a key must never escape the
+   cache directory or collide with temp names. *)
+let valid_key key =
+  key <> ""
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true | _ -> false)
+       key
+
+let entry_path dir key = Filename.concat dir (key ^ ".json")
+
+let read_file path =
+  match open_in_bin path with
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  | exception Sys_error _ -> None
+
+let disk_find t key =
+  match t.dir with
+  | None -> None
+  | Some dir -> (
+    let path = entry_path dir key in
+    match read_file path with
+    | None -> None
+    | Some text -> (
+      match Export.parse text with
+      | Ok json -> Some (text, json)
+      | Error _ ->
+        (* torn or foreign content: drop the entry, report a miss *)
+        (try Sys.remove path with Sys_error _ -> ());
+        None))
+
+let disk_store t key text =
+  match t.dir with
+  | None -> ()
+  | Some dir -> (
+    try
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      let tmp = Filename.temp_file ~temp_dir:dir ".serve" ".tmp" in
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc text);
+      Sys.rename tmp (entry_path dir key);
+      t.disk_writes <- t.disk_writes + 1
+    with Sys_error _ | Unix.Unix_error _ -> ())
+
+let find t ~key =
+  if not (valid_key key) then None
+  else
+    match Lru.find t.memory key with
+    | Some text -> (
+      match Export.parse text with
+      | Ok json ->
+        t.memory_hits <- t.memory_hits + 1;
+        Some (json, Memory)
+      | Error _ ->
+        (* unreachable for entries we rendered; fall back to disk *)
+        None)
+    | None -> (
+      match disk_find t key with
+      | Some (text, json) ->
+        t.disk_hits <- t.disk_hits + 1;
+        Lru.insert t.memory key text;
+        Some (json, Disk)
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let store t ~key json =
+  if valid_key key then begin
+    let text = Export.to_string json in
+    Lru.insert t.memory key text;
+    disk_store t key text
+  end
+
+type stats = {
+  memory_hits : int;
+  disk_hits : int;
+  misses : int;
+  memory_entries : int;
+  disk_writes : int;
+}
+
+let stats (t : t) =
+  {
+    memory_hits = t.memory_hits;
+    disk_hits = t.disk_hits;
+    misses = t.misses;
+    memory_entries = Lru.length t.memory;
+    disk_writes = t.disk_writes;
+  }
+
+let stats_json t =
+  let s = stats t in
+  Export.Object
+    [
+      ("memory_hits", Export.Int s.memory_hits);
+      ("disk_hits", Export.Int s.disk_hits);
+      ("misses", Export.Int s.misses);
+      ("memory_entries", Export.Int s.memory_entries);
+      ("disk_writes", Export.Int s.disk_writes);
+      ( "dir",
+        match t.dir with Some d -> Export.String d | None -> Export.Null );
+    ]

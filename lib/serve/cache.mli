@@ -1,0 +1,46 @@
+(** Two-level result cache: an in-memory LRU in front of an optional
+    content-addressed on-disk store.
+
+    Keys are canonical problem hashes ({!Msoc_testplan.Fingerprint}),
+    values are rendered response payloads (JSON). A disk hit is
+    promoted into the memory level; a memory insert spills to disk
+    (write-through), so identical problems never re-pack — across
+    requests, restarts and clients sharing one [--cache-dir].
+
+    Disk entries live at [dir/<key>.json], written atomically
+    (temp file + rename) so a crashed or concurrent writer can never
+    leave a torn entry; unreadable or corrupt entries are deleted and
+    treated as misses, never propagated as errors.
+
+    Not thread-safe: the serve dispatch model funnels every lookup and
+    store through the single service thread. *)
+
+type t
+
+val create : ?memory_capacity:int -> ?dir:string -> unit -> t
+(** [memory_capacity] defaults to 512 entries; least-recently-used
+    entries are evicted first. Without [dir] there is no disk level.
+    The directory is created on first use.
+    @raise Invalid_argument if [memory_capacity < 1]. *)
+
+type hit = Memory | Disk
+
+val find : t -> key:string -> (Msoc_testplan.Export.json * hit) option
+
+val store : t -> key:string -> Msoc_testplan.Export.json -> unit
+(** Insert at the memory level and (when configured) write through to
+    disk. Disk write failures degrade silently to memory-only. *)
+
+type stats = {
+  memory_hits : int;
+  disk_hits : int;
+  misses : int;
+  memory_entries : int;
+  disk_writes : int;
+}
+
+val stats : t -> stats
+
+val stats_json : t -> Msoc_testplan.Export.json
+
+val dir : t -> string option

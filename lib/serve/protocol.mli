@@ -1,0 +1,87 @@
+(** The serve wire protocol: NDJSON request/response envelopes.
+
+    One JSON object per line, both directions, over either transport
+    (stdio batch mode or the Unix-socket daemon). Requests carry a
+    client-chosen [id] echoed verbatim in the response, a schema
+    version ([v], currently {!version}), an operation name and an
+    operation-specific [params] object; responses carry a [status],
+    the [result] on success and a human-readable [error] otherwise.
+
+    Example exchange:
+    {v
+    -> {"v":1,"id":"r1","op":"plan","params":{"width":32,"weight_time":0.5}}
+    <- {"v":1,"id":"r1","status":"ok","cached":"memory","elapsed_ms":0.2,"result":{...}}
+    v}
+
+    Malformed lines never kill a connection: they produce a
+    [bad_request] response with an empty [id]. *)
+
+val version : int
+(** Current schema version (1). Requests with any other [v] are
+    rejected so an old client fails loudly, not subtly. *)
+
+type op = Plan | Explore | Optimize | Stats | Shutdown
+
+val op_name : op -> string
+
+val op_of_name : string -> op option
+
+type request = {
+  id : string;  (** client-chosen, echoed in the response *)
+  op : op;
+  deadline_ms : float option;
+      (** per-request compute budget, measured from admission *)
+  params : Msoc_testplan.Export.json;  (** operation arguments; [Object] *)
+}
+
+val request : ?deadline_ms:float -> ?params:Msoc_testplan.Export.json ->
+  id:string -> op -> request
+
+val request_json : request -> Msoc_testplan.Export.json
+
+val request_to_line : request -> string
+(** Compact, newline-free — ready for [output_string] + ['\n']. *)
+
+val request_of_json :
+  Msoc_testplan.Export.json -> (request, string) result
+
+val request_of_line : string -> (request, string) result
+
+type status =
+  | Success  (** ["ok"] *)
+  | Bad_request
+      (** unparseable envelope, unknown op/params, or an infeasible
+          problem — retrying identically will fail identically *)
+  | Server_error  (** unexpected exception; retrying may succeed *)
+  | Overloaded  (** bounded queue full: shed load, retry later *)
+  | Deadline_exceeded  (** the [deadline_ms] budget elapsed *)
+  | Shutting_down  (** server draining; no new work admitted *)
+
+val status_name : status -> string
+
+val status_of_name : string -> status option
+
+type response = {
+  id : string;
+  status : status;
+  cached : string option;  (** ["memory"] or ["disk"] on a cache hit *)
+  elapsed_ms : float option;
+  result : Msoc_testplan.Export.json;  (** [Null] unless [Success] *)
+  error : string option;
+}
+
+val ok :
+  ?cached:string -> ?elapsed_ms:float -> id:string ->
+  Msoc_testplan.Export.json -> response
+
+val reject : ?elapsed_ms:float -> id:string -> status -> string -> response
+(** @raise Invalid_argument when called with [Success]. *)
+
+val response_json : response -> Msoc_testplan.Export.json
+
+val response_to_line : response -> string
+
+val response_of_json :
+  Msoc_testplan.Export.json -> (response, string) result
+
+val response_of_line : string -> (response, string) result

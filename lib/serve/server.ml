@@ -1,0 +1,160 @@
+module Bounded_queue = Msoc_util.Bounded_queue
+
+let write_line oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+(* --- stdio batch mode --- *)
+
+let serve_channels service ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line when String.trim line = "" -> loop ()
+    | line ->
+      (match Protocol.request_of_line line with
+      | Error e ->
+        Metrics.incr_malformed (Service.metrics service);
+        Metrics.incr_status (Service.metrics service) Protocol.Bad_request;
+        write_line oc
+          (Protocol.response_to_line
+             (Protocol.reject ~id:"" Protocol.Bad_request e))
+      | Ok req ->
+        write_line oc (Protocol.response_to_line (Service.handle service req)));
+      if Service.shutdown_requested service then () else loop ()
+  in
+  loop ()
+
+(* --- Unix-socket daemon --- *)
+
+type job = {
+  request : Protocol.request;
+  admitted_at : float;
+  reply : Protocol.response -> unit;
+}
+
+type connection = {
+  fd : Unix.file_descr;
+  conn_oc : out_channel;
+  write_lock : Mutex.t;
+}
+
+(* Writes happen from the reader thread (rejections) and the dispatch
+   thread (results); the lock keeps envelope lines whole. A dead peer
+   must not kill the server: write errors are swallowed (the reader
+   notices the close on its side). *)
+let send conn response =
+  Mutex.lock conn.write_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.write_lock)
+    (fun () ->
+      try write_line conn.conn_oc (Protocol.response_to_line response)
+      with Sys_error _ -> ())
+
+let reader service queue conn () =
+  let metrics = Service.metrics service in
+  let ic = Unix.in_channel_of_descr conn.fd in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line when String.trim line = "" -> loop ()
+    | line ->
+      (match Protocol.request_of_line line with
+      | Error e ->
+        Metrics.incr_malformed metrics;
+        Metrics.incr_status metrics Protocol.Bad_request;
+        send conn (Protocol.reject ~id:"" Protocol.Bad_request e)
+      | Ok request ->
+        let job =
+          { request; admitted_at = Unix.gettimeofday (); reply = send conn }
+        in
+        if not (Bounded_queue.try_push queue job) then begin
+          let status, why =
+            if Bounded_queue.is_closed queue then
+              (Protocol.Shutting_down, "server is draining")
+            else
+              ( Protocol.Overloaded,
+                Printf.sprintf "queue full (%d requests pending)"
+                  (Bounded_queue.capacity queue) )
+          in
+          Metrics.incr_request metrics request.Protocol.op;
+          Metrics.incr_status metrics status;
+          send conn (Protocol.reject ~id:request.Protocol.id status why)
+        end);
+      loop ()
+  in
+  loop ()
+
+let dispatch service queue stop () =
+  let rec loop () =
+    match Bounded_queue.pop queue with
+    | None -> ()
+    | Some job ->
+      job.reply
+        (Service.handle ~admitted_at:job.admitted_at service job.request);
+      if Service.shutdown_requested service then Atomic.set stop true;
+      loop ()
+  in
+  loop ()
+
+let with_signals stop f =
+  let install s = Sys.signal s (Sys.Signal_handle (fun _ -> Atomic.set stop true)) in
+  let previous = List.map (fun s -> (s, install s)) [ Sys.sigint; Sys.sigterm ] in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun (s, b) -> Sys.set_signal s b) previous)
+    f
+
+let serve_unix ?(queue_capacity = 64) ~socket_path service =
+  let stop = Atomic.make false in
+  let queue = Bounded_queue.create ~capacity:queue_capacity in
+  (if Sys.file_exists socket_path then
+     try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let connections = ref [] in
+  let conn_lock = Mutex.create () in
+  with_signals stop (fun () ->
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close listener with Unix.Unix_error _ -> ());
+          try Unix.unlink socket_path with Unix.Unix_error _ | Sys_error _ -> ())
+        (fun () ->
+          Unix.bind listener (Unix.ADDR_UNIX socket_path);
+          Unix.listen listener 64;
+          let dispatcher = Thread.create (dispatch service queue stop) () in
+          (* Poll-accept so the loop observes [stop] promptly even when
+             no client ever connects; 100 ms is invisible next to a
+             pack but keeps shutdown snappy. *)
+          while not (Atomic.get stop) do
+            match Unix.select [ listener ] [] [] 0.1 with
+            | [ _ ], _, _ -> (
+              match Unix.accept listener with
+              | fd, _ ->
+                let conn =
+                  {
+                    fd;
+                    conn_oc = Unix.out_channel_of_descr fd;
+                    write_lock = Mutex.create ();
+                  }
+                in
+                Mutex.lock conn_lock;
+                connections := conn :: !connections;
+                Mutex.unlock conn_lock;
+                ignore (Thread.create (reader service queue conn) ())
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+            | _ -> ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          done;
+          (* Drain: stop admissions, let the dispatcher finish every
+             admitted request (replies flush inside [send]), then drop
+             the connections. *)
+          Bounded_queue.close queue;
+          Thread.join dispatcher;
+          Mutex.lock conn_lock;
+          let conns = !connections in
+          connections := [];
+          Mutex.unlock conn_lock;
+          List.iter
+            (fun conn ->
+              try Unix.close conn.fd with Unix.Unix_error _ | Sys_error _ -> ())
+            conns))

@@ -1,0 +1,34 @@
+(** Transports: NDJSON over stdio (batch) and over a Unix-domain
+    socket (daemon).
+
+    {b Batch mode} ({!serve_channels}) reads envelopes sequentially
+    until EOF or a [shutdown] envelope, answering each inline — the
+    deterministic mode for pipelines and tests.
+
+    {b Daemon mode} ({!serve_unix}) binds a Unix socket and runs an
+    accept loop. Each connection gets a reader thread that parses
+    lines and admits requests to a {!Msoc_util.Bounded_queue}; a
+    single dispatch thread drains the queue through {!Service.handle}
+    and writes each response back on its own connection (per-connection
+    write lock, so concurrent responses never interleave). When the
+    queue is full the reader answers [overloaded] immediately —
+    admission is the only place load is shed, and it never blocks.
+
+    Shutdown — on SIGINT, SIGTERM or a [shutdown] envelope — is
+    graceful: the accept loop closes the listener, the queue stops
+    admitting (late arrivals get [shutting_down]), the dispatch thread
+    drains every admitted request and its responses are flushed, then
+    connections close and {!serve_unix} returns. *)
+
+val serve_channels : Service.t -> in_channel -> out_channel -> unit
+(** Stdio batch mode. Blank lines are skipped; malformed lines get a
+    [bad_request] envelope with an empty [id]. Returns at EOF or after
+    answering a [shutdown] envelope. *)
+
+val serve_unix :
+  ?queue_capacity:int -> socket_path:string -> Service.t -> unit
+(** Daemon mode; blocks until shutdown. [queue_capacity] (default 64)
+    bounds admitted-but-undispatched requests. An existing socket file
+    at [socket_path] is replaced. Installs SIGINT/SIGTERM handlers for
+    the duration (restored on return).
+    @raise Unix.Unix_error when the socket cannot be bound. *)

@@ -1,0 +1,323 @@
+module Export = Msoc_testplan.Export
+module Fingerprint = Msoc_testplan.Fingerprint
+module Problem = Msoc_testplan.Problem
+module Plan = Msoc_testplan.Plan
+module Evaluate = Msoc_testplan.Evaluate
+module Explore = Msoc_testplan.Explore
+module Cost_optimizer = Msoc_testplan.Cost_optimizer
+module Sharing = Msoc_analog.Sharing
+module Catalog = Msoc_analog.Catalog
+module Pool = Msoc_util.Pool
+
+(* Small LRU of prepared structures: key = Fingerprint.structure_hex.
+   8 resident SOC structures cover any realistic sweep workload while
+   bounding memory (each holds a full schedule memo cache). *)
+let max_prepared = 8
+
+type t = {
+  pool : Pool.t;
+  cache : Cache.t;
+  metrics : Metrics.t;
+  prepared : (string, Evaluate.prepared) Hashtbl.t;
+  mutable prepared_order : string list;  (* most recent first *)
+  mutable stop : bool;
+}
+
+let create ?cache ?metrics ?(jobs = 1) () =
+  {
+    pool = Pool.create ~jobs;
+    cache = (match cache with Some c -> c | None -> Cache.create ());
+    metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+    prepared = Hashtbl.create max_prepared;
+    prepared_order = [];
+    stop = false;
+  }
+
+let metrics t = t.metrics
+
+let cache t = t.cache
+
+let jobs t = Pool.jobs t.pool
+
+let shutdown_requested t = t.stop
+
+let request_shutdown t = t.stop <- true
+
+let shutdown t = Pool.shutdown t.pool
+
+(* --- params --- *)
+
+exception Bad of string
+
+let badf fmt = Format.kasprintf (fun m -> raise (Bad m)) fmt
+
+let field name params = Export.member name params
+
+let int_param ~default name params =
+  match field name params with
+  | None -> default
+  | Some (Export.Int i) -> i
+  | Some _ -> badf "param %S must be an integer" name
+
+let float_param ~default name params =
+  match field name params with
+  | None -> default
+  | Some (Export.Float f) -> f
+  | Some (Export.Int i) -> float_of_int i
+  | Some _ -> badf "param %S must be a number" name
+
+let string_param name params =
+  match field name params with
+  | None -> None
+  | Some (Export.String s) -> Some s
+  | Some _ -> badf "param %S must be a string" name
+
+let number_list_param name params =
+  match field name params with
+  | None -> None
+  | Some (Export.List items) ->
+    Some
+      (List.map
+         (function
+           | Export.Int i -> float_of_int i
+           | Export.Float f -> f
+           | _ -> badf "param %S must be a list of numbers" name)
+         items)
+  | Some _ -> badf "param %S must be a list of numbers" name
+
+let load_soc params =
+  match (string_param "soc_text" params, string_param "soc_path" params) with
+  | Some _, Some _ -> badf "give either \"soc_text\" or \"soc_path\", not both"
+  | Some text, None -> Msoc_itc02.Soc_file.of_string text
+  | None, Some path -> Msoc_itc02.Soc_file.load path
+  | None, None -> Msoc_itc02.Synthetic.p93791s ()
+
+let analog_cores params =
+  let labels =
+    match string_param "analog" params with
+    | Some s -> s
+    | None -> "A,B,C,D,E"
+  in
+  let cores =
+    String.split_on_char ',' labels
+    |> List.filter (fun s -> String.trim s <> "")
+    |> List.map (fun label ->
+           let label = String.uppercase_ascii (String.trim label) in
+           match Catalog.find ~label with
+           | core -> core
+           | exception Not_found ->
+             badf "unknown analog core %S (catalog: A, B, C, D, E)" label)
+  in
+  if cores = [] then badf "param \"analog\" selects no cores";
+  cores
+
+let problem_of_params ?width params =
+  let width =
+    match width with Some w -> w | None -> int_param ~default:32 "width" params
+  in
+  let weight_time = float_param ~default:0.5 "weight_time" params in
+  Problem.make ~soc:(load_soc params) ~analog_cores:(analog_cores params)
+    ~tam_width:width ~weight_time ()
+
+let search_of_params params =
+  let delta = float_param ~default:0.0 "delta" params in
+  match string_param "search" params with
+  | None | Some "heuristic" -> Plan.Heuristic { delta }
+  | Some "exhaustive" -> Plan.Exhaustive_search
+  | Some other -> badf "unknown search %S (heuristic or exhaustive)" other
+
+(* --- prepared-structure reuse --- *)
+
+let prepared_for t problem =
+  let skey = Fingerprint.structure_hex problem in
+  match Hashtbl.find_opt t.prepared skey with
+  | Some prepared when Problem.same_structure (Evaluate.problem prepared) problem ->
+    t.prepared_order <-
+      skey :: List.filter (fun k -> k <> skey) t.prepared_order;
+    Evaluate.reweight prepared problem
+  | _ ->
+    let prepared = Evaluate.prepare problem in
+    Hashtbl.replace t.prepared skey prepared;
+    t.prepared_order <-
+      skey :: List.filter (fun k -> k <> skey) t.prepared_order;
+    (match List.filteri (fun i _ -> i >= max_prepared) t.prepared_order with
+    | [] -> ()
+    | evicted ->
+      List.iter (Hashtbl.remove t.prepared) evicted;
+      t.prepared_order <-
+        List.filteri (fun i _ -> i < max_prepared) t.prepared_order);
+    prepared
+
+(* --- per-op computation --- *)
+
+let plan_of_result problem (result : Cost_optimizer.result) ~reference_makespan =
+  {
+    Plan.problem;
+    best = result.Cost_optimizer.best;
+    evaluations = result.Cost_optimizer.evaluations;
+    considered = result.Cost_optimizer.considered;
+    reference_makespan;
+  }
+
+let compute_plan t ~search problem =
+  let prepared = prepared_for t problem in
+  Export.plan_json (Plan.run_prepared ~search ~pool:t.pool prepared)
+
+let compute_optimize t ~delta problem =
+  let prepared = prepared_for t problem in
+  let result = Cost_optimizer.run ~delta ~pool:t.pool prepared in
+  let plan =
+    plan_of_result problem result
+      ~reference_makespan:(Evaluate.reference_makespan prepared)
+  in
+  Export.Object
+    [
+      ("plan", Export.plan_json plan);
+      ( "surviving_groups",
+        Export.List
+          (List.map
+             (fun signature ->
+               Export.List (List.map (fun n -> Export.Int n) signature))
+             result.Cost_optimizer.surviving_groups) );
+    ]
+
+let explore_point_json label (plan : Plan.t) =
+  let e = plan.Plan.best in
+  Export.Object
+    [
+      ("point", Export.String label);
+      ("sharing", Export.String (Sharing.short_name e.Evaluate.combination));
+      ("cost", Export.Float e.Evaluate.cost);
+      ("c_t", Export.Float e.Evaluate.c_t);
+      ("c_a", Export.Float e.Evaluate.c_a);
+      ("makespan", Export.Int e.Evaluate.makespan);
+      ("evaluations", Export.Int plan.Plan.evaluations);
+    ]
+
+let compute_explore t ~search params =
+  let widths =
+    Option.map (List.map int_of_float) (number_list_param "widths" params)
+  in
+  let weights = number_list_param "weights" params in
+  let points =
+    match (widths, weights) with
+    | Some _, Some _ -> badf "give either \"widths\" or \"weights\", not both"
+    | None, None -> badf "explore needs \"widths\" or \"weights\""
+    | Some widths, None ->
+      Explore.width_sweep ~search ~pool:t.pool ~widths (fun width ->
+          problem_of_params ~width params)
+      |> List.map (fun (w, plan) ->
+             explore_point_json (Printf.sprintf "W=%d" w) plan)
+    | None, Some weights ->
+      let width = int_param ~default:32 "width" params in
+      Explore.weight_sweep ~search ~pool:t.pool ~weights
+        (fun weight_time ->
+          let soc = load_soc params in
+          Problem.make ~soc ~analog_cores:(analog_cores params)
+            ~tam_width:width ~weight_time ())
+      |> List.map (fun (w, plan) ->
+             explore_point_json (Printf.sprintf "w_T=%.2f" w) plan)
+  in
+  if points = [] then badf "no feasible point in the sweep";
+  Export.Object [ ("points", Export.List points) ]
+
+let stats_result t =
+  Export.Object
+    [
+      ("metrics", Metrics.snapshot_json t.metrics);
+      ("cache", Cache.stats_json t.cache);
+      ( "engine",
+        Export.Object
+          [
+            ("jobs", Export.Int (Pool.jobs t.pool));
+            ("prepared_structures", Export.Int (Hashtbl.length t.prepared));
+          ] );
+    ]
+
+(* --- dispatch --- *)
+
+let cached_compute t ~op_name ~search ~compute problem =
+  let key = Fingerprint.request_hex ~op:op_name ~search problem in
+  match Cache.find t.cache ~key with
+  | Some (json, Cache.Memory) ->
+    Metrics.cache_memory_hit t.metrics;
+    (json, Some "memory")
+  | Some (json, Cache.Disk) ->
+    Metrics.cache_disk_hit t.metrics;
+    (json, Some "disk")
+  | None ->
+    Metrics.cache_miss t.metrics;
+    let packs0 = Evaluate.total_packs () in
+    let json = compute problem in
+    Metrics.add_packs t.metrics (Evaluate.total_packs () - packs0);
+    Cache.store t.cache ~key json;
+    (json, None)
+
+let handle ?admitted_at t (req : Protocol.request) =
+  let admitted_at =
+    match admitted_at with Some at -> at | None -> Unix.gettimeofday ()
+  in
+  Metrics.incr_request t.metrics req.Protocol.op;
+  let deadline =
+    Option.map (fun ms -> admitted_at +. (ms /. 1000.0)) req.Protocol.deadline_ms
+  in
+  let expired () =
+    match deadline with
+    | Some d -> Unix.gettimeofday () > d
+    | None -> false
+  in
+  let id = req.Protocol.id in
+  let response =
+    if t.stop && req.Protocol.op <> Protocol.Stats then
+      Protocol.reject ~id Protocol.Shutting_down "server is draining"
+    else if expired () then
+      Protocol.reject ~id Protocol.Deadline_exceeded
+        "deadline elapsed before dispatch"
+    else
+      match
+        match req.Protocol.op with
+        | Protocol.Stats -> (stats_result t, None)
+        | Protocol.Shutdown ->
+          t.stop <- true;
+          (Export.Object [ ("draining", Export.Bool true) ], None)
+        | Protocol.Plan ->
+          let search = search_of_params req.Protocol.params in
+          let problem = problem_of_params req.Protocol.params in
+          cached_compute t ~op_name:"plan" ~search
+            ~compute:(compute_plan t ~search) problem
+        | Protocol.Optimize ->
+          let delta =
+            float_param ~default:0.0 "delta" req.Protocol.params
+          in
+          let search = Plan.Heuristic { delta } in
+          let problem = problem_of_params req.Protocol.params in
+          cached_compute t ~op_name:"optimize" ~search
+            ~compute:(compute_optimize t ~delta) problem
+        | Protocol.Explore ->
+          let search = search_of_params req.Protocol.params in
+          (compute_explore t ~search req.Protocol.params, None)
+      with
+      | result, cached ->
+        if expired () then
+          Protocol.reject ~id Protocol.Deadline_exceeded
+            "deadline elapsed while computing (result cached for retry)"
+        else Protocol.ok ?cached ~id result
+      | exception Bad m -> Protocol.reject ~id Protocol.Bad_request m
+      | exception Msoc_itc02.Soc_file.Parse_error { file; line; message } ->
+        Protocol.reject ~id Protocol.Bad_request
+          (Printf.sprintf "%s:%d: %s"
+             (Option.value file ~default:"<soc_text>")
+             line message)
+      | exception Msoc_tam.Packer.Infeasible m ->
+        Protocol.reject ~id Protocol.Bad_request ("infeasible: " ^ m)
+      | exception Invalid_argument m ->
+        Protocol.reject ~id Protocol.Bad_request m
+      | exception Failure m -> Protocol.reject ~id Protocol.Bad_request m
+      | exception Sys_error m -> Protocol.reject ~id Protocol.Bad_request m
+      | exception e ->
+        Protocol.reject ~id Protocol.Server_error (Printexc.to_string e)
+  in
+  let elapsed = Unix.gettimeofday () -. admitted_at in
+  Metrics.incr_status t.metrics response.Protocol.status;
+  Metrics.observe_latency t.metrics ~seconds:elapsed;
+  { response with Protocol.elapsed_ms = Some (1e3 *. elapsed) }

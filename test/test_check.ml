@@ -176,6 +176,46 @@ let test_lint_file_level () =
   let ds = lint_lines [ "Module 1 Name a Inputs 1 Outputs 1 Bidirs 0 Patterns 5 ScanChains 0" ] in
   assert_code ~ctx:"missing SocName" Codes.e305 ds
 
+(* Corrupt the real benchmark file, not a synthetic string: duplicate
+   one of its Module lines under a fresh name and require the linter
+   to flag the duplicate id on the exact appended line (PR 3
+   satellite). The pristine file must lint clean first, so this fails
+   loudly if the checked-in benchmark ever rots. *)
+let test_lint_mutated_benchmark_file () =
+  let path = "../data/p93791s.soc" in
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  assert_clean ~ctx:"pristine benchmark" (Lint.file path);
+  let text = if String.ends_with ~suffix:"\n" text then text else text ^ "\n" in
+  let lines = String.split_on_char '\n' text in
+  let module_line =
+    match
+      List.find_opt (fun l -> String.length l > 7 && String.sub l 0 7 = "Module ") lines
+    with
+    | Some l -> l
+    | None -> Alcotest.fail "benchmark has no Module lines"
+  in
+  let duplicate =
+    (* same id, fresh name: only e301 should fire, not e308 *)
+    String.concat " "
+      (List.mapi
+         (fun i tok -> if i = 3 then "dup_core" else tok)
+         (String.split_on_char ' ' module_line))
+  in
+  let mutated = text ^ duplicate ^ "\n" in
+  let appended_line = List.length (String.split_on_char '\n' text) in
+  let ds = Lint.string ~file:path mutated in
+  assert_code ~ctx:"duplicate id in benchmark" Codes.e301 ds;
+  checkb "no duplicate-name finding" false (List.mem Codes.e308 (codes ds));
+  checkb
+    (Printf.sprintf "anchored to appended line %d" appended_line)
+    true
+    (find_line Codes.e301 ds = Some appended_line)
+
 let test_lint_error_free_implies_loadable () =
   let good = Soc_file.to_string (Synthetic.d281s ()) in
   assert_clean ~ctx:"d281s lints clean" (Lint.string good);
@@ -438,6 +478,8 @@ let suites =
         Alcotest.test_case "file-level findings" `Quick test_lint_file_level;
         Alcotest.test_case "error-free implies loadable" `Quick
           test_lint_error_free_implies_loadable;
+        Alcotest.test_case "mutated benchmark file is caught" `Quick
+          test_lint_mutated_benchmark_file;
       ] );
     ( "check-oracle",
       [

@@ -110,6 +110,26 @@ let test_file_errors () =
   expect_parse_error "SocName x\nBogus directive\n";
   expect_parse_error "SocName x y\n"
 
+(* Parse_error from [load] names the offending file; from [of_string]
+   without ~file it stays anonymous (PR 3 satellite). *)
+let test_file_error_names_file () =
+  let path = Filename.temp_file "msoc" ".soc" in
+  let oc = open_out path in
+  output_string oc
+    "SocName x\nModule 1 Name a Inputs z Outputs 1 Bidirs 0 Patterns 5 ScanChains 0\n";
+  close_out oc;
+  (match Soc_file.load path with
+  | _ -> Alcotest.fail "malformed file accepted"
+  | exception Soc_file.Parse_error { file; line; message } ->
+    checkb "file attached" true (file = Some path);
+    checki "line number" 2 line;
+    checkb "message is not empty" true (message <> ""));
+  Sys.remove path;
+  match Soc_file.of_string "SocName x y\n" with
+  | _ -> Alcotest.fail "malformed text accepted"
+  | exception Soc_file.Parse_error { file; _ } ->
+    checkb "of_string stays anonymous" true (file = None)
+
 let test_file_load_save () =
   let path = Filename.temp_file "msoc" ".soc" in
   let soc = Synthetic.d281s () in
@@ -200,6 +220,8 @@ let suites =
         Alcotest.test_case "round-trip synthetic" `Quick test_file_roundtrip_synthetic;
         Alcotest.test_case "comments and blanks" `Quick test_file_comments_and_blanks;
         Alcotest.test_case "parse errors" `Quick test_file_errors;
+        Alcotest.test_case "parse errors name the file" `Quick
+          test_file_error_names_file;
         Alcotest.test_case "load/save" `Quick test_file_load_save;
       ] );
     ( "itc02.synthetic",

@@ -1,0 +1,733 @@
+(* Tests for the serve subsystem (PR 3): the Export JSON parser and
+   its print/parse round-trip, canonical problem fingerprints, the
+   bounded admission queue, serve metrics, the two-level result cache,
+   the wire protocol envelopes, request dispatch through Service
+   (including cache hits, deadlines and drain semantics), and an
+   end-to-end exchange over the Unix-socket daemon. *)
+
+module Export = Msoc_testplan.Export
+module Fingerprint = Msoc_testplan.Fingerprint
+module Problem = Msoc_testplan.Problem
+module Plan = Msoc_testplan.Plan
+module Instances = Msoc_testplan.Instances
+module Bounded_queue = Msoc_util.Bounded_queue
+module Protocol = Msoc_serve.Protocol
+module Metrics = Msoc_serve.Metrics
+module Cache = Msoc_serve.Cache
+module Service = Msoc_serve.Service
+module Server = Msoc_serve.Server
+module Catalog = Msoc_analog.Catalog
+module Synthetic = Msoc_itc02.Synthetic
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+(* --- Export: printer escaping --- *)
+
+let test_export_escaping () =
+  let render s = Export.to_string (Export.String s) in
+  checks "quote" {|"a\"b"|} (render {|a"b|});
+  checks "backslash" {|"a\\b"|} (render {|a\b|});
+  checks "newline tab return" {|"a\nb\tc\rd"|} (render "a\nb\tc\rd");
+  checks "control chars" "\"\\u0000\\u0001\\u001f\"" (render "\x00\x01\x1f");
+  (* non-ASCII bytes pass through: the document stays valid UTF-8
+     when the input was *)
+  checks "utf8 passthrough" "\"caf\xc3\xa9\"" (render "caf\xc3\xa9");
+  checks "empty" {|""|} (render "")
+
+(* --- Export: parser --- *)
+
+let test_parse_scalars () =
+  let p = Export.parse_exn in
+  checkb "null" true (p "null" = Export.Null);
+  checkb "true" true (p "true" = Export.Bool true);
+  checkb "false" true (p " false " = Export.Bool false);
+  checkb "int" true (p "42" = Export.Int 42);
+  checkb "negative int" true (p "-7" = Export.Int (-7));
+  checkb "float" true (p "2.5" = Export.Float 2.5);
+  checkb "exponent" true (p "1e3" = Export.Float 1000.0);
+  checkb "negative exponent" true (p "-2.5e-1" = Export.Float (-0.25));
+  checkb "int-valued float stays Float" true (p "3.0" = Export.Float 3.0)
+
+let test_parse_strings () =
+  let p = Export.parse_exn in
+  checkb "simple" true (p {|"abc"|} = Export.String "abc");
+  checkb "escapes" true (p {|"a\"b\\c\nd\te"|} = Export.String "a\"b\\c\nd\te");
+  checkb "solidus" true (p {|"a\/b"|} = Export.String "a/b");
+  checkb "unicode escape" true (p "\"\\u0041\"" = Export.String "A");
+  checkb "two-byte utf8" true (p "\"\\u00e9\"" = Export.String "\xc3\xa9");
+  checkb "three-byte utf8" true (p "\"\\u20ac\"" = Export.String "\xe2\x82\xac");
+  checkb "surrogate pair" true
+    (p "\"\\ud83d\\ude00\"" = Export.String "\xf0\x9f\x98\x80");
+  checkb "raw utf8 passthrough" true
+    (p "\"caf\xc3\xa9\"" = Export.String "caf\xc3\xa9")
+
+let test_parse_structures () =
+  let p = Export.parse_exn in
+  checkb "empty list" true (p "[]" = Export.List []);
+  checkb "empty object" true (p "{}" = Export.Object []);
+  checkb "nested" true
+    (p {|{"a":[1,{"b":null}],"c":true}|}
+    = Export.Object
+        [
+          ( "a",
+            Export.List [ Export.Int 1; Export.Object [ ("b", Export.Null) ] ]
+          );
+          ("c", Export.Bool true);
+        ]);
+  checkb "member hit" true
+    (Export.member "c" (p {|{"a":1,"c":2}|}) = Some (Export.Int 2));
+  checkb "member miss" true (Export.member "z" (p {|{"a":1}|}) = None);
+  checkb "member on non-object" true (Export.member "a" (Export.Int 1) = None)
+
+let test_parse_errors () =
+  let bad text =
+    match Export.parse text with
+    | Error msg ->
+      checkb
+        (Printf.sprintf "%S error mentions offset: %s" text msg)
+        true
+        (String.length msg > 7 && String.sub msg 0 7 = "offset ")
+    | Ok _ -> Alcotest.failf "accepted malformed %S" text
+  in
+  List.iter bad
+    [
+      "";
+      "{";
+      "[1,]";
+      {|{"a" 1}|};
+      {|{"a":1,}|};
+      "nul";
+      "+1";
+      "1.2.3";
+      {|"unterminated|};
+      "\"raw\x01control\"";
+      {|"\q"|};
+      {|"\u12g4"|};
+      "[] trailing";
+    ]
+
+(* print -> parse -> print is the identity on generated documents.
+   Floats are drawn from values with short decimal representations so
+   the %.12g print is exact; non-finite floats are excluded (the
+   printer emits inf/nan, which is not JSON). *)
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Export.Null;
+        map (fun b -> Export.Bool b) bool;
+        map (fun i -> Export.Int i) small_signed_int;
+        map
+          (fun f -> Export.Float f)
+          (oneofl [ 0.0; 1.0; -1.0; 0.5; 3.25; -2.75; 1e10; -2.5e-3; 1234.0625 ]);
+        map (fun s -> Export.String s) (string_size ~gen:printable (0 -- 12));
+        map (fun s -> Export.String s) (oneofl [ "a\"b"; "tab\there"; "nl\nthere"; "\x00\x1f"; "caf\xc3\xa9" ]);
+      ]
+  in
+  let rec doc n =
+    if n = 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          (1, map (fun l -> Export.List l) (list_size (0 -- 4) (doc (n - 1))));
+          ( 1,
+            map
+              (fun kvs -> Export.Object kvs)
+              (list_size (0 -- 4)
+                 (pair (string_size ~gen:printable (0 -- 8)) (doc (n - 1)))) );
+        ]
+  in
+  doc 3
+
+let test_roundtrip_property =
+  QCheck.Test.make ~count:500 ~name:"export: print-parse-print identity"
+    (QCheck.make json_gen) (fun doc ->
+      let printed = Export.to_string doc in
+      let reparsed = Export.parse_exn printed in
+      (* compare rendered forms: parsing maps Int-valued input to the
+         same constructor, so the fixed point is the printed string *)
+      Export.to_string reparsed = printed
+      && Export.to_string (Export.parse_exn (Export.pretty doc)) = printed)
+
+(* --- Fingerprint --- *)
+
+let problem ?(weight_time = 0.5) ?(tam_width = 24) () =
+  Instances.p93791m ~weight_time ~tam_width ()
+
+let test_fingerprint_deterministic () =
+  checks "same problem, same hex"
+    (Fingerprint.problem_hex (problem ()))
+    (Fingerprint.problem_hex (problem ()));
+  checkb "width changes hex" true
+    (Fingerprint.problem_hex (problem ())
+    <> Fingerprint.problem_hex (problem ~tam_width:32 ()))
+
+let test_fingerprint_weights () =
+  let a = problem ~weight_time:0.3 () and b = problem ~weight_time:0.7 () in
+  checkb "weights change problem_hex" true
+    (Fingerprint.problem_hex a <> Fingerprint.problem_hex b);
+  checks "weights do not change structure_hex"
+    (Fingerprint.structure_hex a)
+    (Fingerprint.structure_hex b)
+
+let test_fingerprint_request () =
+  let p = problem () in
+  let h = Plan.Heuristic { delta = 0.0 } in
+  checkb "op separates keys" true
+    (Fingerprint.request_hex ~op:"plan" ~search:h p
+    <> Fingerprint.request_hex ~op:"optimize" ~search:h p);
+  checkb "search separates keys" true
+    (Fingerprint.request_hex ~op:"plan" ~search:h p
+    <> Fingerprint.request_hex ~op:"plan" ~search:Plan.Exhaustive_search p);
+  checkb "delta separates keys" true
+    (Fingerprint.request_hex ~op:"plan" ~search:h p
+    <> Fingerprint.request_hex ~op:"plan"
+         ~search:(Plan.Heuristic { delta = 0.1 })
+         p)
+
+(* --- Bounded_queue --- *)
+
+let test_queue_fifo_and_backpressure () =
+  let q = Bounded_queue.create ~capacity:2 in
+  checkb "push 1" true (Bounded_queue.try_push q 1);
+  checkb "push 2" true (Bounded_queue.try_push q 2);
+  checkb "push 3 rejected (full)" false (Bounded_queue.try_push q 3);
+  checki "length" 2 (Bounded_queue.length q);
+  checkb "fifo 1" true (Bounded_queue.pop q = Some 1);
+  checkb "freed a slot" true (Bounded_queue.try_push q 4);
+  checkb "fifo 2" true (Bounded_queue.pop q = Some 2);
+  checkb "fifo 4" true (Bounded_queue.pop q = Some 4)
+
+let test_queue_close_semantics () =
+  let q = Bounded_queue.create ~capacity:4 in
+  ignore (Bounded_queue.try_push q "a");
+  Bounded_queue.close q;
+  Bounded_queue.close q;
+  checkb "closed" true (Bounded_queue.is_closed q);
+  checkb "push after close rejected" false (Bounded_queue.try_push q "b");
+  checkb "drain queued" true (Bounded_queue.pop q = Some "a");
+  checkb "then None" true (Bounded_queue.pop q = None);
+  match Bounded_queue.create ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 accepted"
+
+let test_queue_threaded () =
+  let q = Bounded_queue.create ~capacity:8 in
+  let n = 200 in
+  let got = ref [] in
+  let consumer =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          match Bounded_queue.pop q with
+          | Some x ->
+            got := x :: !got;
+            loop ()
+          | None -> ()
+        in
+        loop ())
+      ()
+  in
+  for i = 1 to n do
+    while not (Bounded_queue.try_push q i) do
+      Thread.yield ()
+    done
+  done;
+  Bounded_queue.close q;
+  Thread.join consumer;
+  Alcotest.(check (list int)) "all elements, in order" (List.init n succ)
+    (List.rev !got)
+
+(* --- Metrics --- *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  Metrics.incr_request m Protocol.Plan;
+  Metrics.incr_request m Protocol.Plan;
+  Metrics.incr_request m Protocol.Stats;
+  Metrics.incr_status m Protocol.Success;
+  Metrics.incr_malformed m;
+  Metrics.cache_memory_hit m;
+  Metrics.cache_miss m;
+  Metrics.add_packs m 7;
+  Metrics.observe_latency m ~seconds:0.001;
+  Metrics.observe_latency m ~seconds:10.0;
+  let s = Metrics.snapshot m in
+  checki "plan requests" 2 (List.assoc "plan" s.Metrics.requests);
+  checki "stats requests" 1 (List.assoc "stats" s.Metrics.requests);
+  checkb "idle ops omitted" true
+    (List.assoc_opt "explore" s.Metrics.requests = None);
+  checki "ok statuses" 1 (List.assoc "ok" s.Metrics.statuses);
+  checki "malformed" 1 s.Metrics.malformed;
+  checki "memory hits" 1 s.Metrics.cache_memory_hits;
+  checki "misses" 1 s.Metrics.cache_misses;
+  checki "packs" 7 s.Metrics.packs;
+  checki "latency samples" 2 s.Metrics.latency_count;
+  checkb "sum in range" true
+    (s.Metrics.latency_sum_ms > 10_000.0 && s.Metrics.latency_sum_ms < 10_002.0)
+
+let test_metrics_histogram_cumulative () =
+  let m = Metrics.create () in
+  Metrics.observe_latency m ~seconds:0.0001 (* 0.1 ms -> first bucket *);
+  Metrics.observe_latency m ~seconds:0.003 (* 3 ms *);
+  Metrics.observe_latency m ~seconds:1e6 (* overflow *);
+  let s = Metrics.snapshot m in
+  let buckets = s.Metrics.latency_buckets in
+  let count_le bound =
+    List.assoc bound buckets
+  in
+  checki "first bucket" 1 (count_le Metrics.bucket_bounds_ms.(0));
+  checkb "cumulative: monotone" true
+    (let counts = List.map snd buckets in
+     List.sort compare counts = counts);
+  checki "overflow bucket counts everything" 3 (count_le infinity);
+  (* the in-range observations are below some finite bound *)
+  checki "all finite below max bound" 2
+    (count_le Metrics.bucket_bounds_ms.(Array.length Metrics.bucket_bounds_ms - 1))
+
+(* --- Cache --- *)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~memory_capacity:2 () in
+  let key i = Printf.sprintf "deadbeef%02d" i in
+  Cache.store c ~key:(key 1) (Export.Int 1);
+  Cache.store c ~key:(key 2) (Export.Int 2);
+  checkb "hit 1" true (Cache.find c ~key:(key 1) <> None);
+  (* 1 is now most recent; inserting 3 evicts 2 *)
+  Cache.store c ~key:(key 3) (Export.Int 3);
+  checkb "2 evicted" true (Cache.find c ~key:(key 2) = None);
+  checkb "1 survives" true (Cache.find c ~key:(key 1) <> None);
+  checkb "3 present" true (Cache.find c ~key:(key 3) <> None);
+  let s = Cache.stats c in
+  checki "memory entries" 2 s.Cache.memory_entries;
+  checki "misses" 1 s.Cache.misses
+
+let test_cache_rejects_weird_keys () =
+  let c = Cache.create ~memory_capacity:2 () in
+  Cache.store c ~key:"../escape" (Export.Int 1);
+  checkb "path-like key ignored" true (Cache.find c ~key:"../escape" = None);
+  Cache.store c ~key:"" (Export.Int 1);
+  checkb "empty key ignored" true (Cache.find c ~key:"" = None)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "msoc-cache" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun name -> try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let test_cache_disk_tier () =
+  with_temp_dir (fun dir ->
+      let doc = Export.Object [ ("x", Export.List [ Export.Int 1 ]) ] in
+      let key = "cafe01" in
+      (let c = Cache.create ~memory_capacity:4 ~dir () in
+       Cache.store c ~key doc;
+       checkb "memory hit after store" true
+         (match Cache.find c ~key with Some (_, Cache.Memory) -> true | _ -> false));
+      (* a fresh instance sees only the disk tier *)
+      let c2 = Cache.create ~memory_capacity:4 ~dir () in
+      (match Cache.find c2 ~key with
+      | Some (got, Cache.Disk) -> checks "disk payload" (Export.to_string doc) (Export.to_string got)
+      | _ -> Alcotest.fail "expected a disk hit");
+      (* promoted to memory on the way in *)
+      (match Cache.find c2 ~key with
+      | Some (_, Cache.Memory) -> ()
+      | _ -> Alcotest.fail "expected promotion to the memory tier");
+      let s = Cache.stats c2 in
+      checki "one disk hit" 1 s.Cache.disk_hits;
+      checki "one memory hit" 1 s.Cache.memory_hits)
+
+let test_cache_corrupt_disk_entry () =
+  with_temp_dir (fun dir ->
+      let key = "beef02" in
+      let path = Filename.concat dir (key ^ ".json") in
+      let oc = open_out path in
+      output_string oc "{ torn write";
+      close_out oc;
+      let c = Cache.create ~memory_capacity:4 ~dir () in
+      checkb "corrupt entry is a miss" true (Cache.find c ~key = None);
+      checkb "corrupt entry removed" false (Sys.file_exists path))
+
+(* --- Protocol --- *)
+
+let test_protocol_request_roundtrip () =
+  let req =
+    Protocol.request ~deadline_ms:250.0
+      ~params:(Export.Object [ ("width", Export.Int 24) ])
+      ~id:"r-1" Protocol.Optimize
+  in
+  (match Protocol.request_of_line (Protocol.request_to_line req) with
+  | Ok back ->
+    checks "id" req.Protocol.id back.Protocol.id;
+    checkb "op" true (back.Protocol.op = Protocol.Optimize);
+    checkb "deadline" true (back.Protocol.deadline_ms = Some 250.0);
+    checkb "params" true
+      (Export.member "width" back.Protocol.params = Some (Export.Int 24))
+  | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  (* params defaults to an empty object and may be omitted on the wire *)
+  match Protocol.request_of_line {|{"v":1,"id":"x","op":"stats"}|} with
+  | Ok r -> checkb "missing params ok" true (r.Protocol.op = Protocol.Stats)
+  | Error e -> Alcotest.failf "minimal request rejected: %s" e
+
+let test_protocol_response_roundtrip () =
+  let resp =
+    Protocol.ok ~cached:"memory" ~elapsed_ms:1.5 ~id:"r-1" (Export.Int 9)
+  in
+  (match Protocol.response_of_line (Protocol.response_to_line resp) with
+  | Ok back ->
+    checkb "status" true (back.Protocol.status = Protocol.Success);
+    checkb "cached" true (back.Protocol.cached = Some "memory");
+    checkb "result" true (back.Protocol.result = Export.Int 9)
+  | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  let rej = Protocol.reject ~id:"r-2" Protocol.Overloaded "queue full" in
+  (match Protocol.response_of_line (Protocol.response_to_line rej) with
+  | Ok back ->
+    checkb "overloaded" true (back.Protocol.status = Protocol.Overloaded);
+    checkb "error text" true (back.Protocol.error = Some "queue full")
+  | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  match Protocol.reject ~id:"x" Protocol.Success "not an error" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "reject with Success accepted"
+
+let test_protocol_rejects_bad_envelopes () =
+  let bad line =
+    match Protocol.request_of_line line with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" line
+  in
+  bad "not json";
+  bad {|{"id":"x","op":"plan"}|} (* missing v *);
+  bad {|{"v":2,"id":"x","op":"plan"}|} (* wrong version *);
+  bad {|{"v":1,"op":"plan"}|} (* missing id *);
+  bad {|{"v":1,"id":"x","op":"frobnicate"}|} (* unknown op *);
+  bad {|[1,2,3]|}
+
+(* --- Service --- *)
+
+let plan_params ?(width = 24) ?(weight_time = 0.5) () =
+  Export.Object
+    [
+      ("width", Export.Int width);
+      ("weight_time", Export.Float weight_time);
+    ]
+
+let handle_ok service req =
+  let resp = Service.handle service req in
+  if resp.Protocol.status <> Protocol.Success then
+    Alcotest.failf "request %s: %s (%s)" req.Protocol.id
+      (Protocol.status_name resp.Protocol.status)
+      (Option.value resp.Protocol.error ~default:"");
+  resp
+
+let with_service ?cache f =
+  let service = Service.create ?cache ~jobs:1 () in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) (fun () -> f service)
+
+let test_service_plan_matches_one_shot () =
+  with_service (fun service ->
+      let resp =
+        handle_ok service
+          (Protocol.request ~params:(plan_params ()) ~id:"p" Protocol.Plan)
+      in
+      let local =
+        Plan.run
+          ~search:(Plan.Heuristic { delta = 0.0 })
+          (Problem.make
+             ~soc:(Synthetic.p93791s ())
+             ~analog_cores:
+               (List.map
+                  (fun label -> Catalog.find ~label)
+                  [ "A"; "B"; "C"; "D"; "E" ])
+             ~tam_width:24 ~weight_time:0.5 ())
+      in
+      checks "bit-identical to Plan.run"
+        (Export.to_string (Export.plan_json local))
+        (Export.to_string resp.Protocol.result))
+
+let test_service_cache_tiers () =
+  with_temp_dir (fun dir ->
+      let cache = Cache.create ~memory_capacity:8 ~dir () in
+      with_service ~cache (fun service ->
+          let req = Protocol.request ~params:(plan_params ()) ~id:"c" Protocol.Plan in
+          let cold = handle_ok service req in
+          checkb "first compute not cached" true (cold.Protocol.cached = None);
+          let warm = handle_ok service req in
+          checkb "second is a memory hit" true (warm.Protocol.cached = Some "memory");
+          checks "warm result identical"
+            (Export.to_string cold.Protocol.result)
+            (Export.to_string warm.Protocol.result));
+      (* restart: same directory, fresh memory *)
+      let cache2 = Cache.create ~memory_capacity:8 ~dir () in
+      with_service ~cache:cache2 (fun service ->
+          let req = Protocol.request ~params:(plan_params ()) ~id:"c2" Protocol.Plan in
+          let resp = handle_ok service req in
+          checkb "disk hit across restart" true (resp.Protocol.cached = Some "disk")))
+
+let test_service_bad_request_envelopes () =
+  with_service (fun service ->
+      let handle params =
+        Service.handle service (Protocol.request ~params ~id:"b" Protocol.Plan)
+      in
+      let bad params =
+        let resp = handle params in
+        checkb "bad_request" true (resp.Protocol.status = Protocol.Bad_request);
+        checkb "has error text" true (resp.Protocol.error <> None)
+      in
+      bad (Export.Object [ ("width", Export.Int (-3)) ]);
+      bad (Export.Object [ ("width", Export.String "wide") ]);
+      bad (Export.Object [ ("analog", Export.String "Z") ]);
+      bad (Export.Object [ ("search", Export.String "quantum") ]);
+      bad
+        (Export.Object
+           [ ("soc_text", Export.String "SocName x\nModule bogus\n") ]);
+      (* an infeasible width is a client error, not a server crash *)
+      bad (Export.Object [ ("width", Export.Int 1) ]))
+
+let test_service_deadline () =
+  with_service (fun service ->
+      let resp =
+        Service.handle service
+          (Protocol.request ~deadline_ms:1e-9 ~params:(plan_params ()) ~id:"d"
+             Protocol.Plan)
+      in
+      checkb "deadline_exceeded" true
+        (resp.Protocol.status = Protocol.Deadline_exceeded);
+      (* expired-in-queue: admission long ago *)
+      let resp =
+        Service.handle
+          ~admitted_at:(Unix.gettimeofday () -. 60.0)
+          service
+          (Protocol.request ~deadline_ms:5_000.0 ~params:(plan_params ())
+             ~id:"q" Protocol.Plan)
+      in
+      checkb "queue-expired deadline_exceeded" true
+        (resp.Protocol.status = Protocol.Deadline_exceeded))
+
+let test_service_stats_and_shutdown () =
+  with_service (fun service ->
+      ignore
+        (handle_ok service
+           (Protocol.request ~params:(plan_params ()) ~id:"s1" Protocol.Plan));
+      let stats =
+        handle_ok service (Protocol.request ~id:"s2" Protocol.Stats)
+      in
+      let metrics = Option.value (Export.member "metrics" stats.Protocol.result) ~default:Export.Null in
+      checkb "request counters present" true
+        (Export.member "requests" metrics <> None);
+      checkb "cache section present" true
+        (Export.member "cache" stats.Protocol.result <> None);
+      let bye = handle_ok service (Protocol.request ~id:"s3" Protocol.Shutdown) in
+      checkb "drain flag" true
+        (Export.member "draining" bye.Protocol.result = Some (Export.Bool true));
+      checkb "shutdown requested" true (Service.shutdown_requested service);
+      (* during drain: stats still answered, work refused *)
+      let stats2 = Service.handle service (Protocol.request ~id:"s4" Protocol.Stats) in
+      checkb "stats during drain" true (stats2.Protocol.status = Protocol.Success);
+      let refused =
+        Service.handle service
+          (Protocol.request ~params:(plan_params ()) ~id:"s5" Protocol.Plan)
+      in
+      checkb "plan refused during drain" true
+        (refused.Protocol.status = Protocol.Shutting_down))
+
+(* --- transports --- *)
+
+let test_serve_channels_batch () =
+  with_service (fun service ->
+      let lines =
+        [
+          Protocol.request_to_line
+            (Protocol.request ~params:(plan_params ()) ~id:"b1" Protocol.Plan);
+          "";
+          "garbage line";
+          Protocol.request_to_line (Protocol.request ~id:"b2" Protocol.Stats);
+        ]
+      in
+      let in_read, in_write = Unix.pipe ~cloexec:false () in
+      let out_read, out_write = Unix.pipe ~cloexec:false () in
+      let writer =
+        Thread.create
+          (fun () ->
+            let oc = Unix.out_channel_of_descr in_write in
+            List.iter
+              (fun l ->
+                output_string oc l;
+                output_char oc '\n')
+              lines;
+            close_out oc)
+          ()
+      in
+      let collected = ref [] in
+      let collector =
+        Thread.create
+          (fun () ->
+            let ic = Unix.in_channel_of_descr out_read in
+            (try
+               while true do
+                 collected := input_line ic :: !collected
+               done
+             with End_of_file -> ());
+            close_in_noerr ic)
+          ()
+      in
+      let ic = Unix.in_channel_of_descr in_read in
+      let oc = Unix.out_channel_of_descr out_write in
+      Server.serve_channels service ic oc;
+      close_out_noerr oc;
+      Thread.join writer;
+      Thread.join collector;
+      close_in_noerr ic;
+      let responses =
+        List.rev_map
+          (fun line ->
+            match Protocol.response_of_line line with
+            | Ok r -> r
+            | Error e -> Alcotest.failf "malformed response %S: %s" line e)
+          !collected
+      in
+      checki "three responses (blank skipped)" 3 (List.length responses);
+      let by_id id =
+        List.find (fun (r : Protocol.response) -> r.Protocol.id = id) responses
+      in
+      checkb "plan ok" true ((by_id "b1").Protocol.status = Protocol.Success);
+      checkb "stats ok" true ((by_id "b2").Protocol.status = Protocol.Success);
+      checkb "malformed answered with empty id" true
+        ((by_id "").Protocol.status = Protocol.Bad_request))
+
+let test_serve_unix_end_to_end () =
+  let socket_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "msoc-test-%d.sock" (Unix.getpid ()))
+  in
+  let service = Service.create ~jobs:1 () in
+  let server =
+    Thread.create
+      (fun () -> Server.serve_unix ~queue_capacity:8 ~socket_path service)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.request_shutdown service;
+      Thread.join server;
+      Service.shutdown service)
+    (fun () ->
+      let rec wait_for_socket tries =
+        if Sys.file_exists socket_path then ()
+        else if tries = 0 then Alcotest.fail "daemon socket never appeared"
+        else begin
+          Thread.delay 0.05;
+          wait_for_socket (tries - 1)
+        end
+      in
+      wait_for_socket 100;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket_path);
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let send req =
+        output_string oc (Protocol.request_to_line req);
+        output_char oc '\n';
+        flush oc
+      in
+      let recv () =
+        match Protocol.response_of_line (input_line ic) with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "malformed response: %s" e
+      in
+      send (Protocol.request ~params:(plan_params ()) ~id:"u1" Protocol.Plan);
+      send (Protocol.request ~params:(plan_params ()) ~id:"u2" Protocol.Plan);
+      send (Protocol.request ~id:"u3" Protocol.Stats);
+      let r1 = recv () and r2 = recv () and r3 = recv () in
+      checks "first id" "u1" r1.Protocol.id;
+      checkb "first ok" true (r1.Protocol.status = Protocol.Success);
+      checkb "second is a cache hit" true (r2.Protocol.cached = Some "memory");
+      checks "identical payloads"
+        (Export.to_string r1.Protocol.result)
+        (Export.to_string r2.Protocol.result);
+      checkb "stats ok" true (r3.Protocol.status = Protocol.Success);
+      (* shutdown envelope drains the daemon; serve_unix returns *)
+      send (Protocol.request ~id:"u4" Protocol.Shutdown);
+      let r4 = recv () in
+      checkb "shutdown acknowledged" true (r4.Protocol.status = Protocol.Success);
+      Unix.close fd;
+      Thread.join server;
+      checkb "socket removed after drain" false (Sys.file_exists socket_path))
+
+let qcheck_tests =
+  [ test_roundtrip_property ] |> List.map (fun t -> QCheck_alcotest.to_alcotest t)
+
+let suites =
+  [
+    ( "export-json",
+      [
+        Alcotest.test_case "printer escaping" `Quick test_export_escaping;
+        Alcotest.test_case "parse scalars" `Quick test_parse_scalars;
+        Alcotest.test_case "parse strings" `Quick test_parse_strings;
+        Alcotest.test_case "parse structures" `Quick test_parse_structures;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      ] );
+    ("export-json.properties", qcheck_tests);
+    ( "serve-fingerprint",
+      [
+        Alcotest.test_case "deterministic" `Quick test_fingerprint_deterministic;
+        Alcotest.test_case "weights vs structure" `Quick test_fingerprint_weights;
+        Alcotest.test_case "request keying" `Quick test_fingerprint_request;
+      ] );
+    ( "serve-queue",
+      [
+        Alcotest.test_case "fifo + backpressure" `Quick
+          test_queue_fifo_and_backpressure;
+        Alcotest.test_case "close semantics" `Quick test_queue_close_semantics;
+        Alcotest.test_case "producer/consumer threads" `Quick test_queue_threaded;
+      ] );
+    ( "serve-metrics",
+      [
+        Alcotest.test_case "counters" `Quick test_metrics_counters;
+        Alcotest.test_case "histogram is cumulative" `Quick
+          test_metrics_histogram_cumulative;
+      ] );
+    ( "serve-cache",
+      [
+        Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+        Alcotest.test_case "weird keys rejected" `Quick
+          test_cache_rejects_weird_keys;
+        Alcotest.test_case "disk tier + promotion" `Quick test_cache_disk_tier;
+        Alcotest.test_case "corrupt disk entry" `Quick
+          test_cache_corrupt_disk_entry;
+      ] );
+    ( "serve-protocol",
+      [
+        Alcotest.test_case "request round-trip" `Quick
+          test_protocol_request_roundtrip;
+        Alcotest.test_case "response round-trip" `Quick
+          test_protocol_response_roundtrip;
+        Alcotest.test_case "bad envelopes rejected" `Quick
+          test_protocol_rejects_bad_envelopes;
+      ] );
+    ( "serve-service",
+      [
+        Alcotest.test_case "plan matches one-shot" `Quick
+          test_service_plan_matches_one_shot;
+        Alcotest.test_case "cache tiers" `Quick test_service_cache_tiers;
+        Alcotest.test_case "bad requests" `Quick
+          test_service_bad_request_envelopes;
+        Alcotest.test_case "deadlines" `Quick test_service_deadline;
+        Alcotest.test_case "stats and drain" `Quick
+          test_service_stats_and_shutdown;
+      ] );
+    ( "serve-transport",
+      [
+        Alcotest.test_case "stdio batch" `Quick test_serve_channels_batch;
+        Alcotest.test_case "unix socket end-to-end" `Quick
+          test_serve_unix_end_to_end;
+      ] );
+  ]
