@@ -1,0 +1,210 @@
+(* Search scaling: the Msoc_search strategies as the analog core count
+   grows past the enumeration limit.
+
+   Two regimes:
+   - m small enough to enumerate: exhaustive, repr, bnb and anneal are
+     compared head-to-head; bnb must match the exhaustive optimum with
+     strictly fewer evaluations (the certificate the test suite also
+     checks, here on the bench instances).
+   - m past the guard (Bell(m) > the enumeration limit): only the
+     anytime strategies run, under a budget, and every returned plan
+     has already been re-verified by Strategy.run (Msoc_check).
+
+   Writes BENCH_search_scaling.json next to the working directory so
+   CI can archive the numbers.
+
+   Environment knobs (for the CI smoke run):
+     MSOC_SEARCH_BENCH_BUDGET_MS  per-strategy budget on the large
+                                  instances (default 2000)
+     MSOC_SEARCH_BENCH_MAX_M      cap on the largest instance
+                                  (default 20) *)
+
+module Table = Msoc_util.Ascii_table
+module Problem = Msoc_testplan.Problem
+module Evaluate = Msoc_testplan.Evaluate
+module Export = Msoc_testplan.Export
+module Instances = Msoc_testplan.Instances
+module Synthetic = Msoc_itc02.Synthetic
+module Strategy = Msoc_search.Strategy
+module Budget = Msoc_search.Budget
+module Stats = Msoc_search.Stats
+
+let header title = Printf.printf "\n=== %s ===\n\n" title
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some s -> ( match int_of_string_opt s with Some v -> v | None -> default)
+
+(* The digital side stays small and fixed so the sweep isolates the
+   sharing-space growth; the analog complement is Instances.scaled_analog. *)
+let problem ~m =
+  let profile =
+    {
+      Synthetic.n_cores = 4;
+      target_area = 600_000;
+      max_chains = 10;
+      bottleneck = false;
+    }
+  in
+  let soc = Synthetic.generate ~seed:97 ~name:(Printf.sprintf "bench%d" m) profile in
+  Problem.make ~soc ~analog_cores:(Instances.scaled_analog ~n:m) ~tam_width:32
+    ~weight_time:0.5 ()
+
+let run_kind ?budget kind prepared =
+  let t0 = Unix.gettimeofday () in
+  let outcome = Strategy.run ?budget kind prepared in
+  (outcome, Unix.gettimeofday () -. t0)
+
+let row_json ~m ~regime (outcome : Strategy.outcome) elapsed =
+  Export.Object
+    [
+      ("m", Export.Int m);
+      ("regime", Export.String regime);
+      ("strategy", Export.String (Strategy.name outcome.Strategy.strategy));
+      ("cost", Export.Float outcome.Strategy.best.Evaluate.cost);
+      ("optimal", Export.Bool outcome.Strategy.optimal);
+      ("elapsed_s", Export.Float elapsed);
+      ("stats", Stats.to_json outcome.Strategy.stats);
+    ]
+
+let run () =
+  header "Search scaling: strategies vs analog core count (W=32)";
+  let budget_ms = env_int "MSOC_SEARCH_BENCH_BUDGET_MS" 2000 in
+  let max_m = env_int "MSOC_SEARCH_BENCH_MAX_M" 20 in
+  let json_rows = ref [] in
+  let note j = json_rows := j :: !json_rows in
+  let columns =
+    [
+      Table.column ~align:Table.Right "m";
+      Table.column "strategy";
+      Table.column ~align:Table.Right "cost";
+      Table.column ~align:Table.Right "evals";
+      Table.column ~align:Table.Right "pruned";
+      Table.column ~align:Table.Right "optimal";
+      Table.column ~align:Table.Right "t (s)";
+    ]
+  in
+  (* Regime 1: enumerable — certify bnb against the exhaustive optimum. *)
+  let small_rows =
+    List.concat_map
+      (fun m ->
+        if m > max_m then []
+        else begin
+          let prepared = Evaluate.prepare (problem ~m) in
+          let exh, t_exh = run_kind Strategy.Exhaustive prepared in
+          let optimum = exh.Strategy.best.Evaluate.cost in
+          List.map
+            (fun (kind, outcome, elapsed) ->
+              (match kind with
+              | Strategy.Bnb ->
+                let cost = outcome.Strategy.best.Evaluate.cost in
+                if not (Msoc_util.Numeric.close cost optimum) then
+                  failwith
+                    (Printf.sprintf
+                       "search-scaling: bnb cost %.6f != exhaustive optimum \
+                        %.6f at m=%d"
+                       cost optimum m);
+                if
+                  outcome.Strategy.stats.Stats.evaluations
+                  >= exh.Strategy.stats.Stats.evaluations
+                then
+                  failwith
+                    (Printf.sprintf
+                       "search-scaling: bnb evaluated %d >= exhaustive %d at \
+                        m=%d"
+                       outcome.Strategy.stats.Stats.evaluations
+                       exh.Strategy.stats.Stats.evaluations m)
+              | _ -> ());
+              note (row_json ~m ~regime:"enumerable" outcome elapsed);
+              [
+                string_of_int m;
+                Strategy.name kind;
+                Table.float_cell ~decimals:4 outcome.Strategy.best.Evaluate.cost;
+                string_of_int outcome.Strategy.stats.Stats.evaluations;
+                string_of_int outcome.Strategy.stats.Stats.nodes_pruned;
+                (if outcome.Strategy.optimal then "yes" else "no");
+                Table.float_cell ~decimals:2 elapsed;
+              ])
+            ((Strategy.Exhaustive, exh, t_exh)
+            :: List.map
+                 (fun kind ->
+                   let o, t = run_kind kind prepared in
+                   (kind, o, t))
+                 [
+                   Strategy.Repr { delta = 0.0 };
+                   Strategy.Bnb;
+                   Strategy.Anneal { seed = 1 };
+                 ])
+        end)
+      [ 5; 6; 7; 8 ]
+  in
+  (* Regime 2: past the guard — anytime strategies under a budget. *)
+  let large_rows =
+    List.concat_map
+      (fun m ->
+        if m > max_m then []
+        else begin
+          (match Problem.all_combinations (problem ~m) with
+          | _ ->
+            failwith
+              (Printf.sprintf
+                 "search-scaling: expected the enumeration guard to refuse m=%d"
+                 m)
+          | exception Problem.Combination_overflow _ -> ());
+          let prepared = Evaluate.prepare (problem ~m) in
+          List.map
+            (fun kind ->
+              (* A budget's time limit becomes an absolute deadline at
+                 creation: each strategy gets its own, or the first one
+                 would starve the rest. *)
+              let budget =
+                Budget.make ~time_limit_s:(float_of_int budget_ms /. 1000.0) ()
+              in
+              let outcome, elapsed =
+                match kind with
+                | Strategy.Portfolio _ ->
+                  (* The portfolio races its members; without a pool
+                     they run serially and the first eats the shared
+                     deadline. *)
+                  Msoc_util.Pool.with_pool ~jobs:4 (fun pool ->
+                      let t0 = Unix.gettimeofday () in
+                      let o = Strategy.run ~pool ~budget kind prepared in
+                      (o, Unix.gettimeofday () -. t0))
+                | _ -> run_kind ~budget kind prepared
+              in
+              note (row_json ~m ~regime:"guarded" outcome elapsed);
+              [
+                string_of_int m;
+                Strategy.name kind;
+                Table.float_cell ~decimals:4 outcome.Strategy.best.Evaluate.cost;
+                string_of_int outcome.Strategy.stats.Stats.evaluations;
+                string_of_int outcome.Strategy.stats.Stats.nodes_pruned;
+                (if outcome.Strategy.optimal then "yes" else "no");
+                Table.float_cell ~decimals:2 elapsed;
+              ])
+            [
+              Strategy.Bnb;
+              Strategy.Anneal { seed = 1 };
+              Strategy.Portfolio { seeds = [ 1; 2; 3 ] };
+            ]
+        end)
+      [ 14; 20 ]
+  in
+  Table.print ~columns ~rows:(small_rows @ large_rows);
+  let doc =
+    Export.Object
+      [
+        ("bench", Export.String "search-scaling");
+        ("budget_ms", Export.Int budget_ms);
+        ("rows", Export.List (List.rev !json_rows));
+      ]
+  in
+  let path = "BENCH_search_scaling.json" in
+  let oc = open_out path in
+  output_string oc (Export.pretty doc);
+  close_out oc;
+  Printf.printf
+    "\nEvery plan above was re-verified by Msoc_check before being returned \
+     (Strategy.run fails loudly otherwise). Wrote %s.\n"
+    path

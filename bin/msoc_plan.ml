@@ -306,53 +306,209 @@ let explore_cmd =
 
 (* --- optimize --- *)
 
-let run_optimize width weight_time soc_file analog_labels delta jobs as_json
-    verify =
-  let problem = make_problem ~weight_time ~width soc_file analog_labels in
-  let prepared = Evaluate.prepare problem in
-  let result =
-    Msoc_util.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
-        Msoc_testplan.Cost_optimizer.run ~delta ~pool prepared)
+let strategy_arg =
+  let doc =
+    "Search strategy over the full sharing-partition space: 'exhaustive' \
+     (every distinct partition; refuses past the enumeration limit), 'repr' \
+     (the paper's Cost_Optimizer over that space), 'bnb' (branch-and-bound, \
+     provably optimal, never materializes the space), 'anneal' (seeded \
+     simulated annealing, anytime) or 'portfolio' (bnb raced against several \
+     annealing seeds on the worker pool). Without this flag, optimize runs \
+     the legacy Cost_Optimizer over the paper's candidate enumeration."
   in
-  let plan =
-    {
-      Plan.problem;
-      best = result.Msoc_testplan.Cost_optimizer.best;
-      evaluations = result.Msoc_testplan.Cost_optimizer.evaluations;
-      considered = result.Msoc_testplan.Cost_optimizer.considered;
-      reference_makespan = Evaluate.reference_makespan prepared;
-    }
+  Arg.(value & opt (some string) None & info [ "strategy" ] ~docv:"NAME" ~doc)
+
+let budget_ms_arg =
+  let doc =
+    "Time budget in milliseconds for the anytime strategies (bnb, anneal, \
+     portfolio): when it runs out the best incumbent so far is returned."
   in
+  Arg.(value & opt (some float) None & info [ "budget-ms" ] ~docv:"MS" ~doc)
+
+let max_evals_arg =
+  let doc =
+    "Cap on full TAM-optimizer evaluations for the anytime strategies (split \
+     across portfolio members)."
+  in
+  Arg.(value & opt (some int) None & info [ "max-evals" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc =
+    "Base RNG seed for 'anneal' (used as-is) and 'portfolio' (members get \
+     seed, seed+1, seed+2). Equal seeds give bit-identical runs."
+  in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let analog_scale_arg =
+  let doc =
+    "Replace the $(b,--analog) catalog selection with N scaled analog cores \
+     (4-26, labels A..Z: the Table 2 catalog cycled with perturbed test \
+     lengths) for large-instance runs. Past ~11 cores the sharing space \
+     exceeds the enumeration limit and only the anytime strategies apply."
+  in
+  Arg.(value & opt (some int) None & info [ "analog-scale" ] ~docv:"N" ~doc)
+
+let resolve_strategy ~delta ~seed name =
+  match
+    Msoc_search.Strategy.of_name ~delta ~seed ~seeds:[ seed; seed + 1; seed + 2 ]
+      name
+  with
+  | Some kind -> kind
+  | None ->
+    Fmt.failwith "unknown strategy %S (expected one of: %s)" name
+      (String.concat ", " Msoc_search.Strategy.names)
+
+let json_with_search plan search_json =
+  match Msoc_testplan.Export.plan_json plan with
+  | Msoc_testplan.Export.Object fields ->
+    Msoc_testplan.Export.Object (fields @ [ ("search", search_json) ])
+  | json -> json
+
+let print_search_stats (stats : Msoc_search.Stats.t) =
+  Fmt.pr
+    "search: %d evaluations, %d combinations considered, %d nodes expanded, \
+     %d pruned, %d equivalent skipped@."
+    stats.Msoc_search.Stats.evaluations stats.Msoc_search.Stats.considered
+    stats.Msoc_search.Stats.nodes_expanded stats.Msoc_search.Stats.nodes_pruned
+    stats.Msoc_search.Stats.dedup_skips;
+  if stats.Msoc_search.Stats.moves > 0 then
+    Fmt.pr "anneal: %d moves proposed, %d accepted@."
+      stats.Msoc_search.Stats.moves stats.Msoc_search.Stats.accepted_moves;
+  Fmt.pr "schedule cache: %d hits, %d misses; wall %.1f ms@."
+    stats.Msoc_search.Stats.cache_hits stats.Msoc_search.Stats.cache_misses
+    stats.Msoc_search.Stats.wall_ms
+
+let run_optimize_strategy ~prepared ~jobs ~as_json ~verify ~delta ~seed
+    ~budget_ms ~max_evals name =
+  let kind = resolve_strategy ~delta ~seed name in
+  let budget =
+    Msoc_search.Budget.make ?max_evals
+      ?time_limit_s:(Option.map (fun ms -> ms /. 1000.0) budget_ms)
+      ()
+  in
+  let outcome =
+    Msoc_util.Pool.with_pool ~jobs (fun pool ->
+        Msoc_search.Strategy.run ~pool ~budget kind prepared)
+  in
+  let plan = Msoc_search.Strategy.plan_of_outcome prepared outcome in
   if as_json then
-    print_string (Msoc_testplan.Export.plan_to_string ~pretty:true plan)
+    print_string
+      (Msoc_testplan.Export.pretty
+         (json_with_search plan (Msoc_search.Strategy.outcome_json outcome)))
   else begin
     print_string (Report.summary plan);
     print_newline ();
-    Fmt.pr "pruning: %d of %d combinations fully evaluated (%.0f%% saved)@."
-      result.Msoc_testplan.Cost_optimizer.evaluations
-      result.Msoc_testplan.Cost_optimizer.considered
-      (100.0
-      *. (1.0
-         -. float_of_int result.Msoc_testplan.Cost_optimizer.evaluations
-            /. float_of_int (max 1 result.Msoc_testplan.Cost_optimizer.considered)));
-    Fmt.pr "surviving degree signatures: %s@."
-      (String.concat " "
-         (List.map
-            (fun sig_ ->
-              "[" ^ String.concat ";" (List.map string_of_int sig_) ^ "]")
-            result.Msoc_testplan.Cost_optimizer.surviving_groups))
+    Fmt.pr "strategy: %s (%s)@."
+      (Msoc_search.Strategy.name outcome.Msoc_search.Strategy.strategy)
+      (if outcome.Msoc_search.Strategy.optimal then "proven optimal"
+       else "anytime incumbent");
+    print_search_stats outcome.Msoc_search.Strategy.stats;
+    List.iter
+      (fun (m : Msoc_search.Portfolio.member_result) ->
+        Fmt.pr "  member %-10s cost %.4f%s@." m.Msoc_search.Portfolio.member
+          m.Msoc_search.Portfolio.cost
+          (if m.Msoc_search.Portfolio.optimal then " (optimal)" else ""))
+      outcome.Msoc_search.Strategy.members
   end;
   if verify then
     report_verification ~context:"optimize --verify" (Msoc_check.Verify.plan plan)
 
+let run_optimize width weight_time soc_file analog_labels analog_scale delta
+    strategy budget_ms max_evals seed jobs as_json verify =
+  let problem =
+    match analog_scale with
+    | None -> make_problem ~weight_time ~width soc_file analog_labels
+    | Some n ->
+      Problem.make ~soc:(load_soc soc_file)
+        ~analog_cores:(Msoc_testplan.Instances.scaled_analog ~n)
+        ~tam_width:width ~weight_time ()
+  in
+  let prepared = Evaluate.prepare problem in
+  let jobs = resolve_jobs jobs in
+  match strategy with
+  | Some name ->
+    ignore problem;
+    run_optimize_strategy ~prepared ~jobs ~as_json ~verify ~delta ~seed
+      ~budget_ms ~max_evals name
+  | None ->
+    let cache0 = Evaluate.cache_stats prepared in
+    let result =
+      Msoc_util.Pool.with_pool ~jobs (fun pool ->
+          Msoc_testplan.Cost_optimizer.run ~delta ~pool prepared)
+    in
+    let cache1 = Evaluate.cache_stats prepared in
+    let plan =
+      {
+        Plan.problem;
+        best = result.Msoc_testplan.Cost_optimizer.best;
+        evaluations = result.Msoc_testplan.Cost_optimizer.evaluations;
+        considered = result.Msoc_testplan.Cost_optimizer.considered;
+        reference_makespan = Evaluate.reference_makespan prepared;
+      }
+    in
+    if as_json then begin
+      let counters =
+        Msoc_testplan.Export.Object
+          [
+            ("strategy", Msoc_testplan.Export.String "repr-legacy");
+            ( "evaluations",
+              Msoc_testplan.Export.Int
+                result.Msoc_testplan.Cost_optimizer.evaluations );
+            ( "considered",
+              Msoc_testplan.Export.Int
+                result.Msoc_testplan.Cost_optimizer.considered );
+            ( "cache_hits",
+              Msoc_testplan.Export.Int
+                (cache1.Evaluate.hits - cache0.Evaluate.hits) );
+            ( "cache_misses",
+              Msoc_testplan.Export.Int
+                (cache1.Evaluate.misses - cache0.Evaluate.misses) );
+            ( "surviving_groups",
+              Msoc_testplan.Export.List
+                (List.map
+                   (fun sig_ ->
+                     Msoc_testplan.Export.List
+                       (List.map
+                          (fun n -> Msoc_testplan.Export.Int n)
+                          sig_))
+                   result.Msoc_testplan.Cost_optimizer.surviving_groups) );
+          ]
+      in
+      print_string (Msoc_testplan.Export.pretty (json_with_search plan counters))
+    end
+    else begin
+      print_string (Report.summary plan);
+      print_newline ();
+      Fmt.pr "pruning: %d of %d combinations fully evaluated (%.0f%% saved)@."
+        result.Msoc_testplan.Cost_optimizer.evaluations
+        result.Msoc_testplan.Cost_optimizer.considered
+        (100.0
+        *. (1.0
+           -. float_of_int result.Msoc_testplan.Cost_optimizer.evaluations
+              /. float_of_int
+                   (max 1 result.Msoc_testplan.Cost_optimizer.considered)));
+      Fmt.pr "surviving degree signatures: %s@."
+        (String.concat " "
+           (List.map
+              (fun sig_ ->
+                "[" ^ String.concat ";" (List.map string_of_int sig_) ^ "]")
+              result.Msoc_testplan.Cost_optimizer.surviving_groups))
+    end;
+    if verify then
+      report_verification ~context:"optimize --verify"
+        (Msoc_check.Verify.plan plan)
+
 let optimize_cmd =
   let doc =
-    "run the paper's Cost_Optimizer directly and report its pruning statistics"
+    "search the wrapper-sharing space: the paper's Cost_Optimizer by \
+     default, or a Msoc_search strategy via $(b,--strategy)"
   in
   Cmd.v (Cmd.info "optimize" ~doc)
     Term.(
       const run_optimize $ width_arg $ weight_time_arg $ soc_file_arg
-      $ analog_labels_arg $ delta_arg $ jobs_arg $ json_flag $ verify_flag)
+      $ analog_labels_arg $ analog_scale_arg $ delta_arg $ strategy_arg
+      $ budget_ms_arg $ max_evals_arg $ seed_arg $ jobs_arg $ json_flag
+      $ verify_flag)
 
 (* --- soc-info --- *)
 

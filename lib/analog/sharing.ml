@@ -36,14 +36,24 @@ let equivalence_key cores t =
   |> List.sort compare
 
 let all_combinations cores =
-  let partitions = Combinat.set_partitions cores in
-  let with_keys = List.map (fun p -> (equivalence_key cores (make p), make p)) partitions in
+  (* Stream the partitions and dedup with a hash table as they come,
+     so neither the Bell(n)-sized raw list nor a quadratic List.mem
+     scan is ever built; first-seen representatives are kept, as
+     before. *)
+  let seen = Hashtbl.create 256 in
   let deduped =
-    List.fold_left
-      (fun (seen, acc) (key, comb) ->
-        if List.mem key seen then (seen, acc) else (key :: seen, comb :: acc))
-      ([], []) with_keys
-    |> snd |> List.rev
+    Seq.fold_left
+      (fun acc p ->
+        let comb = make p in
+        let key = equivalence_key cores comb in
+        if Hashtbl.mem seen key then acc
+        else begin
+          Hashtbl.add seen key ();
+          comb :: acc
+        end)
+      []
+      (Combinat.set_partitions_seq cores)
+    |> List.rev
   in
   (* Deterministic, readable order: by number of groups descending
      (less sharing first, like the paper's Table 1), then by name. *)

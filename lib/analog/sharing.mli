@@ -38,6 +38,15 @@ val paper_combinations : Spec.core list -> t list
 val wrappers : t -> int
 (** Number of groups = number of analog wrappers. *)
 
+val equivalence_key : Spec.core list -> t -> string list list
+(** Canonical key identifying a partition up to exchange of cores with
+    identical test sets ({!Spec.same_tests}) within [cores]: each core
+    is replaced by the label of its class representative, groups
+    become sorted label lists, sorted. Equal keys mean the partitions
+    produce job sets that differ only by a relabelling of identical
+    cores. Used by {!all_combinations} to deduplicate, and by the
+    search strategies to avoid re-evaluating equivalent partitions. *)
+
 val degree_signature : t -> int list
 (** Sorted (descending) group sizes, e.g. [[3;2]] — the paper's
     "degree of sharing" used to group combinations in Cost_Optimizer. *)

@@ -91,11 +91,18 @@ let search_json (search : Plan.search) =
   | Plan.Heuristic { delta } ->
     Object [ ("kind", String "heuristic"); ("delta", Float delta) ]
 
-let request_hex ~op ~search p =
-  hex
-    (Object
-       [
-         ("op", String op);
-         ("search", search_json search);
-         ("problem", problem_json p);
-       ])
+let request_hex ?extra ~op ~search p =
+  let fields =
+    [
+      ("op", String op);
+      ("search", search_json search);
+      ("problem", problem_json p);
+    ]
+  in
+  (* [extra] appends rather than replaces, so every keyed request is
+     distinct from every legacy (extra-less) request and legacy keys
+     are byte-identical to what they were before the field existed. *)
+  let fields =
+    match extra with None -> fields | Some e -> fields @ [ ("extra", e) ]
+  in
+  hex (Object fields)

@@ -32,7 +32,14 @@ val structure_hex : Problem.t -> string
 val search_json : Plan.search -> Export.json
 (** Canonical rendering of the search strategy (kind + delta). *)
 
-val request_hex : op:string -> search:Plan.search -> Problem.t -> string
+val request_hex :
+  ?extra:Export.json -> op:string -> search:Plan.search -> Problem.t -> string
 (** Cache key for a full request: problem + operation name + search
     strategy. Different search settings can choose different plans,
-    so they never share a result entry. *)
+    so they never share a result entry. [extra] folds any further
+    plan-determining request parameters into the key — e.g. the
+    {!Msoc_search} strategy kind, its seeds and its declared budget —
+    so a cached annealing result can never be served to a
+    branch-and-bound request. Omitting [extra] yields the same key the
+    parameter-less form always produced, keeping persisted caches
+    valid. *)

@@ -11,7 +11,7 @@ let d281m ?(weight_time = 0.5) ~tam_width () =
     ~weight_time ()
 
 let scaled_analog ~n =
-  if n < 4 || n > 12 then invalid_arg "Instances.scaled_analog: n out of 4..12";
+  if n < 4 || n > 26 then invalid_arg "Instances.scaled_analog: n out of 4..26";
   let base = Array.of_list Catalog.all in
   List.init n (fun i ->
       let template = base.(i mod Array.length base) in

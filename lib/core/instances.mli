@@ -13,7 +13,10 @@ val d281m : ?weight_time:float -> tam_width:int -> unit -> Problem.t
 (** 8 digital cores + analog cores C, D, E. *)
 
 val scaled_analog : n:int -> Msoc_analog.Spec.core list
-(** [n] analog cores (4 <= n <= 12) for the scaling experiments:
+(** [n] analog cores (4 <= n <= 26, single-letter labels A..Z) for the
+    scaling experiments — past the exhaustive enumeration limit
+    (Bell(11) > 200_000) only the {!Msoc_search} strategies can plan
+    them:
     cycles through the Table 2 cores, relabelling duplicates (F, G, …)
     and perturbing their test lengths so the copies are not
     identical. *)

@@ -54,12 +54,57 @@ let same_structure a b =
   && a.policy = b.policy
   && a.self_test = b.self_test
 
+exception Combination_overflow of {
+  analog_cores : int;
+  combinations : int;
+  limit : int;
+}
+
+let default_combination_limit = 200_000
+
+let combination_limit () =
+  match Sys.getenv_opt "MSOC_MAX_COMBINATIONS" with
+  | None -> default_combination_limit
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None ->
+      invalid_arg
+        (Printf.sprintf "MSOC_MAX_COMBINATIONS must be a positive integer, got %S" s))
+
+let overflow_message ~analog_cores ~combinations ~limit =
+  Printf.sprintf
+    "refusing to enumerate %s sharing combinations for %d analog cores \
+     (limit %d): use --strategy bnb (exact, pruned) or --strategy \
+     anneal/portfolio (anytime) instead of an exhaustive enumeration, or \
+     raise MSOC_MAX_COMBINATIONS"
+    (if combinations = max_int then "over 10^18" else string_of_int combinations)
+    analog_cores limit
+
+let () =
+  Printexc.register_printer (function
+    | Combination_overflow { analog_cores; combinations; limit } ->
+      Some (overflow_message ~analog_cores ~combinations ~limit)
+    | _ -> None)
+
+(* Enumerating the set-partition lattice materializes Bell(m)
+   partitions before any dedup or filter can shrink it; past the limit
+   that is an OOM, not a slow run, so refuse up front. *)
+let check_combination_count ?limit t =
+  let limit = match limit with Some l -> l | None -> combination_limit () in
+  let m = List.length t.analog_cores in
+  (* Bell numbers overflow 63-bit int past m = 24. *)
+  let count = if m > 24 then max_int else Msoc_util.Combinat.bell_number m in
+  if count > limit then
+    raise (Combination_overflow { analog_cores = m; combinations = count; limit })
+
 let filter_candidates t candidates =
   candidates
   |> List.filter (Sharing.is_feasible ~policy:t.policy)
   |> List.filter (Area.acceptable ~model:t.area_model)
 
-let combinations t =
+let combinations ?limit t =
+  check_combination_count ?limit t;
   match filter_candidates t (Sharing.paper_combinations t.analog_cores) with
   | [] ->
     (* No feasible sharing (e.g. one analog core, or every grouping
@@ -67,5 +112,6 @@ let combinations t =
     [ Sharing.no_sharing t.analog_cores ]
   | candidates -> candidates
 
-let all_combinations t =
+let all_combinations ?limit t =
+  check_combination_count ?limit t;
   filter_candidates t (Sharing.all_combinations t.analog_cores)

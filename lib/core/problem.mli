@@ -48,15 +48,42 @@ val same_structure : t -> t -> bool
     so structurally equal problems can share one evaluation cache
     (see {!Evaluate.reweight}). *)
 
-val combinations : t -> Msoc_analog.Sharing.t list
+exception Combination_overflow of {
+  analog_cores : int;
+  combinations : int;  (** Bell(m); [max_int] when m > 24 *)
+  limit : int;
+}
+(** Raised by {!combinations} / {!all_combinations} instead of
+    materializing a set-partition lattice too large to hold: Bell(m)
+    partitions exist before any dedup or filter can shrink the list,
+    so past the limit enumeration is an OOM, not a slow run. *)
+
+val combination_limit : unit -> int
+(** The enumeration limit: [MSOC_MAX_COMBINATIONS] when set, else
+    200_000 (admits m = 10 analog cores, Bell(10) = 115_975; refuses
+    m >= 11). @raise Invalid_argument when the variable is set but not
+    a positive integer. *)
+
+val overflow_message :
+  analog_cores:int -> combinations:int -> limit:int -> string
+(** Human-readable rendering of {!Combination_overflow}: names the
+    combination count and suggests [--strategy bnb] /
+    [--strategy anneal] (the {!Msoc_search} strategies that never
+    materialize the lattice). Also installed as a
+    [Printexc] printer. *)
+
+val combinations : ?limit:int -> t -> Msoc_analog.Sharing.t list
 (** The candidate sharing combinations the optimizers search: the
     paper's enumeration ({!Msoc_analog.Sharing.paper_combinations}),
     restricted to combinations that are compatibility-feasible under
     [policy] and whose area cost does not exceed no sharing (§3).
     Never empty: when no sharing is feasible (one analog core, or all
     groupings ruled out), the no-sharing combination is the single
-    candidate. *)
+    candidate. Partitions are enumerated lazily and deduplicated
+    incrementally; [limit] overrides {!combination_limit}.
+    @raise Combination_overflow when Bell(m) exceeds the limit. *)
 
-val all_combinations : t -> Msoc_analog.Sharing.t list
+val all_combinations : ?limit:int -> t -> Msoc_analog.Sharing.t list
 (** Same filters over every distinct partition (for the generalized /
-    scaling experiments). *)
+    scaling experiments and the search strategies' reference optimum).
+    @raise Combination_overflow as {!combinations}. *)

@@ -1,0 +1,275 @@
+module Spec = Msoc_analog.Spec
+module Sharing = Msoc_analog.Sharing
+module Area = Msoc_analog.Area
+module Evaluate = Msoc_testplan.Evaluate
+module Problem = Msoc_testplan.Problem
+module Numeric = Msoc_util.Numeric
+module Rng = Msoc_util.Rng
+
+type result = { best : Evaluate.evaluation; stats : Stats.t }
+
+let run ?(budget = Budget.unlimited) ?(seed = 1) ?iterations ?(top_k = 8)
+    prepared =
+  let t0 = Unix.gettimeofday () in
+  let cache0 = Evaluate.cache_stats prepared in
+  let problem = Evaluate.problem prepared in
+  let policy = problem.Problem.policy in
+  let model = problem.Problem.area_model in
+  let bound = Bound.create prepared in
+  let all_cores = problem.Problem.analog_cores in
+  let cores = Array.of_list all_cores in
+  let m = Array.length cores in
+  let iterations =
+    match iterations with Some n -> max 0 n | None -> max 2000 (250 * m)
+  in
+  let rng = Rng.create ~seed in
+  (* State: gid.(i) is core i's group; group ids live in 0..m-1 with
+     empty groups allowed, so a fresh group is always addressable. *)
+  let gid = Array.init m Fun.id in
+  let members = Array.init m (fun i -> [ i ]) in
+  let usage = Array.make m 0 in
+  let contrib = Array.make m 0.0 in
+  let refresh g =
+    match members.(g) with
+    | [] ->
+      usage.(g) <- 0;
+      contrib.(g) <- 0.0
+    | ms ->
+      let cs = List.map (fun i -> cores.(i)) ms in
+      usage.(g) <- Bound.group_usage cs;
+      contrib.(g) <- Bound.group_contrib bound cs
+  in
+  for g = 0 to m - 1 do
+    refresh g
+  done;
+  let energy () =
+    let t_lb = Array.fold_left max (Bound.t_floor bound) usage in
+    let c_t =
+      Numeric.percent_of_or ~default:0.0 (float_of_int t_lb)
+        (float_of_int (Bound.reference_makespan bound))
+    in
+    let c_a =
+      Numeric.percent_of_or ~default:0.0
+        (Array.fold_left ( +. ) 0.0 contrib)
+        (Bound.solo_total bound)
+    in
+    (problem.Problem.weight_time *. c_t)
+    +. (problem.Problem.weight_area *. c_a)
+  in
+  let compatible_into g i =
+    List.for_all
+      (fun j -> Spec.compatible ~policy cores.(i) cores.(j))
+      members.(g)
+  in
+  let restore saved =
+    List.iter
+      (fun (g, ms) ->
+        members.(g) <- ms;
+        List.iter (fun i -> gid.(i) <- g) ms;
+        refresh g)
+      saved
+  in
+  let nonempty () =
+    let acc = ref [] in
+    for g = m - 1 downto 0 do
+      if members.(g) <> [] then acc := g :: !acc
+    done;
+    !acc
+  in
+  (* Each proposal mutates in place and returns the snapshot needed to
+     undo it, or None when the draw is a no-op / infeasible. *)
+  let move_core () =
+    if m < 2 then None
+    else begin
+      let i = Rng.int rng ~bound:m in
+      let src = gid.(i) in
+      let dst = Rng.int rng ~bound:m in
+      if dst = src then None
+      else if members.(dst) = [] && List.compare_length_with members.(src) 1 = 0
+      then None (* singleton to fresh group: relabeling, not a move *)
+      else if members.(dst) <> [] && not (compatible_into dst i) then None
+      else begin
+        let saved = [ (src, members.(src)); (dst, members.(dst)) ] in
+        members.(src) <- List.filter (fun j -> j <> i) members.(src);
+        members.(dst) <- i :: members.(dst);
+        gid.(i) <- dst;
+        refresh src;
+        refresh dst;
+        Some saved
+      end
+    end
+  in
+  let merge_groups () =
+    match nonempty () with
+    | [] | [ _ ] -> None
+    | gs ->
+      let arr = Array.of_list gs in
+      let a = Rng.pick rng arr in
+      let b = Rng.pick rng arr in
+      if a = b then None
+      else if
+        not
+          (List.for_all
+             (fun i ->
+               List.for_all
+                 (fun j -> Spec.compatible ~policy cores.(i) cores.(j))
+                 members.(b))
+             members.(a))
+      then None
+      else begin
+        let saved = [ (a, members.(a)); (b, members.(b)) ] in
+        let moved = members.(b) in
+        members.(a) <- members.(a) @ moved;
+        members.(b) <- [];
+        List.iter (fun i -> gid.(i) <- a) moved;
+        refresh a;
+        refresh b;
+        Some saved
+      end
+  in
+  let split_group () =
+    let candidates =
+      List.filter
+        (fun g -> List.compare_length_with members.(g) 2 >= 0)
+        (nonempty ())
+    in
+    match candidates with
+    | [] -> None
+    | gs -> (
+      let g = Rng.pick rng (Array.of_list gs) in
+      let fresh = ref (-1) in
+      (try
+         for h = 0 to m - 1 do
+           if members.(h) = [] then begin
+             fresh := h;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !fresh < 0 then None
+      else
+        let stay, leave = List.partition (fun _ -> Rng.bool rng) members.(g) in
+        if stay = [] || leave = [] then None
+        else begin
+          let saved = [ (g, members.(g)); (!fresh, []) ] in
+          members.(g) <- stay;
+          members.(!fresh) <- leave;
+          List.iter (fun i -> gid.(i) <- !fresh) leave;
+          refresh g;
+          refresh !fresh;
+          Some saved
+        end)
+  in
+  let current_sharing () =
+    Sharing.make
+      (List.filter_map
+         (fun g ->
+           match members.(g) with
+           | [] -> None
+           | ms -> Some (List.map (fun i -> cores.(i)) ms))
+         (List.init m Fun.id))
+  in
+  (* Best distinct acceptable states by proxy energy, bounded to top_k.
+     The proxy is a function of the partition alone, so a name seen
+     once never needs reconsidering. *)
+  let seen = Hashtbl.create 64 in
+  let pool = ref [] in
+  let note_state e =
+    let s = current_sharing () in
+    if Area.acceptable ~model s then begin
+      let name = Sharing.full_name s in
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.add seen name ();
+        let merged =
+          List.merge
+            (fun (e1, n1, _) (e2, n2, _) -> compare (e1, n1) (e2, n2))
+            [ (e, name, s) ] !pool
+        in
+        pool := List.filteri (fun i _ -> i < top_k) merged
+      end
+    end
+  in
+  let e_init = energy () in
+  note_state e_init;
+  let t_start = Float.max 1.0 (0.10 *. e_init) in
+  let alpha =
+    if iterations <= 1 then 1.0
+    else (0.01 ** (1.0 /. float_of_int (iterations - 1)))
+  in
+  let temp = ref t_start in
+  let e_cur = ref e_init in
+  let moves = ref 0 in
+  let accepted = ref 0 in
+  (try
+     for it = 0 to iterations - 1 do
+       if it land 31 = 0 && Budget.expired budget then raise Exit;
+       incr moves;
+       (match
+          match Rng.int rng ~bound:3 with
+          | 0 -> move_core ()
+          | 1 -> merge_groups ()
+          | _ -> split_group ()
+        with
+       | None -> ()
+       | Some saved ->
+         let e_new = energy () in
+         let d = e_new -. !e_cur in
+         if
+           d <= 0.0
+           || Rng.float rng ~bound:1.0 < Float.exp (-.d /. Float.max 1e-9 !temp)
+         then begin
+           incr accepted;
+           e_cur := e_new;
+           note_state e_new
+         end
+         else restore saved);
+       temp := !temp *. alpha
+     done
+   with Exit -> ());
+  (* Full evaluations: the no-sharing baseline unconditionally, then
+     the pool cheapest-proxy first while the budget lasts. *)
+  let evals = ref 0 in
+  let best = ref None in
+  let trace = ref [] in
+  let eval_combination s =
+    let e = Evaluate.evaluate prepared s in
+    incr evals;
+    match !best with
+    | Some (b : Evaluate.evaluation) when b.Evaluate.cost <= e.Evaluate.cost ->
+      ()
+    | Some _ | None ->
+      best := Some e;
+      trace :=
+        {
+          Stats.at_eval = !evals;
+          cost = e.Evaluate.cost;
+          sharing = Sharing.full_name e.Evaluate.combination;
+        }
+        :: !trace
+  in
+  let no_sharing = Sharing.no_sharing all_cores in
+  eval_combination no_sharing;
+  let no_sharing_name = Sharing.full_name no_sharing in
+  List.iter
+    (fun (_, name, s) ->
+      if name <> no_sharing_name && not (Budget.exhausted budget ~evals:!evals)
+      then eval_combination s)
+    !pool;
+  let best =
+    match !best with Some e -> e | None -> assert false
+  in
+  let cache1 = Evaluate.cache_stats prepared in
+  let stats =
+    {
+      Stats.zero with
+      Stats.evaluations = !evals;
+      considered = !evals;
+      moves = !moves;
+      accepted_moves = !accepted;
+      cache_hits = cache1.Evaluate.hits - cache0.Evaluate.hits;
+      cache_misses = cache1.Evaluate.misses - cache0.Evaluate.misses;
+      wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+      incumbent_trace = List.rev !trace;
+    }
+  in
+  { best; stats }

@@ -1,0 +1,140 @@
+module Spec = Msoc_analog.Spec
+module Sharing = Msoc_analog.Sharing
+module Area = Msoc_analog.Area
+module Evaluate = Msoc_testplan.Evaluate
+module Problem = Msoc_testplan.Problem
+
+type result = { best : Evaluate.evaluation; stats : Stats.t; optimal : bool }
+
+let run ?(budget = Budget.unlimited) prepared =
+  let t0 = Unix.gettimeofday () in
+  let cache0 = Evaluate.cache_stats prepared in
+  let problem = Evaluate.problem prepared in
+  let policy = problem.Problem.policy in
+  let model = problem.Problem.area_model in
+  let bound = Bound.create prepared in
+  let all_cores = problem.Problem.analog_cores in
+  (* Longest core first: the time floor tightens as early as possible,
+     so bad subtrees die near the root. Label tie-break keeps the tree
+     (and hence every counter) deterministic. *)
+  let cores =
+    List.sort
+      (fun (a : Spec.core) b ->
+        match compare (Spec.core_time b) (Spec.core_time a) with
+        | 0 -> compare a.Spec.label b.Spec.label
+        | c -> c)
+      all_cores
+    |> Array.of_list
+  in
+  let m = Array.length cores in
+  let suffixes = Array.make (m + 1) [] in
+  for i = m - 1 downto 0 do
+    suffixes.(i) <- cores.(i) :: suffixes.(i + 1)
+  done;
+  let evals = ref 0 in
+  let expanded = ref 0 in
+  let pruned = ref 0 in
+  let dedup = ref 0 in
+  let evaluated = Hashtbl.create 97 in
+  let best = ref None in
+  let trace = ref [] in
+  let interrupted = ref false in
+  let budget_hit () =
+    !interrupted
+    ||
+    if Budget.exhausted budget ~evals:!evals then begin
+      interrupted := true;
+      true
+    end
+    else false
+  in
+  let consider combination =
+    let key = Sharing.equivalence_key all_cores combination in
+    if Hashtbl.mem evaluated key then incr dedup
+    else begin
+      Hashtbl.add evaluated key ();
+      let e = Evaluate.evaluate prepared combination in
+      incr evals;
+      match !best with
+      | Some (b : Evaluate.evaluation) when b.Evaluate.cost <= e.Evaluate.cost
+        ->
+        ()
+      | Some _ | None ->
+        best := Some e;
+        trace :=
+          {
+            Stats.at_eval = !evals;
+            cost = e.Evaluate.cost;
+            sharing = Sharing.full_name e.Evaluate.combination;
+          }
+          :: !trace
+    end
+  in
+  (* Incumbent seeds; no-sharing is unconditional so a result exists
+     even when the deadline is already past. *)
+  consider (Sharing.no_sharing all_cores);
+  (let full = Sharing.full_sharing all_cores in
+   if
+     (not (budget_hit ()))
+     && Sharing.is_feasible ~policy full
+     && Area.acceptable ~model full
+   then consider full);
+  let rec go groups i =
+    if budget_hit () then ()
+    else if i = m then begin
+      let candidate = Sharing.make groups in
+      if Area.acceptable ~model candidate then consider candidate
+    end
+    else begin
+      incr expanded;
+      let c = cores.(i) in
+      let unassigned = suffixes.(i + 1) in
+      let joins =
+        List.mapi
+          (fun idx g ->
+            if List.for_all (fun d -> Spec.compatible ~policy c d) g then
+              Some (List.mapi (fun j g' -> if j = idx then c :: g' else g') groups)
+            else None)
+          groups
+        |> List.filter_map Fun.id
+      in
+      let children = joins @ [ [ c ] :: groups ] in
+      let scored =
+        List.map
+          (fun gs -> (Bound.lower_bound bound ~groups:gs ~unassigned, gs))
+          children
+        |> List.stable_sort (fun (a, _) (b, _) -> Float.compare a b)
+      in
+      List.iter
+        (fun (lb, gs) ->
+          if budget_hit () then ()
+          else
+            match !best with
+            | Some (b : Evaluate.evaluation) when lb >= b.Evaluate.cost ->
+              incr pruned
+            | Some _ | None -> go gs (i + 1))
+        scored
+    end
+  in
+  go [] 0;
+  let best =
+    match !best with
+    | Some e -> e
+    | None -> assert false (* no-sharing seed always evaluates *)
+  in
+  let cache1 = Evaluate.cache_stats prepared in
+  let stats =
+    {
+      Stats.zero with
+      Stats.evaluations = !evals;
+      considered = !evals + !dedup;
+      nodes_expanded = !expanded;
+      nodes_pruned = !pruned;
+      dedup_skips = !dedup;
+      cache_hits = cache1.Evaluate.hits - cache0.Evaluate.hits;
+      cache_misses = cache1.Evaluate.misses - cache0.Evaluate.misses;
+      wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+      incumbent_trace = List.rev !trace;
+    }
+  in
+  { best; stats; optimal = not !interrupted }

@@ -1,0 +1,121 @@
+module Spec = Msoc_analog.Spec
+module Area = Msoc_analog.Area
+module Job = Msoc_tam.Job
+module Packer = Msoc_tam.Packer
+module Evaluate = Msoc_testplan.Evaluate
+module Problem = Msoc_testplan.Problem
+module Numeric = Msoc_util.Numeric
+
+type t = {
+  problem : Problem.t;
+  reference_makespan : int;
+  t_floor : int;
+  solo_total : float;
+  solo_area : (string, float) Hashtbl.t;
+  join_floor : float option;
+      (** per-unassigned-core area floor cap [k·A_min]; [None] when the
+          model shape gives no provable floor *)
+}
+
+let group_usage group =
+  List.fold_left (fun acc c -> acc + Spec.core_time c) 0 group
+
+let group_contrib t group =
+  let model = t.problem.Problem.area_model in
+  (1.0 +. (Area.routing_overhead_pct model group /. 100.0))
+  *. Area.group_area model group
+
+let create prepared =
+  let problem = Evaluate.problem prepared in
+  let model = problem.Problem.area_model in
+  let cores = problem.Problem.analog_cores in
+  let solo_area = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Spec.core) ->
+      Hashtbl.replace solo_area c.Spec.label (Area.wrapper_area_of_core model c))
+    cores;
+  let solo_total =
+    List.fold_left
+      (fun acc (c : Spec.core) -> acc +. Area.wrapper_area_of_core model c)
+      0.0 cores
+  in
+  (* Every analog test as its own singleton job, no self-test: a valid
+     relaxation of every partition's job set (merging only lengthens
+     exclusion serials; self-tests only add work). *)
+  let analog_singletons =
+    List.concat
+      (List.mapi
+         (fun gi (c : Spec.core) ->
+           List.map
+             (fun (test : Spec.test) ->
+               Job.analog
+                 ~label:(Printf.sprintf "%s:%s" c.Spec.label test.Spec.name)
+                 ~width:test.Spec.tam_width ~time:test.Spec.cycles ~group:gi)
+             c.Spec.tests)
+         cores)
+  in
+  let t_floor =
+    Packer.lower_bound ~width:problem.Problem.tam_width
+      (Evaluate.digital_jobs prepared @ analog_singletons)
+  in
+  let join_floor =
+    match (model.Area.routing, model.Area.a_max_rule) with
+    | Area.Uniform k, Area.Max_individual ->
+      let a_min =
+        List.fold_left
+          (fun acc (c : Spec.core) ->
+            Float.min acc (Area.wrapper_area_of_core model c))
+          infinity cores
+      in
+      Some (k *. a_min)
+    | (Area.Uniform _ | Area.Placed _), _ -> None
+  in
+  {
+    problem;
+    reference_makespan = Evaluate.reference_makespan prepared;
+    t_floor;
+    solo_total;
+    solo_area;
+    join_floor;
+  }
+
+let t_floor t = t.t_floor
+
+let reference_makespan t = t.reference_makespan
+
+let solo_total t = t.solo_total
+
+let solo_area t (c : Spec.core) =
+  match Hashtbl.find_opt t.solo_area c.Spec.label with
+  | Some a -> a
+  | None -> Area.wrapper_area_of_core t.problem.Problem.area_model c
+
+let lower_bound t ~groups ~unassigned =
+  let lb =
+    List.fold_left (fun acc g -> max acc (group_usage g)) t.t_floor groups
+  in
+  let lb =
+    List.fold_left
+      (fun acc (c : Spec.core) -> max acc (Spec.core_time c))
+      lb unassigned
+  in
+  let c_t =
+    Numeric.percent_of_or ~default:0.0 (float_of_int lb)
+      (float_of_int t.reference_makespan)
+  in
+  let c_a =
+    match t.join_floor with
+    | None -> 0.0
+    | Some cap ->
+      let assigned =
+        List.fold_left (fun acc g -> acc +. group_contrib t g) 0.0 groups
+      in
+      let floating =
+        List.fold_left
+          (fun acc c -> acc +. Float.min (solo_area t c) cap)
+          0.0 unassigned
+      in
+      Numeric.percent_of_or ~default:0.0 (assigned +. floating) t.solo_total
+  in
+  (t.problem.Problem.weight_time *. c_t)
+  +. (t.problem.Problem.weight_area *. c_a)

@@ -1,0 +1,54 @@
+(** Admissible lower bound on the cost of completing a partial sharing
+    partition — the pruning rule of {!Bnb}.
+
+    A partial state is a set of formed groups plus the cores not yet
+    assigned; any completion can only add cores to formed groups or
+    open new ones. The bound combines
+
+    - a time floor: the TAM packer's lower bound over the digital jobs
+      plus every analog test as a singleton (no self-test jobs — their
+      count shrinks under merging, so they are not provably monotone),
+      maxed with each formed group's serial test time (groups only
+      grow) and each unassigned core's own serial time (it lands in
+      some group);
+    - an area floor: under the paper's model shape ([Uniform k]
+      routing, [Max_individual] sizing) a group's Eq. 1 contribution
+      is monotone in its membership and each unassigned core adds at
+      least [min(solo_area, k·A_min)] wherever it goes. Under any
+      other model shape (placed routing, merged-requirement sizing)
+      monotonicity is not guaranteed and the area floor degrades to 0 —
+      the bound stays admissible, just looser.
+
+    Both floors price exactly like {!Msoc_testplan.Evaluate.evaluate}
+    (same normalizations, same weights), so [lower_bound] never
+    exceeds the true cost of any completion and pruning with it
+    preserves optimality. *)
+
+type t
+
+val create : Msoc_testplan.Evaluate.prepared -> t
+(** Packs nothing: reuses the prepared digital jobs and reference
+    makespan, and prices the per-core solo wrapper areas once. *)
+
+val t_floor : t -> int
+(** The partition-independent makespan floor. *)
+
+val reference_makespan : t -> int
+
+val solo_total : t -> float
+(** Σ stand-alone wrapper areas — Eq. 1's denominator. *)
+
+val group_usage : Msoc_analog.Spec.core list -> int
+(** Serial test time of one (possibly shared) wrapper group. *)
+
+val group_contrib : t -> Msoc_analog.Spec.core list -> float
+(** [(1 + ρ/100)·a_max] — the group's exact Eq. 1 numerator term. *)
+
+val lower_bound :
+  t ->
+  groups:Msoc_analog.Spec.core list list ->
+  unassigned:Msoc_analog.Spec.core list ->
+  float
+(** Admissible lower bound on [w_T·C_T + w_A·C_A] over every
+    completion of the partial state. With [unassigned = []] this is a
+    lower bound on the state's own evaluation. *)

@@ -1,0 +1,73 @@
+module Evaluate = Msoc_testplan.Evaluate
+
+type member_result = {
+  member : string;
+  cost : float;
+  optimal : bool;
+  stats : Stats.t;
+}
+
+type result = {
+  best : Evaluate.evaluation;
+  stats : Stats.t;
+  optimal : bool;
+  members : member_result list;
+}
+
+type member_spec = Bnb_member | Anneal_member of int
+
+let run ?pool ?(budget = Budget.unlimited) ?(seeds = [ 1; 2; 3 ]) problem =
+  if seeds = [] then invalid_arg "Portfolio.run: seeds must be non-empty";
+  let t0 = Unix.gettimeofday () in
+  let specs = Bnb_member :: List.map (fun s -> Anneal_member s) seeds in
+  let member_budget =
+    match budget.Budget.max_evals with
+    | None -> budget
+    | Some total ->
+      { budget with Budget.max_evals = Some (max 1 (total / List.length specs)) }
+  in
+  (* Each member prepares privately: the schedule memo inside a
+     prepared value is not domain-safe, so racing members must not
+     share one. Costs one reference pack per member. *)
+  let run_member spec =
+    let prepared = Evaluate.prepare problem in
+    match spec with
+    | Bnb_member ->
+      let r = Bnb.run ~budget:member_budget prepared in
+      ("bnb", r.Bnb.best, r.Bnb.optimal, r.Bnb.stats)
+    | Anneal_member seed ->
+      let r = Anneal.run ~budget:member_budget ~seed prepared in
+      (Printf.sprintf "anneal:%d" seed, r.Anneal.best, false, r.Anneal.stats)
+  in
+  let outcomes =
+    match pool with
+    | Some pool -> Msoc_util.Pool.map pool run_member specs
+    | None -> List.map run_member specs
+  in
+  let best, optimal =
+    List.fold_left
+      (fun (best, opt) (_, e, o, _) ->
+        let best =
+          match best with
+          | Some (b : Evaluate.evaluation) when b.Evaluate.cost <= e.Evaluate.cost
+            ->
+            Some b
+          | Some _ | None -> Some e
+        in
+        (best, opt || o))
+      (None, false) outcomes
+  in
+  let best = match best with Some e -> e | None -> assert false in
+  let members =
+    List.map
+      (fun (member, e, o, s) ->
+        { member; cost = e.Evaluate.cost; optimal = o; stats = s })
+      outcomes
+  in
+  let stats =
+    {
+      (Stats.merge (List.map (fun (_, _, _, s) -> s) outcomes)) with
+      Stats.wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+    }
+  in
+  { best; stats; optimal; members }

@@ -1,0 +1,78 @@
+(** The pluggable search-strategy interface: one entry point over the
+    sharing-combination space, five interchangeable engines.
+
+    - [Exhaustive]: evaluate every distinct partition
+      ({!Msoc_testplan.Problem.all_combinations}); optimal; refuses
+      past the enumeration limit ({!Msoc_testplan.Problem.Combination_overflow}).
+    - [Repr]: the paper's Cost_Optimizer over the same space —
+      preliminary-cost representatives per degree-of-sharing group,
+      pruning threshold [delta].
+    - [Bnb]: branch-and-bound ({!Bnb}); optimal over the same space
+      without materializing it; anytime under a budget.
+    - [Anneal]: seeded simulated annealing ({!Anneal}); anytime,
+      heuristic.
+    - [Portfolio]: {!Portfolio} racing [Bnb] against several [Anneal]
+      seeds.
+
+    Every result is re-verified with {!Msoc_check.Verify.evaluation}
+    before being returned — a strategy bug surfaces as a loud failure
+    here, never as a silently wrong plan. *)
+
+type kind =
+  | Exhaustive
+  | Repr of { delta : float }
+  | Bnb
+  | Anneal of { seed : int }
+  | Portfolio of { seeds : int list }
+
+val name : kind -> string
+(** ["exhaustive"], ["repr"], ["bnb"], ["anneal"], ["portfolio"]. *)
+
+val names : string list
+(** The accepted {!of_name} spellings, for CLI enumerations. *)
+
+val of_name :
+  ?delta:float -> ?seed:int -> ?seeds:int list -> string -> kind option
+(** Case-insensitive; the optional parameters fill the variant's
+    payload ([delta] 0, [seed] 1, [seeds] [[1; 2; 3]] by default). *)
+
+val request_json :
+  ?max_evals:int -> ?time_limit_ms:float -> kind -> Msoc_testplan.Export.json
+(** Canonical description of the request — strategy, its parameters
+    and the declared budget — for cache fingerprints: two requests
+    that could return different plans must serialize differently.
+    Deliberately excludes volatile values (absolute deadlines). *)
+
+type outcome = {
+  strategy : kind;
+  best : Msoc_testplan.Evaluate.evaluation;
+  stats : Stats.t;
+  optimal : bool;  (** the cost is proven optimal over the space *)
+  members : Portfolio.member_result list;  (** non-empty for [Portfolio] *)
+  diagnostics : Msoc_check.Diagnostic.t list;
+      (** re-verification findings — never contains errors *)
+}
+
+val run :
+  ?pool:Msoc_util.Pool.t ->
+  ?budget:Budget.t ->
+  kind ->
+  Msoc_testplan.Evaluate.prepared ->
+  outcome
+(** [pool] parallelizes [Exhaustive]/[Repr] evaluation waves and the
+    [Portfolio] members; [Bnb] and [Anneal] are sequential and ignore
+    it. [budget] is honored by [Bnb], [Anneal] and [Portfolio] and
+    ignored by the enumerating strategies (they either fit or refuse).
+    @raise Msoc_testplan.Problem.Combination_overflow for
+    [Exhaustive]/[Repr] past the enumeration limit.
+    @raise Failure when re-verification finds an error — a bug, not a
+    user condition. *)
+
+val plan_of_outcome :
+  Msoc_testplan.Evaluate.prepared -> outcome -> Msoc_testplan.Plan.t
+(** Repackage as a {!Msoc_testplan.Plan.t} so existing reporting and
+    export paths apply unchanged. *)
+
+val outcome_json : outcome -> Msoc_testplan.Export.json
+(** Strategy name, optimality, cost, sharing, {!Stats.to_json} and the
+    portfolio member summary. *)

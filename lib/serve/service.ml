@@ -8,6 +8,8 @@ module Cost_optimizer = Msoc_testplan.Cost_optimizer
 module Sharing = Msoc_analog.Sharing
 module Catalog = Msoc_analog.Catalog
 module Pool = Msoc_util.Pool
+module Strategy = Msoc_search.Strategy
+module Budget = Msoc_search.Budget
 
 (* Small LRU of prepared structures: key = Fingerprint.structure_hex.
    8 resident SOC structures cover any realistic sweep workload while
@@ -163,6 +165,16 @@ let compute_plan t ~search problem =
   let prepared = prepared_for t problem in
   Export.plan_json (Plan.run_prepared ~search ~pool:t.pool prepared)
 
+let compute_optimize_strategy t ~kind ~budget problem =
+  let prepared = prepared_for t problem in
+  let outcome = Strategy.run ~pool:t.pool ~budget kind prepared in
+  let plan = Strategy.plan_of_outcome prepared outcome in
+  Export.Object
+    [
+      ("plan", Export.plan_json plan);
+      ("search", Strategy.outcome_json outcome);
+    ]
+
 let compute_optimize t ~delta problem =
   let prepared = prepared_for t problem in
   let result = Cost_optimizer.run ~delta ~pool:t.pool prepared in
@@ -236,8 +248,8 @@ let stats_result t =
 
 (* --- dispatch --- *)
 
-let cached_compute t ~op_name ~search ~compute problem =
-  let key = Fingerprint.request_hex ~op:op_name ~search problem in
+let cached_compute ?extra t ~op_name ~search ~compute problem =
+  let key = Fingerprint.request_hex ?extra ~op:op_name ~search problem in
   match Cache.find t.cache ~key with
   | Some (json, Cache.Memory) ->
     Metrics.cache_memory_hit t.metrics;
@@ -285,14 +297,64 @@ let handle ?admitted_at t (req : Protocol.request) =
           let problem = problem_of_params req.Protocol.params in
           cached_compute t ~op_name:"plan" ~search
             ~compute:(compute_plan t ~search) problem
-        | Protocol.Optimize ->
-          let delta =
-            float_param ~default:0.0 "delta" req.Protocol.params
-          in
+        | Protocol.Optimize -> (
+          let params = req.Protocol.params in
+          let delta = float_param ~default:0.0 "delta" params in
           let search = Plan.Heuristic { delta } in
-          let problem = problem_of_params req.Protocol.params in
-          cached_compute t ~op_name:"optimize" ~search
-            ~compute:(compute_optimize t ~delta) problem
+          let problem = problem_of_params params in
+          match string_param "strategy" params with
+          | None ->
+            (* Legacy request shape: same computation, same cache key
+               as before the strategy field existed. *)
+            cached_compute t ~op_name:"optimize" ~search
+              ~compute:(compute_optimize t ~delta) problem
+          | Some name ->
+            let seed = int_param ~default:1 "seed" params in
+            let max_evals =
+              match field "max_evals" params with
+              | None -> None
+              | Some (Export.Int i) when i >= 1 -> Some i
+              | Some _ -> badf "param \"max_evals\" must be a positive integer"
+            in
+            let budget_ms =
+              match field "budget_ms" params with
+              | None -> None
+              | Some (Export.Int i) when i >= 1 -> Some (float_of_int i)
+              | Some (Export.Float f) when f > 0.0 -> Some f
+              | Some _ -> badf "param \"budget_ms\" must be a positive number"
+            in
+            let kind =
+              match
+                Strategy.of_name ~delta ~seed
+                  ~seeds:[ seed; seed + 1; seed + 2 ]
+                  name
+              with
+              | Some kind -> kind
+              | None ->
+                badf "unknown strategy %S (expected one of: %s)" name
+                  (String.concat ", " Strategy.names)
+            in
+            (* The declared budget and the request deadline shape the
+               anytime result, so they join the strategy in the cache
+               key — an anneal incumbent must never answer a bnb
+               request, nor a tightly-budgeted run an unbudgeted one. *)
+            let extra =
+              match
+                ( Strategy.request_json ?max_evals ?time_limit_ms:budget_ms
+                    kind,
+                  req.Protocol.deadline_ms )
+              with
+              | Export.Object fields, Some ms ->
+                Export.Object (fields @ [ ("deadline_ms", Export.Float ms) ])
+              | json, _ -> json
+            in
+            let budget =
+              Budget.make ?max_evals
+                ?time_limit_s:(Option.map (fun ms -> ms /. 1000.0) budget_ms)
+                ?deadline ()
+            in
+            cached_compute ~extra t ~op_name:"optimize" ~search
+              ~compute:(compute_optimize_strategy t ~kind ~budget) problem)
         | Protocol.Explore ->
           let search = search_of_params req.Protocol.params in
           (compute_explore t ~search req.Protocol.params, None)
