@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check lint bench doc examples clean artifacts
+.PHONY: all build test check lint analyze bench doc examples clean artifacts
 
 all: build
 
@@ -14,12 +14,19 @@ test:
 check:
 	dune build @all && dune runtest
 
-# Strict gate: warnings-as-errors build, full tests, and the independent
-# plan verifier over the checked-in benchmark (nonzero exit on findings)
+# Source-level static analysis (concurrency, exception safety, API
+# hygiene) over the repo's own lib/ + bin/; exits 1 on error findings
+analyze:
+	dune exec bin/msoc_plan.exe -- analyze
+
+# Strict gate: warnings-as-errors build, full tests, the independent
+# plan verifier over the checked-in benchmark, and the source analyzer
+# (each nonzero exit on findings)
 lint:
 	dune build @all
 	dune runtest
 	dune exec bin/msoc_plan.exe -- check --soc data/p93791s.soc
+	dune exec bin/msoc_plan.exe -- analyze
 
 # Regenerate every paper table/figure + ablations (writes bench_output.txt)
 bench:

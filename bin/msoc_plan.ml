@@ -4,6 +4,7 @@
    Subcommands:
      plan      - plan a SOC (built-in instance or .soc file + analog set)
      check     - lint a .soc input and verify a produced plan (Msoc_check)
+     analyze   - source-level concurrency & hygiene linter (Msoc_analysis)
      explore   - sweep TAM widths or cost weights
      optimize  - Cost_Optimizer front end with pruning statistics
      serve     - resident planning service (stdio batch or Unix socket)
@@ -207,6 +208,47 @@ let check_cmd =
       const run_check $ width_arg $ weight_time_arg $ soc_file_arg
       $ analog_labels_arg $ search_arg $ delta_arg $ jobs_arg $ lint_only_flag
       $ json_flag)
+
+(* --- analyze --- *)
+
+let run_analyze root allowlist_file as_json =
+  let report =
+    try Msoc_analysis.Engine.run ?allowlist_file ~root ()
+    with Sys_error m -> Fmt.failwith "analyze: %s" m
+  in
+  if as_json then
+    print_string
+      (Msoc_testplan.Export.pretty (Msoc_analysis.Report.to_json report))
+  else print_string (Msoc_analysis.Report.to_text report);
+  exit (Msoc_analysis.Engine.exit_code report)
+
+let analyze_cmd =
+  let doc =
+    "run the source-level static analyzer over this repository's own \
+     lib/ and bin/ trees: concurrency (module-level mutable state under \
+     the domain pool, unpaired locks), exception safety (catch-alls, \
+     failwith/exit in libraries) and API hygiene (.mli coverage, \
+     warnings-as-errors stanzas, stdout discipline); exit 1 on any \
+     error-severity finding"
+  in
+  let root_arg =
+    Arg.(
+      value & opt dir "."
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:"Repository root to analyze (defaults to the current directory).")
+  in
+  let allowlist_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "allowlist" ] ~docv:"FILE"
+          ~doc:
+            "Allowlist of audited exceptions, root-relative (defaults to \
+             $(b,analysis.allow) under the root when present). Stale or \
+             unjustified entries are themselves reported.")
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run_analyze $ root_arg $ allowlist_arg $ json_flag)
 
 (* --- explore --- *)
 
@@ -1060,6 +1102,7 @@ let () =
           [
             plan_cmd;
             check_cmd;
+            analyze_cmd;
             explore_cmd;
             optimize_cmd;
             serve_cmd;

@@ -41,7 +41,7 @@ let () =
 
   (* 4. Plan (Cost_Optimizer heuristic by default) and report. *)
   let plan = Plan.run problem in
-  Report.print plan;
+  print_string (Report.console plan);
 
   (* 5. The result is data, not just a report: inspect it. *)
   Printf.printf "\nThe planner scheduled %d tests; SOC test takes %d cycles.\n"

@@ -1,0 +1,145 @@
+module Diagnostic = Msoc_check.Diagnostic
+module Codes = Msoc_check.Codes
+
+(* One audited exception per line:
+
+     MSOC-S303 lib/core/report.ml # console rendering facade for the CLI
+     MSOC-S204 lib/core/export.ml:300 # parse_exn's contract raises Failure
+
+   The justification after [#] is mandatory in spirit: an entry
+   without one is reported as MSOC-S402 (warning) so audits never rot
+   silently. Entries that match nothing are reported as MSOC-S401 —
+   fixed code must shed its allowlist line. *)
+
+type entry = {
+  code : string;
+  file : string;
+  line : int option;
+  justification : string;
+  source_line : int;  (* 1-based line in the allowlist file itself *)
+}
+
+type t = {
+  path : string option;
+  entries : entry list;
+  parse_diags : Diagnostic.t list;
+}
+
+let empty = { path = None; entries = []; parse_diags = [] }
+
+let parse_target target =
+  match String.rindex_opt target ':' with
+  | None -> Some (target, None)
+  | Some i -> (
+    let file = String.sub target 0 i in
+    let suffix = String.sub target (i + 1) (String.length target - i - 1) in
+    match int_of_string_opt suffix with
+    | Some line when line >= 1 && file <> "" -> Some (file, Some line)
+    | Some _ | None -> None)
+
+let of_string ?path text =
+  let entries = ref [] in
+  let diags = ref [] in
+  List.iteri
+    (fun idx raw_line ->
+      let source_line = idx + 1 in
+      let before_hash, justification =
+        match String.index_opt raw_line '#' with
+        | None -> (raw_line, "")
+        | Some i ->
+          ( String.sub raw_line 0 i,
+            String.trim
+              (String.sub raw_line (i + 1) (String.length raw_line - i - 1)) )
+      in
+      let fields =
+        String.split_on_char ' ' (String.trim before_hash)
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun f -> f <> "")
+      in
+      match fields with
+      | [] -> ()  (* blank or pure comment line *)
+      | [ code; target ] when String.length code > 5
+                              && String.sub code 0 5 = "MSOC-" -> (
+        match parse_target target with
+        | Some (file, line) ->
+          entries :=
+            { code; file; line; justification; source_line } :: !entries
+        | None ->
+          diags :=
+            Diagnostic.makef ?file:path ~line:source_line ~code:Codes.s403
+              ~severity:Diagnostic.Error
+              "allowlist target %S is not FILE or FILE:LINE" target
+            :: !diags)
+      | _ ->
+        diags :=
+          Diagnostic.makef ?file:path ~line:source_line ~code:Codes.s403
+            ~severity:Diagnostic.Error
+            "expected \"MSOC-code path[:line] # justification\", got %S"
+            (String.trim raw_line)
+          :: !diags)
+    (String.split_on_char '\n' text);
+  { path; entries = List.rev !entries; parse_diags = List.rev !diags }
+
+let load ~root rel =
+  of_string ~path:rel (Source.read_file (Filename.concat root rel))
+
+let entry_matches entry (d : Diagnostic.t) =
+  entry.code = d.Diagnostic.code
+  && d.Diagnostic.location.Diagnostic.file = Some entry.file
+  && (match entry.line with
+     | None -> true
+     | Some l -> d.Diagnostic.location.Diagnostic.line = Some l)
+
+type applied = {
+  kept : Diagnostic.t list;
+  suppressed : int;
+  meta : Diagnostic.t list;
+      (* S401 stale-entry and S402 no-justification warnings plus S403
+         parse errors, anchored in the allowlist file *)
+}
+
+let apply t diags =
+  let used = Array.make (List.length t.entries) false in
+  let kept =
+    List.filter
+      (fun d ->
+        let hit = ref false in
+        List.iteri
+          (fun i entry ->
+            if entry_matches entry d then begin
+              used.(i) <- true;
+              hit := true
+            end)
+          t.entries;
+        not !hit)
+      diags
+  in
+  let meta =
+    List.concat
+      (List.mapi
+         (fun i entry ->
+           let stale =
+             if used.(i) then []
+             else
+               [
+                 Diagnostic.makef ?file:t.path ~line:entry.source_line
+                   ~code:Codes.s401 ~severity:Diagnostic.Warning
+                   "allowlist entry %s %s matched no finding — remove it"
+                   entry.code entry.file;
+               ]
+           in
+           let unjustified =
+             if entry.justification <> "" then []
+             else
+               [
+                 Diagnostic.makef ?file:t.path ~line:entry.source_line
+                   ~code:Codes.s402 ~severity:Diagnostic.Warning
+                   "allowlist entry %s %s has no justification comment"
+                   entry.code entry.file;
+               ]
+           in
+           stale @ unjustified)
+         t.entries)
+    @ t.parse_diags
+  in
+  { kept; suppressed = List.length diags - List.length kept; meta }

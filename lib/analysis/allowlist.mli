@@ -1,0 +1,43 @@
+(** Audited exceptions to analyzer rules.
+
+    One entry per line: [MSOC-code path[:line] # justification].
+    Blank lines and [#]-comment lines are skipped. An entry suppresses
+    every finding with the same code in the same file (narrowed to one
+    line when the [:line] anchor is given), but the audit is kept
+    honest by meta-diagnostics: a stale entry (matched nothing) is
+    MSOC-S401, a missing justification MSOC-S402, and a malformed line
+    MSOC-S403 — so the allowlist itself is linted on every run. *)
+
+type entry = {
+  code : string;
+  file : string;
+  line : int option;
+  justification : string;
+  source_line : int;
+}
+
+type t = {
+  path : string option;
+  entries : entry list;
+  parse_diags : Msoc_check.Diagnostic.t list;
+}
+
+val empty : t
+
+val of_string : ?path:string -> string -> t
+(** Malformed lines become S403 diagnostics in [parse_diags], never an
+    exception: a broken allowlist must fail the gate, not crash it. *)
+
+val load : root:string -> string -> t
+(** [load ~root rel] parses [root/rel] with [path = rel].
+    @raise Sys_error when the file cannot be read. *)
+
+type applied = {
+  kept : Msoc_check.Diagnostic.t list;
+  suppressed : int;
+  meta : Msoc_check.Diagnostic.t list;
+}
+
+val apply : t -> Msoc_check.Diagnostic.t list -> applied
+(** Filter findings through the allowlist; [meta] carries the
+    S401/S402/S403 audit diagnostics. *)

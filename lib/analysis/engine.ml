@@ -1,0 +1,33 @@
+module Diagnostic = Msoc_check.Diagnostic
+
+type report = {
+  diagnostics : Diagnostic.t list;
+  suppressed : int;
+  files_scanned : int;
+  allowlist_path : string option;
+}
+
+let default_allowlist_file = "analysis.allow"
+
+let resolve_allowlist ~root = function
+  | Some path -> Allowlist.load ~root path
+  | None ->
+    if Sys.file_exists (Filename.concat root default_allowlist_file) then
+      Allowlist.load ~root default_allowlist_file
+    else Allowlist.empty
+
+let run ?(config = Rules.default_config) ?allowlist_file ~root () =
+  let project = Project.load ~root in
+  let allowlist = resolve_allowlist ~root allowlist_file in
+  let raw = Rules.run config project in
+  let applied = Allowlist.apply allowlist raw in
+  {
+    diagnostics = Diagnostic.sort (applied.Allowlist.kept @ applied.Allowlist.meta);
+    suppressed = applied.Allowlist.suppressed;
+    files_scanned =
+      List.length project.Project.modules
+      + List.length project.Project.dune_files;
+    allowlist_path = allowlist.Allowlist.path;
+  }
+
+let exit_code report = Diagnostic.exit_code report.diagnostics

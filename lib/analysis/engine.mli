@@ -1,0 +1,28 @@
+(** The analyzer driver: discover the tree, run every rule, apply the
+    allowlist, sort.
+
+    The exit contract matches [msoc_plan check]: 0 when no
+    error-severity finding survives the allowlist, 1 otherwise —
+    warnings (including the S401/S402 allowlist audit) never fail a
+    run. *)
+
+type report = {
+  diagnostics : Msoc_check.Diagnostic.t list;
+      (** Sorted; allowlist-suppressed findings removed, allowlist
+          audit diagnostics (S401-S403) included. *)
+  suppressed : int;  (** findings removed by allowlist entries *)
+  files_scanned : int;  (** modules plus dune files *)
+  allowlist_path : string option;
+}
+
+val default_allowlist_file : string
+(** ["analysis.allow"], looked up under the root when no explicit
+    allowlist is given. *)
+
+val run :
+  ?config:Rules.config -> ?allowlist_file:string -> root:string -> unit -> report
+(** [run ~root ()] analyzes the tree under [root].
+    [allowlist_file] is root-relative; when absent,
+    {!default_allowlist_file} is used if it exists. *)
+
+val exit_code : report -> int

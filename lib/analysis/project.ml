@@ -1,0 +1,221 @@
+(* Repository discovery and the module-reference graph.
+
+   The analyzer works on the checked-out tree itself: libraries are
+   the [lib/<dir>] directories owning a [dune] file with a
+   [(name ...)] stanza, modules are their [.ml] files, and [bin]
+   executables join the scan (hygiene rules) without joining the
+   library-only checks. Edges are textual module references, which is
+   exactly what the reachability rule (MSOC-S101) needs: if a module's
+   name appears in code that runs under the domain pool or the server
+   threads, its module-level state is shared state. *)
+
+type lib = {
+  dir : string;  (* "lib/serve" *)
+  name : string;  (* "msoc_serve" *)
+  dune_path : string;
+}
+
+type module_info = {
+  owner : lib option;  (* [None] for bin/ executables *)
+  name : string;  (* "Pool" *)
+  ml_path : string;  (* "lib/util/pool.ml" *)
+  mli_path : string option;
+  source : Source.t;
+}
+
+type t = {
+  root : string;
+  libs : lib list;
+  modules : module_info list;
+  dune_files : Source.t list;
+}
+
+let module_name_of_path path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+(* [(name foo)] extraction from a dune file; dune needs no masking
+   here because the stanza grammar keeps names on their own token. *)
+let dune_lib_name text =
+  let tokens =
+    String.split_on_char '\n' text
+    |> List.concat_map (fun line ->
+           String.split_on_char '(' line
+           |> List.concat_map (String.split_on_char ')'))
+  in
+  List.find_map
+    (fun tok ->
+      match String.split_on_char ' ' (String.trim tok) with
+      | [ "name"; n ] when n <> "" -> Some n
+      | _ -> None)
+    tokens
+
+let list_dir root rel =
+  let abs = Filename.concat root rel in
+  if Sys.file_exists abs && Sys.is_directory abs then
+    Array.to_list (Sys.readdir abs) |> List.sort compare
+  else []
+
+let join a b = a ^ "/" ^ b
+
+let load ~root =
+  let lib_dirs =
+    list_dir root "lib"
+    |> List.filter (fun d -> Sys.is_directory (Filename.concat root (join "lib" d)))
+    |> List.map (fun d -> join "lib" d)
+  in
+  let libs =
+    List.filter_map
+      (fun dir ->
+        let dune_path = join dir "dune" in
+        if Sys.file_exists (Filename.concat root dune_path) then
+          let text = Source.read_file (Filename.concat root dune_path) in
+          match dune_lib_name text with
+          | Some name -> Some { dir; name; dune_path }
+          | None -> None
+        else None)
+      lib_dirs
+  in
+  let lib_modules lib =
+    list_dir root lib.dir
+    |> List.filter (fun f -> Filename.check_suffix f ".ml")
+    |> List.map (fun f ->
+           let ml_path = join lib.dir f in
+           let mli = ml_path ^ "i" in
+           {
+             owner = Some lib;
+             name = module_name_of_path ml_path;
+             ml_path;
+             mli_path =
+               (if Sys.file_exists (Filename.concat root mli) then Some mli
+                else None);
+             source = Source.load ~root ml_path;
+           })
+  in
+  let bin_modules =
+    list_dir root "bin"
+    |> List.filter (fun f -> Filename.check_suffix f ".ml")
+    |> List.map (fun f ->
+           let ml_path = join "bin" f in
+           {
+             owner = None;
+             name = module_name_of_path ml_path;
+             ml_path;
+             mli_path = None;
+             source = Source.load ~root ml_path;
+           })
+  in
+  let dune_files =
+    List.map (fun lib -> Source.load ~root lib.dune_path) libs
+    @ (if Sys.file_exists (Filename.concat root "bin/dune") then
+         [ Source.load ~root "bin/dune" ]
+       else [])
+  in
+  {
+    root;
+    libs;
+    modules = List.concat_map lib_modules libs @ bin_modules;
+    dune_files;
+  }
+
+(* --- module references --- *)
+
+let exposed_name (lib : lib) = String.capitalize_ascii lib.name
+
+(* A sibling-style reference: the bare module name followed by ['.'],
+   or named by [open]/[include], or aliased ([module X = Name]). *)
+let sibling_ref line name =
+  let rec scan from =
+    let sub = String.sub line from (String.length line - from) in
+    match Source.find_token ~allow_dot_prefix:false sub name with
+    | None -> false
+    | Some j ->
+      let i = from + j in
+      let after = i + String.length name in
+      let dotted = after < String.length line && line.[after] = '.' in
+      let prefix = String.trim (String.sub line 0 i) in
+      let ends_with s suf =
+        let n = String.length s and m = String.length suf in
+        n >= m && String.sub s (n - m) m = suf
+      in
+      if
+        dotted
+        || ends_with prefix "open"
+        || ends_with prefix "include"
+        || ends_with prefix "="
+      then true
+      else if after < String.length line then scan after
+      else false
+  in
+  scan 0
+
+let file_references_module ~same_lib ~opened source (m : module_info) =
+  let lines = Source.masked source in
+  let direct () =
+    Array.exists (fun line -> sibling_ref line m.name) lines
+  in
+  match m.owner with
+  | Some lib when not same_lib ->
+    let qualified = exposed_name lib ^ "." ^ m.name in
+    Array.exists (fun line -> Source.has_token line qualified) lines
+    || (List.mem lib.name opened && direct ())
+  | _ -> direct ()
+
+let opened_libs t source =
+  let lines = Source.masked source in
+  List.filter_map
+    (fun lib ->
+      if
+        Array.exists
+          (fun line -> Source.has_token line ("open " ^ exposed_name lib))
+          lines
+        (* [open Msoc_x] tokenizes as two words; check both in turn *)
+        || Array.exists
+             (fun line ->
+               match Source.find_token line (exposed_name lib) with
+               | None -> false
+               | Some i ->
+                 let prefix = String.trim (String.sub line 0 i) in
+                 let n = String.length prefix in
+                 n >= 4 && String.sub prefix (n - 4) 4 = "open")
+             lines
+      then Some lib.name
+      else None)
+    t.libs
+
+let dependencies t (m : module_info) =
+  let opened = opened_libs t m.source in
+  List.filter
+    (fun (n : module_info) ->
+      n.ml_path <> m.ml_path
+      && n.owner <> None
+      &&
+      let same_lib =
+        match (m.owner, n.owner) with
+        | Some a, Some b -> a.dir = b.dir
+        | _ -> false
+      in
+      file_references_module ~same_lib ~opened m.source n)
+    t.modules
+
+(* --- reachability --- *)
+
+(* [roots] entries are directories ("lib/serve": every module inside)
+   or single files ("lib/util/pool.ml"). The result contains the
+   roots themselves plus every module they transitively reference. *)
+let reachable t ~roots =
+  let is_root (m : module_info) =
+    List.exists
+      (fun r -> m.ml_path = r || String.length m.ml_path > String.length r
+                 && String.sub m.ml_path 0 (String.length r + 1) = r ^ "/")
+      roots
+  in
+  let seen = Hashtbl.create 64 in
+  let rec visit m =
+    if not (Hashtbl.mem seen m.ml_path) then begin
+      Hashtbl.replace seen m.ml_path ();
+      List.iter visit (dependencies t m)
+    end
+  in
+  List.iter (fun m -> if is_root m then visit m) t.modules;
+  List.filter (fun m -> Hashtbl.mem seen m.ml_path) t.modules
+  |> List.map (fun m -> m.ml_path)

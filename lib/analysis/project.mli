@@ -1,0 +1,44 @@
+(** Repository discovery and the module-reference graph.
+
+    A project is the checked-out tree: every [lib/<dir>] owning a
+    [dune] file with a [(name ...)] stanza contributes its [.ml]
+    modules, and [bin/*.ml] executables join the scan without
+    belonging to a library. Edges of the graph are textual module
+    references ([Pool.map], [Msoc_util.Pool], [open]/[include]/alias),
+    computed on masked sources so comments and strings never create an
+    edge. *)
+
+type lib = {
+  dir : string;  (** e.g. ["lib/serve"] *)
+  name : string;  (** dune library name, e.g. ["msoc_serve"] *)
+  dune_path : string;
+}
+
+type module_info = {
+  owner : lib option;  (** [None] for [bin/] executables *)
+  name : string;  (** OCaml module name, e.g. ["Pool"] *)
+  ml_path : string;
+  mli_path : string option;  (** sibling [.mli] when it exists *)
+  source : Source.t;
+}
+
+type t = {
+  root : string;
+  libs : lib list;
+  modules : module_info list;
+  dune_files : Source.t list;  (** every [lib/*/dune] plus [bin/dune] *)
+}
+
+val load : root:string -> t
+(** Scan [root/lib] and [root/bin]. Directories without a dune
+    [(name ...)] stanza are skipped; listing order is sorted, so runs
+    are deterministic. *)
+
+val dependencies : t -> module_info -> module_info list
+(** Library modules this module references (never [bin] modules, never
+    itself). *)
+
+val reachable : t -> roots:string list -> string list
+(** [ml_path]s of every module reachable from the roots (directories
+    like ["lib/serve"] select all their modules; files like
+    ["lib/util/pool.ml"] select one), roots included. *)

@@ -1,0 +1,34 @@
+(* Rendering is delegated to Msoc_check.Diagnostic — one schema for
+   the plan verifier and the source analyzer (code, severity, file,
+   line, message), so CI annotators and scripts parse both with the
+   same code. This module only adds the analyzer's envelope fields. *)
+
+module Diagnostic = Msoc_check.Diagnostic
+module Export = Msoc_testplan.Export
+
+let to_text (r : Engine.report) =
+  let findings = Diagnostic.render_text r.Engine.diagnostics in
+  let suppressed =
+    if r.Engine.suppressed = 0 then ""
+    else
+      Printf.sprintf ", %d suppressed by %s" r.Engine.suppressed
+        (Option.value r.Engine.allowlist_path ~default:"allowlist")
+  in
+  Printf.sprintf "%sanalyze: %s (%d files%s)\n" findings
+    (Diagnostic.summary r.Engine.diagnostics)
+    r.Engine.files_scanned suppressed
+
+let to_json (r : Engine.report) =
+  match Diagnostic.report_json r.Engine.diagnostics with
+  | Export.Object fields ->
+    Export.Object
+      (fields
+      @ [
+          ("files_scanned", Export.Int r.Engine.files_scanned);
+          ("suppressed", Export.Int r.Engine.suppressed);
+          ( "allowlist",
+            match r.Engine.allowlist_path with
+            | Some p -> Export.String p
+            | None -> Export.Null );
+        ])
+  | json -> json

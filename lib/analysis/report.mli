@@ -1,0 +1,16 @@
+(** Renderers for analyzer reports.
+
+    Both renderers delegate the per-finding schema to
+    {!Msoc_check.Diagnostic} — the analyzer and the plan verifier
+    share one diagnostic format by construction — and only add the
+    analyzer's envelope: files scanned, suppression count, allowlist
+    path. *)
+
+val to_text : Engine.report -> string
+(** One [file:line: severity [CODE] message] line per finding plus a
+    trailing ["analyze: <summary> (<n> files...)"] line. *)
+
+val to_json : Engine.report -> Msoc_testplan.Export.json
+(** {!Msoc_check.Diagnostic.report_json} (error/warning counts plus
+    the diagnostics list) extended with [files_scanned], [suppressed]
+    and [allowlist]. *)

@@ -1,0 +1,320 @@
+(* The rule families.
+
+   Concurrency (S1xx): PRs 1-4 made the planner parallel — a Domain
+   pool, per-connection reader threads, a racing portfolio — so
+   module-level mutable state reachable from that code is shared
+   state, and an unpaired Mutex.lock is a deadlock on the first
+   exception. Exception safety (S2xx): a catch-all that drops the
+   exception turns a crash into silent corruption. Hygiene (S3xx):
+   every library module keeps a .mli, every stanza keeps
+   warnings-as-errors, stdout belongs to the CLI.
+
+   All scanning happens on masked sources (Source.mask), so strings
+   and comments never fire a rule. *)
+
+module Diagnostic = Msoc_check.Diagnostic
+module Codes = Msoc_check.Codes
+
+type config = {
+  roots : string list;
+      (* reachability roots for S101: directories or single .ml files *)
+  required_flags : string list;
+      (* substrings every dune stanza must carry (S302) *)
+}
+
+let default_config =
+  {
+    roots = [ "lib/serve"; "lib/search"; "lib/util/pool.ml" ];
+    required_flags = [ "-w +a-4-40-41-42-44-45-70"; "-warn-error +a" ];
+  }
+
+let severity_of code =
+  match Codes.describe code with
+  | Some info -> info.Codes.severity
+  | None -> Diagnostic.Error
+
+let diag ?file ?line code fmt =
+  Diagnostic.makef ?file ?line ~code ~severity:(severity_of code) fmt
+
+let lib_modules (p : Project.t) =
+  List.filter (fun (m : Project.module_info) -> m.Project.owner <> None)
+    p.Project.modules
+
+(* --- S101: module-level mutable state under concurrency --- *)
+
+let mutable_triggers =
+  [ ("ref", false); ("Hashtbl.create", true); ("Buffer.create", true);
+    ("Queue.create", true) ]
+
+let starts_with p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* A structure-level binding of a mutable container: [let name = ref
+   ...] (or Hashtbl/Buffer/Queue.create) at column 0, trigger after
+   the [=]. Function-local bindings are indented or terminated by
+   [in], so they never match. *)
+let toplevel_mutable_binding line =
+  if not (starts_with "let " line) then None
+  else
+    match String.index_opt line '=' with
+    | None -> None
+    | Some eq ->
+      let rhs = String.sub line eq (String.length line - eq) in
+      List.find_map
+        (fun (tok, allow_dot_prefix) ->
+          if Source.has_token ~allow_dot_prefix rhs tok then Some tok else None)
+        mutable_triggers
+
+let rule_concurrent_state config p =
+  let reachable = Project.reachable p ~roots:config.roots in
+  List.concat_map
+    (fun (m : Project.module_info) ->
+      if not (List.mem m.Project.ml_path reachable) then []
+      else
+        let lines = Source.masked m.Project.source in
+        let guarded =
+          Array.exists
+            (fun line ->
+              Source.has_token line "Mutex" || Source.has_token line "Atomic")
+            lines
+        in
+        if guarded then []
+        else
+          Array.to_list
+            (Array.mapi
+               (fun i line ->
+                 match toplevel_mutable_binding line with
+                 | None -> []
+                 | Some tok ->
+                   [
+                     diag ~file:m.Project.ml_path ~line:(i + 1) Codes.s101
+                       "module-level %s in a module reachable from the \
+                        concurrent roots, with no Atomic/Mutex in scope — \
+                        guard it or allowlist the audited exception"
+                       tok;
+                   ])
+               lines)
+          |> List.concat)
+    (lib_modules p)
+
+(* --- S102: Mutex.lock without unlock/Fun.protect pairing --- *)
+
+let rule_lock_pairing (p : Project.t) =
+  List.concat_map
+    (fun (m : Project.module_info) ->
+      let lines = Source.masked m.Project.source in
+      List.filter_map
+        (fun (lo, hi) ->
+          let count tok =
+            let acc = ref 0 in
+            for i = lo to hi do
+              acc := !acc + Source.count_tokens lines.(i) tok
+            done;
+            !acc
+          in
+          let locks = count "Mutex.lock" in
+          let unlocks = count "Mutex.unlock" in
+          let protects = count "Fun.protect" in
+          if locks > 0 && protects = 0 && locks > unlocks then begin
+            let anchor = ref lo in
+            (try
+               for i = lo to hi do
+                 if Source.has_token lines.(i) "Mutex.lock" then begin
+                   anchor := i;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            Some
+              (diag ~file:m.Project.ml_path ~line:(!anchor + 1) Codes.s102
+                 "%d Mutex.lock against %d Mutex.unlock and no Fun.protect \
+                  in this definition — an exception here leaves the mutex \
+                  held"
+                 locks unlocks)
+          end
+          else None)
+        (Source.chunks m.Project.source))
+    p.Project.modules
+
+(* --- S201: catch-all exception handlers --- *)
+
+let skip_ws line i =
+  let n = String.length line in
+  let j = ref i in
+  while !j < n && (line.[!j] = ' ' || line.[!j] = '\t') do
+    incr j
+  done;
+  !j
+
+(* After a [with]/[exception] keyword at column [i+len], does a bare
+   [_ ->] follow (optionally through a ['|'])? *)
+let wildcard_arrow_after line i =
+  let n = String.length line in
+  let j = skip_ws line i in
+  let j = if j < n && line.[j] = '|' then skip_ws line (j + 1) else j in
+  if j < n && line.[j] = '_' then
+    let k = j + 1 in
+    if k < n && Source.is_ident_char line.[k] then false
+    else
+      let k = skip_ws line k in
+      k + 1 < n && line.[k] = '-' && line.[k + 1] = '>'
+  else false
+
+let catch_all_on_line line =
+  let with_catch =
+    match Source.find_token line "with" with
+    | None -> false
+    | Some i ->
+      wildcard_arrow_after line (i + 4)
+      && (Source.has_token line "try"
+         || not (Source.has_token line "match" || Source.has_token line "function"))
+  in
+  let exception_catch =
+    match Source.find_token line "exception" with
+    | None -> false
+    | Some i -> wildcard_arrow_after line (i + 9)
+  in
+  with_catch || exception_catch
+
+let rule_catch_all (p : Project.t) =
+  List.concat_map
+    (fun (m : Project.module_info) ->
+      let lines = Source.masked m.Project.source in
+      Array.to_list
+        (Array.mapi
+           (fun i line ->
+             if catch_all_on_line line then
+               [
+                 diag ~file:m.Project.ml_path ~line:(i + 1) Codes.s201
+                   "catch-all handler drops the exception — match the \
+                    specific exceptions or re-raise";
+               ]
+             else [])
+           lines)
+      |> List.concat)
+    p.Project.modules
+
+(* --- S202/S203/S204: assert false / exit / failwith in libraries --- *)
+
+let token_rule ~code ~tokens ~message (p : Project.t) =
+  List.concat_map
+    (fun (m : Project.module_info) ->
+      let lines = Source.masked m.Project.source in
+      Array.to_list
+        (Array.mapi
+           (fun i line ->
+             List.filter_map
+               (fun tok ->
+                 if Source.has_token line tok then
+                   Some (diag ~file:m.Project.ml_path ~line:(i + 1) code "%s" (message tok))
+                 else None)
+               tokens)
+           lines)
+      |> List.concat)
+    (lib_modules p)
+
+let rule_assert_false p =
+  token_rule ~code:Codes.s202 ~tokens:[ "assert false" ]
+    ~message:(fun _ ->
+      "assert false in library code — prefer a typed error or an \
+       invariant-carrying exception")
+    p
+
+let rule_lib_exit p =
+  token_rule ~code:Codes.s203 ~tokens:[ "exit" ]
+    ~message:(fun _ ->
+      "exit called from library code — only the CLI owns the process")
+    p
+
+let rule_lib_failwith p =
+  token_rule ~code:Codes.s204 ~tokens:[ "failwith" ]
+    ~message:(fun _ ->
+      "failwith in library code — raise a typed exception the caller \
+       can match")
+    p
+
+(* --- S301: every library .ml has a .mli --- *)
+
+let rule_missing_mli (p : Project.t) =
+  List.filter_map
+    (fun (m : Project.module_info) ->
+      if m.Project.mli_path = None then
+        Some
+          (diag ~file:m.Project.ml_path ~line:1 Codes.s301
+             "library module %s has no .mli — every library interface is \
+              explicit"
+             m.Project.name)
+      else None)
+    (lib_modules p)
+
+(* --- S302: dune stanzas keep warnings-as-errors --- *)
+
+let rule_dune_flags config (p : Project.t) =
+  List.concat_map
+    (fun dune ->
+      let text = String.concat "\n" (Array.to_list (Source.raw dune)) in
+      let anchor =
+        let lines = Source.raw dune in
+        let found = ref 1 in
+        (try
+           Array.iteri
+             (fun i line ->
+               if
+                 List.exists
+                   (fun k -> Source.has_token line k)
+                   [ "library"; "executable"; "executables"; "test" ]
+               then begin
+                 found := i + 1;
+                 raise Exit
+               end)
+             lines
+         with Exit -> ());
+        !found
+      in
+      List.filter_map
+        (fun flag ->
+          let contains s sub =
+            let n = String.length s and m = String.length sub in
+            let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+            m > 0 && go 0
+          in
+          if contains text flag then None
+          else
+            Some
+              (diag ~file:(Source.path dune) ~line:anchor Codes.s302
+                 "stanza is missing %S — every build keeps \
+                  warnings-as-errors"
+                 flag))
+        config.required_flags)
+    p.Project.dune_files
+
+(* --- S303: no stdout printing in libraries --- *)
+
+let stdout_tokens =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_char";
+    "print_int"; "print_float"; "print_bytes"; "Printf.printf";
+    "Format.printf"; "Fmt.pr";
+  ]
+
+let rule_stdout_in_lib p =
+  token_rule ~code:Codes.s303 ~tokens:stdout_tokens
+    ~message:(fun tok ->
+      Printf.sprintf
+        "%s writes to stdout from library code — return the rendering and \
+         let the CLI print it"
+        tok)
+    p
+
+(* --- all rules --- *)
+
+let run config p =
+  rule_concurrent_state config p
+  @ rule_lock_pairing p
+  @ rule_catch_all p
+  @ rule_assert_false p
+  @ rule_lib_exit p
+  @ rule_lib_failwith p
+  @ rule_missing_mli p
+  @ rule_dune_flags config p
+  @ rule_stdout_in_lib p

@@ -1,0 +1,25 @@
+(** The rule families of the source-level analyzer.
+
+    Concurrency (S1xx), exception safety (S2xx) and API hygiene
+    (S3xx); severities come from the shared {!Msoc_check.Codes}
+    registry, findings are plain {!Msoc_check.Diagnostic.t} values.
+    Rules scan masked sources only ({!Source.mask}), so comments and
+    string literals can never fire one. *)
+
+type config = {
+  roots : string list;
+      (** Reachability roots for MSOC-S101: directories
+          (["lib/serve"] — every module inside) or single files
+          (["lib/util/pool.ml"]). *)
+  required_flags : string list;
+      (** Substrings every dune stanza must carry (MSOC-S302). *)
+}
+
+val default_config : config
+(** Roots: [lib/serve], [lib/search], [lib/util/pool.ml] — the
+    concurrent subsystems from PRs 1-4. Required flags: the PR 2
+    warnings-as-errors set. *)
+
+val run : config -> Project.t -> Msoc_check.Diagnostic.t list
+(** Every rule over the whole project, unfiltered (the engine applies
+    the allowlist) and unsorted. *)

@@ -31,6 +31,18 @@ let e309 = "MSOC-E309"
 let w301 = "MSOC-W301"
 let w302 = "MSOC-W302"
 let w303 = "MSOC-W303"
+let s101 = "MSOC-S101"
+let s102 = "MSOC-S102"
+let s201 = "MSOC-S201"
+let s202 = "MSOC-S202"
+let s203 = "MSOC-S203"
+let s204 = "MSOC-S204"
+let s301 = "MSOC-S301"
+let s302 = "MSOC-S302"
+let s303 = "MSOC-S303"
+let s401 = "MSOC-S401"
+let s402 = "MSOC-S402"
+let s403 = "MSOC-S403"
 
 type info = { code : string; severity : Diagnostic.severity; title : string }
 
@@ -73,6 +85,20 @@ let all =
     warning w301 "unknown directive (skipped)";
     warning w302 "SocName redeclared";
     warning w303 "SOC declares no cores";
+    error s101
+      "module-level mutable state reachable from concurrent code without \
+       Atomic/Mutex protection";
+    error s102 "Mutex.lock without Fun.protect or Mutex.unlock pairing";
+    error s201 "catch-all exception handler drops the exception";
+    warning s202 "assert false in library code";
+    error s203 "exit called from library code";
+    error s204 "failwith called from library code";
+    error s301 "library module has no .mli interface";
+    error s302 "dune stanza missing the warnings-as-errors flags";
+    error s303 "library code prints to stdout";
+    warning s401 "allowlist entry matched no finding";
+    warning s402 "allowlist entry carries no justification";
+    error s403 "malformed allowlist line";
   ]
 
 let describe code = List.find_opt (fun i -> i.code = code) all

@@ -4,8 +4,10 @@
     the mutation tests assert them, so once published a code keeps its
     meaning forever (retired codes are never reused). Numbering:
     E1xx/W1xx schedule checks, E2xx/W2xx cost cross-checks,
-    E3xx/W3xx [.soc] input lint. The table in DESIGN.md §8 is
-    generated from {!all}. *)
+    E3xx/W3xx [.soc] input lint, S1xx-S4xx source-level static
+    analysis ({!Msoc_analysis}: S1xx concurrency, S2xx exception
+    safety, S3xx API hygiene, S4xx allowlist meta). The tables in
+    DESIGN.md §8 and §11 are generated from {!all}. *)
 
 (* schedule checks *)
 
@@ -78,6 +80,35 @@ val w301 : string  (** unknown directive (skipped) *)
 val w302 : string  (** SocName redeclared *)
 
 val w303 : string  (** SOC declares no cores *)
+
+(* source-level static analysis (Msoc_analysis) *)
+
+val s101 : string
+(** module-level mutable state ([ref]/[Hashtbl.create]/[Buffer.create]/
+    [Queue.create] bound at structure level) in a module reachable from
+    the concurrent roots, with no [Atomic]/[Mutex] in scope *)
+
+val s102 : string  (** [Mutex.lock] without [Fun.protect]/[Mutex.unlock] pairing in the same function *)
+
+val s201 : string  (** [with _ ->] catch-all that drops the exception *)
+
+val s202 : string  (** [assert false] in library (non-test) code *)
+
+val s203 : string  (** [exit] called from library code *)
+
+val s204 : string  (** [failwith] called from library code *)
+
+val s301 : string  (** library [.ml] without a matching [.mli] *)
+
+val s302 : string  (** dune stanza missing the warnings-as-errors flags *)
+
+val s303 : string  (** library code prints to stdout *)
+
+val s401 : string  (** allowlist entry matched no finding (stale) *)
+
+val s402 : string  (** allowlist entry carries no justification *)
+
+val s403 : string  (** malformed allowlist line *)
 
 type info = { code : string; severity : Diagnostic.severity; title : string }
 

@@ -106,9 +106,5 @@ let utilization_table (plan : Plan.t) =
   ^ Printf.sprintf "overall efficiency: %.1f%%\n"
       (100.0 *. Schedule.efficiency schedule)
 
-let print plan =
-  print_string (summary plan);
-  print_newline ();
-  print_string (wrapper_table plan);
-  print_newline ();
-  print_string (schedule_table plan)
+let console plan =
+  String.concat "\n" [ summary plan; wrapper_table plan; schedule_table plan ]

@@ -16,5 +16,7 @@ val utilization_table : Plan.t -> string
 (** Per-wire busy fraction of the winning schedule, plus the overall
     efficiency — where the idle wire-cycles live. *)
 
-val print : Plan.t -> unit
-(** [summary] + [wrapper_table] + [schedule_table] to stdout. *)
+val console : Plan.t -> string
+(** [summary] + [wrapper_table] + [schedule_table], newline-separated
+    — the full console report. The caller prints it; library code
+    never writes to stdout (MSOC-S303). *)

@@ -68,6 +68,8 @@ type outcome = {
   diagnostics : Diagnostic.t list;
 }
 
+exception Verification_failed of string
+
 let run ?pool ?(budget = Budget.unlimited) kind prepared =
   let problem = Evaluate.problem prepared in
   let t0 = Unix.gettimeofday () in
@@ -117,12 +119,13 @@ let run ?pool ?(budget = Budget.unlimited) kind prepared =
       ~reference_makespan:(Evaluate.reference_makespan prepared) best
   in
   if Diagnostic.has_errors diagnostics then
-    failwith
-      (Printf.sprintf
-         "Strategy.run: %s produced a plan that fails verification — %s"
-         (name kind)
-         (String.concat "; "
-            (List.map Diagnostic.to_string (Diagnostic.errors diagnostics))));
+    raise
+      (Verification_failed
+         (Printf.sprintf
+            "Strategy.run: %s produced a plan that fails verification — %s"
+            (name kind)
+            (String.concat "; "
+               (List.map Diagnostic.to_string (Diagnostic.errors diagnostics)))));
   { strategy = kind; best; stats; optimal; members; diagnostics }
 
 let plan_of_outcome prepared outcome =

@@ -53,6 +53,11 @@ type outcome = {
       (** re-verification findings — never contains errors *)
 }
 
+exception Verification_failed of string
+(** A strategy returned a plan the independent checker rejects — a
+    bug in the search engine, never a user condition. The message
+    carries the error-severity diagnostics. *)
+
 val run :
   ?pool:Msoc_util.Pool.t ->
   ?budget:Budget.t ->
@@ -65,8 +70,7 @@ val run :
     ignored by the enumerating strategies (they either fit or refuse).
     @raise Msoc_testplan.Problem.Combination_overflow for
     [Exhaustive]/[Repr] past the enumeration limit.
-    @raise Failure when re-verification finds an error — a bug, not a
-    user condition. *)
+    @raise Verification_failed when re-verification finds an error. *)
 
 val plan_of_outcome :
   Msoc_testplan.Evaluate.prepared -> outcome -> Msoc_testplan.Plan.t

@@ -62,6 +62,7 @@ module Lru = struct
 end
 
 type t = {
+  lock : Mutex.t;
   memory : Lru.t;
   dir : string option;
   mutable memory_hits : int;
@@ -74,6 +75,7 @@ type hit = Memory | Disk
 
 let create ?(memory_capacity = 512) ?dir () =
   {
+    lock = Mutex.create ();
     memory = Lru.create memory_capacity;
     dir;
     memory_hits = 0;
@@ -81,6 +83,15 @@ let create ?(memory_capacity = 512) ?dir () =
     misses = 0;
     disk_writes = 0;
   }
+
+(* Every public operation runs under [t.lock]: the LRU's doubly-linked
+   list and the hit counters are not safe to mutate concurrently, and
+   callers (stress tests, future multi-threaded dispatch) may share one
+   cache across domains. Disk I/O also happens under the lock — entries
+   are small rendered payloads, and correctness beats overlap here. *)
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let dir t = t.dir
 
@@ -135,6 +146,7 @@ let disk_store t key text =
 let find t ~key =
   if not (valid_key key) then None
   else
+    locked t @@ fun () ->
     match Lru.find t.memory key with
     | Some text -> (
       match Export.parse text with
@@ -157,6 +169,7 @@ let find t ~key =
 let store t ~key json =
   if valid_key key then begin
     let text = Export.to_string json in
+    locked t @@ fun () ->
     Lru.insert t.memory key text;
     disk_store t key text
   end
@@ -170,6 +183,7 @@ type stats = {
 }
 
 let stats (t : t) =
+  locked t @@ fun () ->
   {
     memory_hits = t.memory_hits;
     disk_hits = t.disk_hits;

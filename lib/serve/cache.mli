@@ -12,8 +12,9 @@
     leave a torn entry; unreadable or corrupt entries are deleted and
     treated as misses, never propagated as errors.
 
-    Not thread-safe: the serve dispatch model funnels every lookup and
-    store through the single service thread. *)
+    Thread-safe: every operation (lookup, store, stats) runs under an
+    internal mutex, so one cache may be shared across domains — the
+    serve dispatch thread today, a parallel dispatcher tomorrow. *)
 
 type t
 

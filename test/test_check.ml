@@ -48,7 +48,7 @@ let test_codes_registry () =
       checkb (code ^ " well-formed") true
         (String.length code = 9
         && String.sub code 0 5 = "MSOC-"
-        && (code.[5] = 'E' || code.[5] = 'W')))
+        && (code.[5] = 'E' || code.[5] = 'W' || code.[5] = 'S')))
     all;
   checkb "describe finds E101" true (Codes.describe Codes.e101 <> None);
   checkb "describe rejects unknown" true (Codes.describe "MSOC-E999" = None)
