@@ -5,8 +5,8 @@
    Usage: dune exec bench/main.exe [-- section ...]
    Sections: table1 table2 table3 table4 fig2 fig4 fig5 ablation-delta
    ablation-serial ablation-placement ablation-selftest ablation-fixed
-   ablation-power ablation-engine scaling search-scaling serve-throughput
-   timings
+   ablation-power ablation-engine scaling search-scaling packer-matrix
+   serve-throughput timings
    (default: all). *)
 
 let sections =
@@ -31,6 +31,7 @@ let sections =
     ("tradeoff", Ablations.tradeoff);
     ("scaling", Ablations.ablation_scaling);
     ("search-scaling", Search_scaling.run);
+    ("packer-matrix", Packer_matrix.run);
     ("serve-throughput", Serve.run);
     ("timings", Timings.run);
   ]

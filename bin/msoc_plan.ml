@@ -63,6 +63,23 @@ let delta_arg =
   let doc = "Cost_Optimizer pruning threshold (0 = aggressive, paper default)." in
   Arg.(value & opt float 0.0 & info [ "delta" ] ~docv:"DELTA" ~doc)
 
+let packer_arg =
+  let doc =
+    "TAM packing heuristic: 'best_fit' (the default priority-rule portfolio),      'diagonal' (diagonal-length priority, arXiv:1008.4446) or 'constrained'      (placement-exclusion aware, arXiv:1008.4448). Every variant's schedule      is certified against the packing invariants; a non-default choice is      additionally re-verified through $(b,Msoc_check) as if $(b,--verify)      were given."
+  in
+  Arg.(value & opt string "best_fit" & info [ "packer" ] ~docv:"NAME" ~doc)
+
+let resolve_packer name =
+  match Msoc_tam.Packer_registry.find name with
+  | Some p -> p
+  | None ->
+    Fmt.failwith "unknown packer %S (expected one of: %s)" name
+      (String.concat ", " Msoc_tam.Packer_registry.names)
+
+let packer_is_default packer =
+  Msoc_tam.Packer_registry.name packer
+  = Msoc_tam.Packer_registry.name Msoc_tam.Packer_registry.default
+
 let jobs_arg =
   let doc =
     "Worker domains for parallel sharing-combination evaluation. Defaults to \
@@ -128,13 +145,14 @@ let resolve_search search delta =
   | `Heuristic -> Plan.Heuristic { delta }
   | `Exhaustive -> Plan.Exhaustive_search
 
-let run_plan width weight_time soc_file analog_labels search delta jobs
+let run_plan width weight_time soc_file analog_labels search delta packer jobs
     with_schedule with_gantt as_json verify =
   let problem = make_problem ~weight_time ~width soc_file analog_labels in
   let search = resolve_search search delta in
+  let packer = resolve_packer packer in
   let plan =
     Msoc_util.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
-        Plan.run ~search ~pool problem)
+        Plan.run ~search ~pool ~packer problem)
   in
   if as_json then
     print_string (Msoc_testplan.Export.plan_to_string ~pretty:true plan)
@@ -152,7 +170,8 @@ let run_plan width weight_time soc_file analog_labels search delta jobs
         (Msoc_tam.Gantt.render plan.Plan.best.Msoc_testplan.Evaluate.schedule)
     end
   end;
-  if verify then report_verification ~context:"plan --verify" (Msoc_check.Verify.plan plan)
+  if verify || not (packer_is_default packer) then
+    report_verification ~context:"plan --verify" (Msoc_check.Verify.plan plan)
 
 let plan_cmd =
   let doc = "plan a mixed-signal SOC: wrapper sharing + TAM schedule" in
@@ -160,8 +179,8 @@ let plan_cmd =
     (Cmd.info "plan" ~doc)
     Term.(
       const run_plan $ width_arg $ weight_time_arg $ soc_file_arg
-      $ analog_labels_arg $ search_arg $ delta_arg $ jobs_arg $ schedule_flag
-      $ gantt_flag $ json_flag $ verify_flag)
+      $ analog_labels_arg $ search_arg $ delta_arg $ packer_arg $ jobs_arg
+      $ schedule_flag $ gantt_flag $ json_flag $ verify_flag)
 
 (* --- check --- *)
 
@@ -269,8 +288,9 @@ let parse_float_list ~what s =
          | None -> Fmt.failwith "%s: expected a number, got %S" what t)
 
 let run_explore widths weights weight_time soc_file analog_labels search delta
-    jobs verify =
+    packer jobs verify =
   let search = resolve_search search delta in
+  let packer = resolve_packer packer in
   let plans =
     Msoc_util.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
         match weights with
@@ -281,12 +301,12 @@ let run_explore widths weights weight_time soc_file analog_labels search delta
             | [ w ] -> w
             | _ -> Fmt.failwith "--weights sweeps need exactly one --widths value"
           in
-          Msoc_testplan.Explore.weight_sweep ~search ~pool
+          Msoc_testplan.Explore.weight_sweep ~search ~pool ~packer
             ~weights:(parse_float_list ~what:"--weights" weights)
             (fun weight_time -> make_problem ~weight_time ~width soc_file analog_labels)
           |> List.map (fun (w, plan) -> (Printf.sprintf "w_T=%.2f" w, plan))
         | None ->
-          Msoc_testplan.Explore.width_sweep ~search ~pool
+          Msoc_testplan.Explore.width_sweep ~search ~pool ~packer
             ~widths:(parse_int_list ~what:"--widths" widths)
             (fun width -> make_problem ~weight_time ~width soc_file analog_labels)
           |> List.map (fun (w, plan) -> (Printf.sprintf "W=%d" w, plan)))
@@ -319,7 +339,7 @@ let run_explore widths weights weight_time soc_file analog_labels search delta
       plans
   in
   Table.print ~columns ~rows;
-  if verify then
+  if verify || not (packer_is_default packer) then
     report_verification ~context:"explore --verify"
       (List.concat_map (fun (_, plan) -> Msoc_check.Verify.plan plan) plans)
 
@@ -343,8 +363,8 @@ let explore_cmd =
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
       const run_explore $ widths_arg $ weights_arg $ weight_time_arg
-      $ soc_file_arg $ analog_labels_arg $ search_arg $ delta_arg $ jobs_arg
-      $ verify_flag)
+      $ soc_file_arg $ analog_labels_arg $ search_arg $ delta_arg $ packer_arg
+      $ jobs_arg $ verify_flag)
 
 (* --- optimize --- *)
 
@@ -416,6 +436,13 @@ let print_search_stats (stats : Msoc_search.Stats.t) =
   if stats.Msoc_search.Stats.moves > 0 then
     Fmt.pr "anneal: %d moves proposed, %d accepted@."
       stats.Msoc_search.Stats.moves stats.Msoc_search.Stats.accepted_moves;
+  if
+    stats.Msoc_search.Stats.pack_full_rebuilds > 0
+    || stats.Msoc_search.Stats.pack_prefix_reuses > 0
+  then
+    Fmt.pr "packer engine: %d full interval rebuilds, %d placements reused@."
+      stats.Msoc_search.Stats.pack_full_rebuilds
+      stats.Msoc_search.Stats.pack_prefix_reuses;
   Fmt.pr "schedule cache: %d hits, %d misses; wall %.1f ms@."
     stats.Msoc_search.Stats.cache_hits stats.Msoc_search.Stats.cache_misses
     stats.Msoc_search.Stats.wall_ms
@@ -456,7 +483,7 @@ let run_optimize_strategy ~prepared ~jobs ~as_json ~verify ~delta ~seed
     report_verification ~context:"optimize --verify" (Msoc_check.Verify.plan plan)
 
 let run_optimize width weight_time soc_file analog_labels analog_scale delta
-    strategy budget_ms max_evals seed jobs as_json verify =
+    strategy budget_ms max_evals seed packer jobs as_json verify =
   let problem =
     match analog_scale with
     | None -> make_problem ~weight_time ~width soc_file analog_labels
@@ -465,7 +492,9 @@ let run_optimize width weight_time soc_file analog_labels analog_scale delta
         ~analog_cores:(Msoc_testplan.Instances.scaled_analog ~n)
         ~tam_width:width ~weight_time ()
   in
-  let prepared = Evaluate.prepare problem in
+  let packer = resolve_packer packer in
+  let verify = verify || not (packer_is_default packer) in
+  let prepared = Evaluate.prepare ~packer problem in
   let jobs = resolve_jobs jobs in
   match strategy with
   | Some name ->
@@ -549,8 +578,8 @@ let optimize_cmd =
     Term.(
       const run_optimize $ width_arg $ weight_time_arg $ soc_file_arg
       $ analog_labels_arg $ analog_scale_arg $ delta_arg $ strategy_arg
-      $ budget_ms_arg $ max_evals_arg $ seed_arg $ jobs_arg $ json_flag
-      $ verify_flag)
+      $ budget_ms_arg $ max_evals_arg $ seed_arg $ packer_arg $ jobs_arg
+      $ json_flag $ verify_flag)
 
 (* --- soc-info --- *)
 

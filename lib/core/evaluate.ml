@@ -3,14 +3,14 @@ module Sharing = Msoc_analog.Sharing
 module Area = Msoc_analog.Area
 module Bounds = Msoc_analog.Bounds
 module Job = Msoc_tam.Job
-module Packer = Msoc_tam.Packer
+module Registry = Msoc_tam.Packer_registry
 module Schedule = Msoc_tam.Schedule
 
 (* Schedule memo: a packed schedule depends only on the job set —
-   i.e. on the sharing combination (plus the per-[prepared] TAM width
-   and self-test setting) — never on the cost weights, so one cache
-   entry serves every weight point and every optimizer that revisits
-   the combination. Keyed on the canonical partition name
+   i.e. on the sharing combination (plus the per-[prepared] TAM width,
+   packer variant and self-test setting) — never on the cost weights,
+   so one cache entry serves every weight point and every optimizer
+   that revisits the combination. Keyed on the canonical partition name
    ([Sharing.full_name] of the canonicalized groups). *)
 type cache = {
   table : (string, Schedule.t) Hashtbl.t;
@@ -25,6 +25,12 @@ type prepared = {
   digital_jobs : Job.t list;
   reference_makespan : int;
   cache : cache;
+  packer : Registry.packer;
+  (* Serial-path engine: caches per-order packing-state checkpoints so
+     consecutive cache misses (neighboring sharing combinations share
+     long job-list prefixes) replay only order suffixes. NOT shared
+     with pool workers — they run the pure one-shot pack. *)
+  inc : Registry.incremental;
 }
 
 (* Process-wide count of TAM-optimizer invocations ([Packer.pack]
@@ -92,9 +98,18 @@ let jobs_for_groups prepared groups =
 
 let combination_key (combination : Sharing.t) = Sharing.full_name combination
 
+(* Serial path: incremental repack on the prepared engine. *)
 let pack_jobs p jobs =
   Atomic.incr packs;
-  Packer.pack ~width:p.problem.Problem.tam_width jobs
+  Registry.repack p.inc jobs
+
+(* Worker path: a pure (jobs, width) -> schedule function with no
+   shared mutable engine, so pool domains stay race-free; the result
+   is bit-identical to [pack_jobs] (the registry's incremental path
+   packs the same orders with the same tie-break). *)
+let pack_jobs_pure p jobs =
+  Atomic.incr packs;
+  Registry.pack p.packer ~width:p.problem.Problem.tam_width jobs
 
 (* Single-domain cache lookup; the parallel path in [evaluate_many]
    packs on workers but fills the table from the calling domain only,
@@ -111,14 +126,17 @@ let schedule_for p combination =
     Hashtbl.replace p.cache.table key schedule;
     schedule
 
-let prepare (problem : Problem.t) =
+let prepare ?(packer = Registry.default) (problem : Problem.t) =
   let digital_jobs =
     List.map
       (Job.of_core ~max_width:problem.Problem.tam_width)
       problem.Problem.soc.Msoc_itc02.Types.cores
   in
   let cache = { table = Hashtbl.create 64; hits = 0; misses = 0 } in
-  let provisional = { problem; digital_jobs; reference_makespan = 0; cache } in
+  let inc = Registry.incremental ~width:problem.Problem.tam_width packer in
+  let provisional =
+    { problem; digital_jobs; reference_makespan = 0; cache; packer; inc }
+  in
   let full = Sharing.full_sharing problem.Problem.analog_cores in
   (* Seeding through [schedule_for] leaves the full-sharing schedule
      in the cache: when full sharing is also a candidate combination
@@ -139,6 +157,8 @@ let cache_stats p =
   }
 
 let problem p = p.problem
+
+let packer_name p = Registry.name p.packer
 
 let reference_makespan p = p.reference_makespan
 
@@ -204,7 +224,7 @@ let evaluate_many ?pool p combinations =
     in
     let schedules =
       Msoc_util.Pool.map pool
-        (fun c -> pack_jobs p (jobs_for_groups p c.Sharing.groups))
+        (fun c -> pack_jobs_pure p (jobs_for_groups p c.Sharing.groups))
         missing
     in
     List.iter2

@@ -16,10 +16,15 @@ type prepared
     weight sweeps revisiting a combination only recompute the cheap
     weighted cost. *)
 
-val prepare : Problem.t -> prepared
+val prepare : ?packer:Msoc_tam.Packer_registry.packer -> Problem.t -> prepared
 (** Runs [Design_wrapper] on every digital core and packs the
     full-sharing configuration to obtain the [C_T] normalization
-    base (the reference schedule seeds the cache). *)
+    base (the reference schedule seeds the cache). [packer] (default
+    {!Msoc_tam.Packer_registry.default}, i.e. [best_fit]) selects the
+    packing heuristic used for every schedule of this [prepared]; on
+    the serial path schedules come from the registry's incremental
+    repack engine, on the pool path from the pure certified pack —
+    bit-identical either way. *)
 
 val reweight : prepared -> Problem.t -> prepared
 (** [reweight p problem] is [p] retargeted at [problem], sharing [p]'s
@@ -36,12 +41,16 @@ type cache_stats = { hits : int; misses : int; entries : int }
 val cache_stats : prepared -> cache_stats
 
 val total_packs : unit -> int
-(** Process-wide monotone count of TAM-optimizer ([Packer.pack]) runs
-    issued by this module, across all [prepared] values and pool
-    workers. Read the delta around a search to measure how much work
-    the cache avoided. *)
+(** Process-wide monotone count of TAM-optimizer runs (incremental
+    repacks and one-shot packs) issued by this module, across all
+    [prepared] values and pool workers. Read the delta around a
+    search to measure how much work the cache avoided. *)
 
 val problem : prepared -> Problem.t
+
+val packer_name : prepared -> string
+(** Registry name of the packing heuristic this [prepared] packs
+    with ([best_fit] unless {!prepare} was given another). *)
 
 val reference_makespan : prepared -> int
 (** Makespan with all analog cores on one wrapper. *)

@@ -5,16 +5,16 @@
    time). Both mean "this point does not meet the constraints", never
    "crash the sweep": minimal_width's binary search in particular
    probes widths well below feasibility on purpose. *)
-let plan_at ?search ?pool problem_of_axis axis =
-  match Plan.run ?search ?pool (problem_of_axis axis) with
+let plan_at ?search ?pool ?packer problem_of_axis axis =
+  match Plan.run ?search ?pool ?packer (problem_of_axis axis) with
   | plan -> Some plan
   | exception (Invalid_argument _ | Msoc_tam.Packer.Infeasible _) -> None
 
-let minimal_width ?search ?pool ?(lo = 4) ?(hi = 128) ~budget_cycles problem_of_width =
+let minimal_width ?search ?pool ?packer ?(lo = 4) ?(hi = 128) ~budget_cycles problem_of_width =
   if lo < 1 || hi < lo then invalid_arg "Explore.minimal_width: need 1 <= lo <= hi";
   if budget_cycles < 1 then invalid_arg "Explore.minimal_width: budget must be positive";
   let meets width =
-    match plan_at ?search ?pool problem_of_width width with
+    match plan_at ?search ?pool ?packer problem_of_width width with
     | Some plan when Plan.makespan plan <= budget_cycles -> Some plan
     | Some _ | None -> None
   in
@@ -34,7 +34,7 @@ let minimal_width ?search ?pool ?(lo = 4) ?(hi = 128) ~budget_cycles problem_of_
     in
     bisect lo (hi - 1) (Some (hi, hi_plan))
 
-let weight_sweep ?search ?pool ~weights problem_of_weight =
+let weight_sweep ?search ?pool ?packer ~weights problem_of_weight =
   (* A packed schedule depends only on the sharing groups and the
      problem structure, never on (w_T, w_A) — so consecutive weight
      points whose problems differ only in the weights share one
@@ -48,7 +48,7 @@ let weight_sweep ?search ?pool ~weights problem_of_weight =
     | Some p when Problem.same_structure (Evaluate.problem p) problem ->
       Some (Evaluate.reweight p problem)
     | _ -> (
-      match Evaluate.prepare problem with
+      match Evaluate.prepare ?packer problem with
       | p ->
         shared := Some p;
         Some p
@@ -67,8 +67,10 @@ let weight_sweep ?search ?pool ~weights problem_of_weight =
   in
   List.filter_map (fun w -> Option.map (fun plan -> (w, plan)) (plan w)) weights
 
-let width_sweep ?search ?pool ~widths problem_of_width =
+let width_sweep ?search ?pool ?packer ~widths problem_of_width =
   List.filter_map
     (fun w ->
-      Option.map (fun plan -> (w, plan)) (plan_at ?search ?pool problem_of_width w))
+      Option.map
+        (fun plan -> (w, plan))
+        (plan_at ?search ?pool ?packer problem_of_width w))
     widths

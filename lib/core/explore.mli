@@ -13,11 +13,14 @@
 
     All helpers accept an optional {!Msoc_util.Pool.t}; combinations
     are then packed on the worker domains with bit-identical results
-    (see {!Evaluate.evaluate_many}). *)
+    (see {!Evaluate.evaluate_many}). They also accept an optional
+    [?packer] (a {!Msoc_tam.Packer_registry} variant, default
+    [best_fit]) forwarded to every planner run of the sweep. *)
 
 val minimal_width :
   ?search:Plan.search ->
   ?pool:Msoc_util.Pool.t ->
+  ?packer:Msoc_tam.Packer_registry.packer ->
   ?lo:int ->
   ?hi:int ->
   budget_cycles:int ->
@@ -37,6 +40,7 @@ val minimal_width :
 val weight_sweep :
   ?search:Plan.search ->
   ?pool:Msoc_util.Pool.t ->
+  ?packer:Msoc_tam.Packer_registry.packer ->
   weights:float list ->
   (float -> Problem.t) ->
   (float * Plan.t) list
@@ -50,6 +54,7 @@ val weight_sweep :
 val width_sweep :
   ?search:Plan.search ->
   ?pool:Msoc_util.Pool.t ->
+  ?packer:Msoc_tam.Packer_registry.packer ->
   widths:int list ->
   (int -> Problem.t) ->
   (int * Plan.t) list

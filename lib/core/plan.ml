@@ -28,7 +28,8 @@ let run_prepared ?(search = Heuristic { delta = 0.0 }) ?pool prepared =
     reference_makespan = Evaluate.reference_makespan prepared;
   }
 
-let run ?search ?pool problem = run_prepared ?search ?pool (Evaluate.prepare problem)
+let run ?search ?pool ?packer problem =
+  run_prepared ?search ?pool (Evaluate.prepare ?packer problem)
 
 let makespan t = t.best.Evaluate.makespan
 

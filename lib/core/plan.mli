@@ -19,11 +19,19 @@ type t = {
   reference_makespan : int;  (** full-sharing makespan (C_T base) *)
 }
 
-val run : ?search:search -> ?pool:Msoc_util.Pool.t -> Problem.t -> t
+val run :
+  ?search:search ->
+  ?pool:Msoc_util.Pool.t ->
+  ?packer:Msoc_tam.Packer_registry.packer ->
+  Problem.t ->
+  t
 (** Default search: [Heuristic { delta = 0. }]. With [pool],
     independent combinations are packed on the worker domains; the
     plan is bit-identical to the serial one (same best cost, same
-    tie-breaking — see {!Evaluate.evaluate_many}). *)
+    tie-breaking — see {!Evaluate.evaluate_many}). [packer] selects
+    the packing heuristic (default [best_fit] — see
+    {!Msoc_tam.Packer_registry}); every schedule the plan commits to
+    is certified by the registry regardless of variant. *)
 
 val run_prepared : ?search:search -> ?pool:Msoc_util.Pool.t -> Evaluate.prepared -> t
 (** Same, reusing an existing {!Evaluate.prepare} result and its

@@ -12,6 +12,11 @@ let run ?(budget = Budget.unlimited) ?(seed = 1) ?iterations ?(top_k = 8)
     prepared =
   let t0 = Unix.gettimeofday () in
   let cache0 = Evaluate.cache_stats prepared in
+  (* The prepared evaluator packs cache misses through the registry's
+     incremental engine; record the process-wide rebuild/reuse deltas
+     so the outcome shows how much interval-state work the engine
+     skipped across this run's evaluations. *)
+  let repack0 = Msoc_tam.Packer.repack_totals () in
   let problem = Evaluate.problem prepared in
   let policy = problem.Problem.policy in
   let model = problem.Problem.area_model in
@@ -259,6 +264,7 @@ let run ?(budget = Budget.unlimited) ?(seed = 1) ?iterations ?(top_k = 8)
     match !best with Some e -> e | None -> assert false
   in
   let cache1 = Evaluate.cache_stats prepared in
+  let repack1 = Msoc_tam.Packer.repack_totals () in
   let stats =
     {
       Stats.zero with
@@ -268,6 +274,11 @@ let run ?(budget = Budget.unlimited) ?(seed = 1) ?iterations ?(top_k = 8)
       accepted_moves = !accepted;
       cache_hits = cache1.Evaluate.hits - cache0.Evaluate.hits;
       cache_misses = cache1.Evaluate.misses - cache0.Evaluate.misses;
+      pack_full_rebuilds =
+        repack1.Msoc_tam.Packer.full_rebuilds
+        - repack0.Msoc_tam.Packer.full_rebuilds;
+      pack_prefix_reuses =
+        repack1.Msoc_tam.Packer.jobs_reused - repack0.Msoc_tam.Packer.jobs_reused;
       wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
       incumbent_trace = List.rev !trace;
     }

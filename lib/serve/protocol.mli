@@ -13,6 +13,14 @@
     <- {"v":1,"id":"r1","status":"ok","cached":"memory","elapsed_ms":0.2,"result":{...}}
     v}
 
+    The [plan], [optimize] and [explore] ops additionally accept a
+    ["packer"] param naming a registered packing heuristic
+    ({!Msoc_tam.Packer_registry.names}: [best_fit], [diagonal],
+    [constrained]); omitted means [best_fit] with byte-identical
+    legacy cache keys, an unknown name is a [bad_request], and
+    non-default variants are re-verified through [Msoc_check] before
+    the result is served.
+
     Malformed lines never kill a connection: they produce a
     [bad_request] response with an empty [id]. *)
 

@@ -10,6 +10,7 @@ module Catalog = Msoc_analog.Catalog
 module Pool = Msoc_util.Pool
 module Strategy = Msoc_search.Strategy
 module Budget = Msoc_search.Budget
+module Registry = Msoc_tam.Packer_registry
 
 (* Small LRU of prepared structures: key = Fingerprint.structure_hex.
    8 resident SOC structures cover any realistic sweep workload while
@@ -121,6 +122,65 @@ let problem_of_params ?width params =
   Problem.make ~soc:(load_soc params) ~analog_cores:(analog_cores params)
     ~tam_width:width ~weight_time ()
 
+(* [packer] selects a registered packing heuristic; absent means the
+   default ([best_fit]) with byte-identical legacy cache keys. *)
+let packer_of_params params =
+  match string_param "packer" params with
+  | None -> None
+  | Some name -> (
+    match Registry.find name with
+    | Some p -> Some p
+    | None ->
+      badf "unknown packer %S (expected one of: %s)" name
+        (String.concat ", " Registry.names))
+
+(* Non-default variants join the request fingerprint so their results
+   never answer (or are answered by) a best_fit request; the default —
+   named or omitted — keeps the legacy key. *)
+let packer_extra packer =
+  match packer with
+  | Some p when Registry.name p <> Registry.name Registry.default ->
+    Some (Export.Object [ ("packer", Export.String (Registry.name p)) ])
+  | Some _ | None -> None
+
+let merge_extra packer_extra strategy_extra =
+  match (packer_extra, strategy_extra) with
+  | None, json -> json
+  | Some json, None -> Some json
+  | Some (Export.Object pf), Some (Export.Object sf) ->
+    Some (Export.Object (sf @ pf))
+  | Some _, Some json -> Some json
+
+(* Defense in depth for the non-default heuristics: beyond the
+   registry's own certification, re-verify the served plan through the
+   independent Msoc_check pass (re-derived job set + cost
+   cross-checks). A finding here is a packer bug, reported as a server
+   error rather than silently served. *)
+exception Verification_failed of string
+
+let verify_plan ~packer plan =
+  match packer with
+  | None -> ()
+  | Some p ->
+    if Registry.name p <> Registry.name Registry.default then begin
+      let diags = Msoc_check.Verify.plan plan in
+      if Msoc_check.Diagnostic.has_errors diags then
+        raise
+          (Verification_failed
+             (Printf.sprintf "packer %s failed verification: %s"
+                (Registry.name p)
+                (String.concat "; "
+                   (List.map
+                      (fun (d : Msoc_check.Diagnostic.t) ->
+                        Printf.sprintf "[%s] %s" d.Msoc_check.Diagnostic.code
+                          d.Msoc_check.Diagnostic.message)
+                      (List.filter
+                         (fun (d : Msoc_check.Diagnostic.t) ->
+                           d.Msoc_check.Diagnostic.severity
+                           = Msoc_check.Diagnostic.Error)
+                         diags)))))
+    end
+
 let search_of_params params =
   let delta = float_param ~default:0.0 "delta" params in
   match string_param "search" params with
@@ -130,15 +190,21 @@ let search_of_params params =
 
 (* --- prepared-structure reuse --- *)
 
-let prepared_for t problem =
-  let skey = Fingerprint.structure_hex problem in
+let prepared_for t ?packer problem =
+  (* The schedule memo depends on the packing heuristic, so each
+     variant gets its own resident prepared structure. *)
+  let skey =
+    Fingerprint.structure_hex problem
+    ^ "#"
+    ^ Registry.name (Option.value packer ~default:Registry.default)
+  in
   match Hashtbl.find_opt t.prepared skey with
   | Some prepared when Problem.same_structure (Evaluate.problem prepared) problem ->
     t.prepared_order <-
       skey :: List.filter (fun k -> k <> skey) t.prepared_order;
     Evaluate.reweight prepared problem
   | _ ->
-    let prepared = Evaluate.prepare problem in
+    let prepared = Evaluate.prepare ?packer problem in
     Hashtbl.replace t.prepared skey prepared;
     t.prepared_order <-
       skey :: List.filter (fun k -> k <> skey) t.prepared_order;
@@ -161,12 +227,16 @@ let plan_of_result problem (result : Cost_optimizer.result) ~reference_makespan 
     reference_makespan;
   }
 
-let compute_plan t ~search problem =
-  let prepared = prepared_for t problem in
-  Export.plan_json (Plan.run_prepared ~search ~pool:t.pool prepared)
+let compute_plan t ~search ?packer problem =
+  let prepared = prepared_for t ?packer problem in
+  let plan = Plan.run_prepared ~search ~pool:t.pool prepared in
+  verify_plan ~packer plan;
+  Export.plan_json plan
 
-let compute_optimize_strategy t ~kind ~budget problem =
-  let prepared = prepared_for t problem in
+let compute_optimize_strategy t ~kind ~budget ?packer problem =
+  (* Strategy.run already re-verifies every outcome through Msoc_check
+     (raising on findings), for every packer variant. *)
+  let prepared = prepared_for t ?packer problem in
   let outcome = Strategy.run ~pool:t.pool ~budget kind prepared in
   let plan = Strategy.plan_of_outcome prepared outcome in
   Export.Object
@@ -175,13 +245,14 @@ let compute_optimize_strategy t ~kind ~budget problem =
       ("search", Strategy.outcome_json outcome);
     ]
 
-let compute_optimize t ~delta problem =
-  let prepared = prepared_for t problem in
+let compute_optimize t ~delta ?packer problem =
+  let prepared = prepared_for t ?packer problem in
   let result = Cost_optimizer.run ~delta ~pool:t.pool prepared in
   let plan =
     plan_of_result problem result
       ~reference_makespan:(Evaluate.reference_makespan prepared)
   in
+  verify_plan ~packer plan;
   Export.Object
     [
       ("plan", Export.plan_json plan);
@@ -206,7 +277,7 @@ let explore_point_json label (plan : Plan.t) =
       ("evaluations", Export.Int plan.Plan.evaluations);
     ]
 
-let compute_explore t ~search params =
+let compute_explore t ~search ?packer params =
   let widths =
     Option.map (List.map int_of_float) (number_list_param "widths" params)
   in
@@ -216,13 +287,13 @@ let compute_explore t ~search params =
     | Some _, Some _ -> badf "give either \"widths\" or \"weights\", not both"
     | None, None -> badf "explore needs \"widths\" or \"weights\""
     | Some widths, None ->
-      Explore.width_sweep ~search ~pool:t.pool ~widths (fun width ->
+      Explore.width_sweep ~search ~pool:t.pool ?packer ~widths (fun width ->
           problem_of_params ~width params)
       |> List.map (fun (w, plan) ->
              explore_point_json (Printf.sprintf "W=%d" w) plan)
     | None, Some weights ->
       let width = int_param ~default:32 "width" params in
-      Explore.weight_sweep ~search ~pool:t.pool ~weights
+      Explore.weight_sweep ~search ~pool:t.pool ?packer ~weights
         (fun weight_time ->
           let soc = load_soc params in
           Problem.make ~soc ~analog_cores:(analog_cores params)
@@ -294,20 +365,27 @@ let handle ?admitted_at t (req : Protocol.request) =
           (Export.Object [ ("draining", Export.Bool true) ], None)
         | Protocol.Plan ->
           let search = search_of_params req.Protocol.params in
+          let packer = packer_of_params req.Protocol.params in
           let problem = problem_of_params req.Protocol.params in
-          cached_compute t ~op_name:"plan" ~search
-            ~compute:(compute_plan t ~search) problem
+          cached_compute ?extra:(packer_extra packer) t ~op_name:"plan"
+            ~search
+            ~compute:(compute_plan t ~search ?packer)
+            problem
         | Protocol.Optimize -> (
           let params = req.Protocol.params in
           let delta = float_param ~default:0.0 "delta" params in
           let search = Plan.Heuristic { delta } in
+          let packer = packer_of_params params in
           let problem = problem_of_params params in
           match string_param "strategy" params with
           | None ->
             (* Legacy request shape: same computation, same cache key
                as before the strategy field existed. *)
-            cached_compute t ~op_name:"optimize" ~search
-              ~compute:(compute_optimize t ~delta) problem
+            cached_compute
+              ?extra:(packer_extra packer)
+              t ~op_name:"optimize" ~search
+              ~compute:(compute_optimize t ~delta ?packer)
+              problem
           | Some name ->
             let seed = int_param ~default:1 "seed" params in
             let max_evals =
@@ -348,16 +426,23 @@ let handle ?admitted_at t (req : Protocol.request) =
                 Export.Object (fields @ [ ("deadline_ms", Export.Float ms) ])
               | json, _ -> json
             in
+            let extra =
+              match merge_extra (packer_extra packer) (Some extra) with
+              | Some json -> json
+              | None -> extra
+            in
             let budget =
               Budget.make ?max_evals
                 ?time_limit_s:(Option.map (fun ms -> ms /. 1000.0) budget_ms)
                 ?deadline ()
             in
             cached_compute ~extra t ~op_name:"optimize" ~search
-              ~compute:(compute_optimize_strategy t ~kind ~budget) problem)
+              ~compute:(compute_optimize_strategy t ~kind ~budget ?packer)
+              problem)
         | Protocol.Explore ->
           let search = search_of_params req.Protocol.params in
-          (compute_explore t ~search req.Protocol.params, None)
+          let packer = packer_of_params req.Protocol.params in
+          (compute_explore t ~search ?packer req.Protocol.params, None)
       with
       | result, cached ->
         if expired () then

@@ -6,7 +6,9 @@
     requests over one SOC share wrapper designs and the schedule memo
     cache via {!Msoc_testplan.Evaluate.reweight}), and the two-level
     result {!Cache} keyed by canonical problem hashes
-    ({!Msoc_testplan.Fingerprint.request_hex}).
+    ({!Msoc_testplan.Fingerprint.request_hex}; a non-default ["packer"]
+    param joins the key via [?extra], and selects its own resident
+    prepared structure).
 
     {!handle} must be called from a single thread (the transport's
     dispatch thread): the evaluation caches are deliberately

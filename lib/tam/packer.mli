@@ -15,22 +15,91 @@
     priority rules are tried, the best schedule wins); per job, every
     staircase point is tried against the exact per-wire idle intervals
     and the placement finishing earliest wins (ties to fewer wires).
-    Gap-aware: freed wire intervals remain usable by later jobs. *)
+    Gap-aware: freed wire intervals remain usable by later jobs.
+
+    This module is one packing {e heuristic} plus the shared
+    machinery; alternative priority heuristics plug in through
+    {!pack_with_orders} and are registered in {!Packer_registry}. *)
 
 exception Infeasible of string
 (** Raised when a job's minimum width exceeds the TAM width, a job's
-    power alone exceeds the budget, or precedences form a cycle /
-    reference unknown labels. Over-wide jobs are never clipped: a job
-    whose narrowest Pareto point needs more wires than the TAM has is
-    always rejected (with the offending label in the message), on
-    every entry point including the internal repacks of {!anneal} and
-    {!pack_optimized}. *)
+    power alone exceeds the budget, two jobs carry the same label, or
+    precedences form a cycle / reference unknown labels. Over-wide
+    jobs are never clipped: a job whose narrowest Pareto point needs
+    more wires than the TAM has is always rejected (with the offending
+    label in the message), on every entry point including the internal
+    repacks of {!anneal} and {!pack_optimized}. *)
+
+(** Sorted, disjoint busy intervals [[start, finish)], one entry per
+    maximal busy stretch: {!Intervals.add} merges touching neighbours
+    on insert, keeping the candidate-start lists the placement scan
+    derives from interval ends proportional to the number of idle
+    gaps. Exposed for tests. *)
+module Intervals : sig
+  type t
+
+  val empty : t
+
+  val add : t -> start:int -> finish:int -> t
+  (** Precondition (maintained by the packer, unchecked here): the new
+      window overlaps no existing entry — it may touch one on either
+      side, in which case the stretches coalesce. *)
+
+  val free_during : t -> start:int -> finish:int -> bool
+
+  val ends_after : t -> time:int -> int list
+  (** Finish times [>= time] of the recorded stretches. *)
+
+  val to_list : t -> (int * int) list
+  (** The maximal busy stretches, sorted, pairwise disjoint and never
+      touching. *)
+end
+
+val respect_precedences : Job.t list -> Job.t list
+(** Stable topological reorder: predecessors before dependents, the
+    priority order otherwise preserved (at every step the ready job
+    earliest in the input order is emitted — Kahn with a min-index
+    ready set, O(n + e)).
+    @raise Infeasible on duplicate labels, precedence cycles or
+    unknown predecessor labels. *)
+
+val group_urgency : Job.t list -> Job.t -> int
+(** Priority key used by the default heuristic: a job bound to an
+    exclusion group inherits the group's total serial minimum time
+    (the group packs like one long serial job), a free job its own
+    minimum time. *)
+
+val priority_orders : Job.t list -> Job.t list list
+(** The default heuristic's priority rules — group-aware longest
+    first, largest area first, widest first — as plain sorts of the
+    input. Precedences are {e not} yet applied; {!pack_with_orders}
+    does that per order. *)
+
+val pack_with_orders :
+  ?power_budget:int ->
+  width:int ->
+  orders:(Job.t list -> Job.t list list) ->
+  Job.t list ->
+  Schedule.t
+(** Generic entry point behind every packer variant: validate the
+    strip and the jobs, pack each priority order [orders jobs] (after
+    {!respect_precedences}) and keep the first schedule with the
+    smallest makespan. [pack = pack_with_orders ~orders:priority_orders].
+    @raise Infeasible as described above.
+    @raise Invalid_argument if [width <= 0], [power_budget <= 0], or
+    [orders] returns no order. *)
 
 val pack : ?power_budget:int -> width:int -> Job.t list -> Schedule.t
 (** [pack ~width jobs] returns a feasible schedule ({!Schedule.check}
     returns [[]]).
     @raise Infeasible as described above.
     @raise Invalid_argument if [width <= 0] or [power_budget <= 0]. *)
+
+val promotion_order : front:string list -> Job.t list -> Job.t list
+(** The priority order {!pack_optimized} repacks with: jobs whose
+    labels appear in [front] first — [front] is newest-promotion-first
+    and the newest promoted label leads the order — then the remaining
+    jobs by the default urgency rule. Exposed for tests. *)
 
 val pack_optimized :
   ?power_budget:int -> ?rounds:int -> width:int -> Job.t list -> Schedule.t
@@ -54,7 +123,53 @@ val anneal :
     deterministic for a given [seed], default 1). Returns the best
     schedule seen — never worse than {!pack_optimized}. Use for final
     sign-off schedules where seconds of CPU buy cycles of test time;
-    the optimizers use the fast packer. *)
+    the optimizers use the fast packer. Internally runs on the
+    incremental engine below, so a transposition replays only the
+    order suffix it invalidated. *)
+
+(** {2 Incremental repacking}
+
+    An engine caches the last packed order with one packing-state
+    checkpoint per position; {!repack_with_order} replays only the
+    suffix after the longest common prefix with the cached order and
+    returns a schedule bit-identical to
+    [pack_in_order (respect_precedences jobs)] from scratch. Both
+    {!anneal}'s transpositions and the search-layer evaluators sit on
+    this API. *)
+
+type prepared
+(** A reusable incremental-packing state for one fixed strip
+    ([width], [power_budget]). Mutable and NOT thread-safe: use one
+    engine per domain (pool workers keep the pure {!pack} path). *)
+
+val prepare : ?power_budget:int -> width:int -> unit -> prepared
+(** @raise Invalid_argument if [width <= 0] or [power_budget <= 0]. *)
+
+val repack_with_order : prepared -> Job.t list -> Schedule.t
+(** [repack_with_order e jobs] packs [jobs] in the given priority
+    order (after {!respect_precedences}) on [e]'s strip, reusing the
+    cached placements of the longest common prefix with the previous
+    call.
+    @raise Infeasible exactly as {!pack} would on the same jobs. *)
+
+type repack_stats = {
+  repacks : int;  (** {!repack_with_order} calls *)
+  full_rebuilds : int;
+      (** packs that built the interval state from scratch: every
+          one-shot [pack] order, plus repacks with an empty common
+          prefix *)
+  jobs_reused : int;  (** placements served from cached checkpoints *)
+  jobs_placed : int;  (** placements actually (re)computed *)
+}
+
+val repack_stats : prepared -> repack_stats
+(** This engine's counters since {!prepare}. *)
+
+val repack_totals : unit -> repack_stats
+(** Process-wide monotone totals across all engines {e and} one-shot
+    packs (maintained atomically). Benches read the delta around an
+    optimization to show how many full interval-state rebuilds the
+    incremental engine avoided. *)
 
 val lower_bound : ?power_budget:int -> width:int -> Job.t list -> int
 (** Max of the classic bounds: total-area / width, the largest

@@ -1,0 +1,108 @@
+module Best_fit : Packer_intf.S = struct
+  let name = "best_fit"
+  let orders = Packer.priority_orders
+  let pack = Packer.pack
+  let lower_bound = Packer.lower_bound
+end
+
+module Diagonal : Packer_intf.S = Packer_diagonal
+module Constrained : Packer_intf.S = Packer_constrained
+
+type packer = (module Packer_intf.S)
+
+(* A fixed, immutable registry: variants are compiled in, so lookup
+   needs no locking and the set of valid [--packer] spellings is
+   stable for CLI docs, protocol validation and cache keys. *)
+let all : packer list = [ (module Best_fit); (module Diagonal); (module Constrained) ]
+
+let default : packer = (module Best_fit)
+
+let name (module P : Packer_intf.S) = P.name
+
+let names = List.map name all
+
+let find key =
+  let key = String.lowercase_ascii (String.trim key) in
+  List.find_opt (fun (module P : Packer_intf.S) -> P.name = key) all
+
+(* Certification: whatever heuristic produced the schedule, it must
+   pass the full invariant check and place exactly the requested jobs
+   before it is handed to any caller. (The independent Msoc_check
+   verifier re-checks again at the search/CLI/serve layers; this
+   guard lives below that dependency boundary so even direct library
+   users of a variant get a certified schedule.) *)
+let certify ~packer ~jobs schedule =
+  (match Schedule.check schedule with
+  | [] -> ()
+  | v :: _ ->
+    raise
+      (Packer.Infeasible
+         (Format.asprintf "packer %s produced an invalid schedule: %a" packer
+            Schedule.pp_violation v)));
+  let labels l = List.sort compare l in
+  let placed =
+    labels
+      (List.map
+         (fun (p : Schedule.placement) -> p.Schedule.job.Job.label)
+         schedule.Schedule.placements)
+  in
+  let wanted = labels (List.map (fun (j : Job.t) -> j.Job.label) jobs) in
+  if placed <> wanted then
+    raise
+      (Packer.Infeasible
+         (Printf.sprintf "packer %s lost or duplicated jobs in its schedule"
+            packer));
+  schedule
+
+let pack (module P : Packer_intf.S) ?power_budget ~width jobs =
+  certify ~packer:P.name ~jobs (P.pack ?power_budget ~width jobs)
+
+let lower_bound (module P : Packer_intf.S) ?power_budget ~width jobs =
+  P.lower_bound ?power_budget ~width jobs
+
+(* --- incremental path ------------------------------------------------ *)
+
+(* One {!Packer.prepare} engine per priority-order index: order [i] of
+   consecutive [repack] calls diffs against order [i] of the previous
+   call, which is where the common prefixes live (a search move
+   perturbs the job set slightly, leaving each rule's sorted prefix
+   largely intact). *)
+type incremental = {
+  packer : packer;
+  width : int;
+  power_budget : int option;
+  mutable engines : Packer.prepared list;
+}
+
+let incremental ?power_budget ~width packer =
+  (* Validate the strip eagerly, exactly like [Packer.prepare]. *)
+  let first = Packer.prepare ?power_budget ~width () in
+  { packer; width; power_budget; engines = [ first ] }
+
+let repack inc jobs =
+  let (module P) = inc.packer in
+  let orders = P.orders jobs in
+  let needed = List.length orders in
+  let have = List.length inc.engines in
+  if have < needed then
+    inc.engines <-
+      inc.engines
+      @ List.init (needed - have) (fun _ ->
+            Packer.prepare ?power_budget:inc.power_budget ~width:inc.width ());
+  let engines = List.filteri (fun i _ -> i < needed) inc.engines in
+  let schedules = List.map2 Packer.repack_with_order engines orders in
+  match schedules with
+  | [] ->
+    invalid_arg
+      (Printf.sprintf "Packer_registry.repack: packer %s produced no priority order"
+         P.name)
+  | s :: rest ->
+    let best =
+      List.fold_left
+        (fun best s ->
+          if Schedule.makespan s < Schedule.makespan best then s else best)
+        s rest
+    in
+    certify ~packer:P.name ~jobs best
+
+let incremental_packer inc = inc.packer

@@ -1,0 +1,68 @@
+(** Registry of the compiled-in packer heuristics.
+
+    Three variants today (see DESIGN.md §12 for the heuristics table):
+
+    - [best_fit] — {!Packer.pack}'s portfolio of group-urgency /
+      area / width priority rules (the default);
+    - [diagonal] — diagonal-length priority (arXiv:1008.4446) over
+      each job's most compact operating point, group-aware;
+    - [constrained] — placement-exclusion aware (arXiv:1008.4448):
+      jobs with the most conflict / exclusion / precedence relations
+      place first.
+
+    [diagonal] and [constrained] extend the [best_fit] portfolio with
+    their specialty orders, so a registered variant's verified
+    makespan is never worse than [best_fit] on any instance — the
+    packer-matrix bench gates on exactly that invariant.
+
+    Every schedule returned through {!pack} or {!repack} is certified
+    against {!Schedule.check} and checked to place exactly the
+    requested jobs before it reaches the caller. *)
+
+module Best_fit : Packer_intf.S
+module Diagonal : Packer_intf.S
+module Constrained : Packer_intf.S
+
+type packer = (module Packer_intf.S)
+
+val all : packer list
+(** Registration order: [best_fit], [diagonal], [constrained]. *)
+
+val default : packer
+(** [best_fit] — the variant every legacy entry point uses, so cache
+    keys and schedules are unchanged when no packer is named. *)
+
+val name : packer -> string
+
+val names : string list
+(** Valid [--packer] / protocol spellings, in registration order. *)
+
+val find : string -> packer option
+(** Case-insensitive, whitespace-trimmed lookup by {!name}. *)
+
+val pack :
+  packer -> ?power_budget:int -> width:int -> Job.t list -> Schedule.t
+(** Pack with the variant and certify the result.
+    @raise Packer.Infeasible on infeasible inputs, and also if the
+    variant produced a schedule violating {!Schedule.check} or losing
+    jobs (a packer bug surfaced, never silently returned). *)
+
+val lower_bound :
+  packer -> ?power_budget:int -> width:int -> Job.t list -> int
+
+type incremental
+(** A reusable incremental-repack state for one variant on one fixed
+    strip: one {!Packer.prepare} engine per priority order. Mutable
+    and NOT thread-safe — one per domain; pool workers use the pure
+    {!pack}. *)
+
+val incremental : ?power_budget:int -> width:int -> packer -> incremental
+(** @raise Invalid_argument if [width <= 0] or [power_budget <= 0]. *)
+
+val repack : incremental -> Job.t list -> Schedule.t
+(** Pack via the incremental engines, reusing each priority order's
+    common prefix with the previous call. Bit-identical to
+    [pack packer] on the same jobs (same orders, same tie-break),
+    certified the same way. *)
+
+val incremental_packer : incremental -> packer

@@ -492,6 +492,67 @@ let test_service_bad_request_envelopes () =
       (* an infeasible width is a client error, not a server crash *)
       bad (Export.Object [ ("width", Export.Int 1) ]))
 
+let test_service_packer_param () =
+  let params ?packer () =
+    Export.Object
+      ([
+         ("width", Export.Int 24);
+         ("weight_time", Export.Float 0.5);
+       ]
+      @ match packer with
+        | None -> []
+        | Some p -> [ ("packer", Export.String p) ])
+  in
+  with_service (fun service ->
+      let base =
+        handle_ok service
+          (Protocol.request ~params:(params ()) ~id:"pk0" Protocol.Plan)
+      in
+      (* an explicit best_fit is the default: same cache key, so the
+         second request is a memory hit on the first one's entry *)
+      let explicit =
+        handle_ok service
+          (Protocol.request ~params:(params ~packer:"best_fit" ())
+             ~id:"pk1" Protocol.Plan)
+      in
+      checkb "explicit default shares the legacy key" true
+        (explicit.Protocol.cached = Some "memory");
+      (* a non-default variant must key separately... *)
+      let diag =
+        handle_ok service
+          (Protocol.request ~params:(params ~packer:"diagonal" ())
+             ~id:"pk2" Protocol.Plan)
+      in
+      checkb "variant never served from the default entry" true
+        (diag.Protocol.cached = None);
+      ignore base;
+      (* ...and hit its own entry on repeat *)
+      let warm =
+        handle_ok service
+          (Protocol.request ~params:(params ~packer:"diagonal" ())
+             ~id:"pk3" Protocol.Plan)
+      in
+      checkb "variant entry cached" true (warm.Protocol.cached = Some "memory");
+      (* unknown spellings are a client error, not a crash *)
+      let resp =
+        Service.handle service
+          (Protocol.request ~params:(params ~packer:"zigzag" ()) ~id:"pk4"
+             Protocol.Plan)
+      in
+      checkb "unknown packer rejected" true
+        (resp.Protocol.status = Protocol.Bad_request);
+      let error_mentions sub =
+        match resp.Protocol.error with
+        | None -> false
+        | Some e ->
+          let ne = String.length e and ns = String.length sub in
+          let rec go i =
+            i + ns <= ne && (String.sub e i ns = sub || go (i + 1))
+          in
+          go 0
+      in
+      checkb "error names the valid spellings" true (error_mentions "diagonal"))
+
 let test_service_deadline () =
   with_service (fun service ->
       let resp =
@@ -721,6 +782,7 @@ let suites =
         Alcotest.test_case "bad requests" `Quick
           test_service_bad_request_envelopes;
         Alcotest.test_case "deadlines" `Quick test_service_deadline;
+        Alcotest.test_case "packer param" `Quick test_service_packer_param;
         Alcotest.test_case "stats and drain" `Quick
           test_service_stats_and_shutdown;
       ] );

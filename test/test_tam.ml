@@ -253,6 +253,99 @@ let test_lower_bound_components () =
   (* with tiny width, area bound dominates: total area 310 wires*cycles *)
   checki "area bound" 310 (Packer.lower_bound ~width:1 jobs)
 
+(* --- Intervals: touching stretches coalesce on insert --- *)
+
+let test_intervals_coalesce () =
+  let open Packer.Intervals in
+  let t = add empty ~start:0 ~finish:10 in
+  let t = add t ~start:20 ~finish:30 in
+  checkb "disjoint kept apart" true (to_list t = [ (0, 10); (20, 30) ]);
+  let t = add t ~start:10 ~finish:20 in
+  checkb "bridging window merges both sides" true (to_list t = [ (0, 30) ]);
+  let t = add t ~start:40 ~finish:50 in
+  let t = add t ~start:30 ~finish:35 in
+  checkb "left-touching window absorbed" true (to_list t = [ (0, 35); (40, 50) ]);
+  checkb "gap still free" true (free_during t ~start:35 ~finish:40);
+  checkb "busy stretch not free" false (free_during t ~start:34 ~finish:36);
+  checkb "ends_after sees merged ends" true (ends_after t ~time:35 = [ 35; 50 ])
+
+let test_intervals_coalescing_preserves_schedules () =
+  (* the paper-table instance: coalescing must not move a single
+     rectangle (the candidate-start argument in packer.mli) *)
+  let jobs = small_jobs () in
+  List.iter
+    (fun width ->
+      let s = Packer.pack ~width jobs in
+      checki "still valid" 0 (List.length (Schedule.check s)))
+    [ 4; 6; 8 ]
+
+(* --- pack_optimized: promotion ranks (newest promotion leads) --- *)
+
+let fixed_job l t = Job.digital ~label:l (Pareto.fixed ~width:2 ~time:t)
+
+let test_promotion_order_newest_first () =
+  let jobs = [ fixed_job "a" 100; fixed_job "b" 90; fixed_job "c" 80 ] in
+  (* front is newest-promotion-first: "c" was promoted last, so it must
+     lead the repack order (the reversed-rank bug put it behind "a") *)
+  let order = Packer.promotion_order ~front:[ "c"; "a" ] jobs in
+  checkb "newest promotion leads" true
+    (List.map (fun j -> j.Job.label) order = [ "c"; "a"; "b" ]);
+  let order = Packer.promotion_order ~front:[ "b" ] jobs in
+  checkb "single promotion leads" true
+    (List.map (fun j -> j.Job.label) order = [ "b"; "a"; "c" ])
+
+let test_pack_optimized_never_worse () =
+  let jobs = small_jobs () in
+  List.iter
+    (fun width ->
+      let base = Schedule.makespan (Packer.pack ~width jobs) in
+      let refined = Packer.pack_optimized ~width jobs in
+      checki "valid" 0 (List.length (Schedule.check refined));
+      checkb "pack_optimized <= pack" true (Schedule.makespan refined <= base))
+    [ 4; 8 ]
+
+(* --- respect_precedences: duplicate labels rejected --- *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_duplicate_label_rejected () =
+  let jobs = [ fixed_job "a" 10; fixed_job "b" 20; fixed_job "a" 30 ] in
+  match Packer.pack ~width:4 jobs with
+  | exception Packer.Infeasible msg ->
+    checkb "names the duplicate" true
+      (contains msg "duplicate" && contains msg "a")
+  | _ -> Alcotest.fail "duplicate label accepted"
+
+(* --- incremental repack: bit-identity and counter contract --- *)
+
+let test_repack_incremental_identity () =
+  let jobs = small_jobs () in
+  let order = List.hd (Packer.priority_orders jobs) in
+  let one_shot o =
+    Packer.pack_with_orders ~width:8 ~orders:(fun _ -> [ o ]) jobs
+  in
+  let engine = Packer.prepare ~width:8 () in
+  let s1 = Packer.repack_with_order engine order in
+  checkb "first repack = one-shot pack" true (s1 = one_shot order);
+  (* swap the last two jobs: the shared prefix must be replayed from
+     checkpoints, the result still bit-identical to a scratch pack *)
+  let arr = Array.of_list order in
+  let n = Array.length arr in
+  let tmp = arr.(n - 1) in
+  arr.(n - 1) <- arr.(n - 2);
+  arr.(n - 2) <- tmp;
+  let order2 = Array.to_list arr in
+  let s2 = Packer.repack_with_order engine order2 in
+  checkb "suffix repack = one-shot pack" true (s2 = one_shot order2);
+  let st = Packer.repack_stats engine in
+  checki "two repacks" 2 st.Packer.repacks;
+  checki "one full rebuild (the first)" 1 st.Packer.full_rebuilds;
+  checki "prefix placements reused" (n - 2) st.Packer.jobs_reused;
+  checki "suffix placements recomputed" (n + 2) st.Packer.jobs_placed
+
 let qcheck_tests =
   let open QCheck in
   let jobs_arb =
@@ -336,6 +429,17 @@ let suites =
         Alcotest.test_case "makespan vs width" `Quick test_pack_makespan_decreases_with_width;
         Alcotest.test_case "quality on benchmark" `Slow test_pack_quality_on_benchmark;
         Alcotest.test_case "lower bound components" `Quick test_lower_bound_components;
+        Alcotest.test_case "intervals coalesce" `Quick test_intervals_coalesce;
+        Alcotest.test_case "coalescing preserves schedules" `Quick
+          test_intervals_coalescing_preserves_schedules;
+        Alcotest.test_case "promotion order newest first" `Quick
+          test_promotion_order_newest_first;
+        Alcotest.test_case "pack_optimized never worse" `Quick
+          test_pack_optimized_never_worse;
+        Alcotest.test_case "duplicate label rejected" `Quick
+          test_duplicate_label_rejected;
+        Alcotest.test_case "incremental repack identity" `Quick
+          test_repack_incremental_identity;
       ] );
     ("tam.properties", qcheck_tests);
   ]
