@@ -14,8 +14,9 @@ test:
 check:
 	dune build @all && dune runtest
 
-# Source-level static analysis (concurrency, exception safety, API
-# hygiene) over the repo's own lib/ + bin/; exits 1 on error findings
+# Source-level static analysis (token rules + the semantic S5xx tier:
+# lock order, release paths, check-then-act, blocking under lock, dead
+# exported API) over lib/ bin/ test/ bench/; exits 1 on error findings
 analyze:
 	dune exec bin/msoc_plan.exe -- analyze
 

@@ -1,0 +1,67 @@
+(* analyze: the source analyzer over the repo's own tree, timed (PR 7).
+
+   Runs the full Msoc_analysis engine (token rules + the semantic S5xx
+   tier) over lib/ bin/ test/ bench/ twice: a cold pass that parses
+   every module and a warm pass served from the AST content-hash cache.
+   Reports wall time, files scanned, parse failures and surviving
+   findings, and fails if the cold pass blows the 10 s budget the test
+   suite also enforces (test_semantic.ml, "full run under budget"). *)
+
+module Engine = Msoc_analysis.Engine
+module Ast = Msoc_analysis.Ast
+module Diagnostic = Msoc_check.Diagnostic
+module Table = Msoc_util.Ascii_table
+
+let budget_s = 10.0
+
+let run () =
+  Printf.printf "\n=== analyze: source analyzer wall time (PR 7) ===\n\n";
+  let root = "." in
+  Ast.reset_cache_stats ();
+  let cold = Engine.run ~root () in
+  let cold_hits, cold_misses = Ast.cache_stats () in
+  let warm = Engine.run ~root () in
+  let warm_hits, warm_misses = Ast.cache_stats () in
+  let errors r =
+    List.length
+      (List.filter
+         (fun d -> d.Diagnostic.severity = Diagnostic.Error)
+         r.Engine.diagnostics)
+  in
+  let columns =
+    [
+      Table.column "pass";
+      Table.column ~align:Table.Right "files";
+      Table.column ~align:Table.Right "wall time";
+      Table.column ~align:Table.Right "ast hits";
+      Table.column ~align:Table.Right "ast misses";
+      Table.column ~align:Table.Right "findings";
+      Table.column ~align:Table.Right "suppressed";
+    ]
+  in
+  let row name (r : Engine.report) hits misses =
+    [
+      name;
+      string_of_int r.Engine.files_scanned;
+      Printf.sprintf "%.0f ms" (r.Engine.elapsed_s *. 1000.);
+      string_of_int hits;
+      string_of_int misses;
+      string_of_int (List.length r.Engine.diagnostics);
+      string_of_int r.Engine.suppressed;
+    ]
+  in
+  Table.print ~columns
+    ~rows:
+      [
+        row "cold" cold cold_hits cold_misses;
+        row "warm" warm (warm_hits - cold_hits) (warm_misses - cold_misses);
+      ];
+  Printf.printf "\nparse failures (token fallback): %d\n"
+    cold.Engine.parse_failures;
+  if errors cold > 0 then
+    failwith "analyze bench: error-severity findings survived the allowlist";
+  if cold.Engine.elapsed_s > budget_s then
+    failwith
+      (Printf.sprintf "analyze bench: cold run took %.1f s (budget %.0f s)"
+         cold.Engine.elapsed_s budget_s);
+  Printf.printf "cold run within %.0f s budget: ok\n" budget_s

@@ -230,25 +230,74 @@ let check_cmd =
 
 (* --- analyze --- *)
 
-let run_analyze root allowlist_file as_json =
+let run_analyze root allowlist_file semantic baseline_file write_baseline
+    list_rules as_json =
+  let module A = Msoc_analysis in
+  if list_rules then begin
+    List.iter
+      (fun (info : Msoc_check.Codes.info) ->
+        if String.length info.code > 5 && info.code.[5] = 'S' then
+          Printf.printf "%s  %-7s  %s\n" info.code
+            (Msoc_check.Diagnostic.severity_label info.severity)
+            info.title)
+      Msoc_check.Codes.all;
+    exit 0
+  end;
+  let config = { A.Rules.default_config with A.Rules.semantic } in
   let report =
-    try Msoc_analysis.Engine.run ?allowlist_file ~root ()
+    try A.Engine.run ~config ?allowlist_file ~root ()
     with Sys_error m -> Fmt.failwith "analyze: %s" m
   in
-  if as_json then
-    print_string
-      (Msoc_testplan.Export.pretty (Msoc_analysis.Report.to_json report))
-  else print_string (Msoc_analysis.Report.to_text report);
-  exit (Msoc_analysis.Engine.exit_code report)
+  (match write_baseline with
+  | None -> ()
+  | Some path ->
+    let b = A.Baseline.of_diagnostics report.A.Engine.diagnostics in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (A.Baseline.to_string b));
+    Printf.eprintf "analyze: baseline written to %s\n%!" path);
+  match baseline_file with
+  | None ->
+    if as_json then
+      print_string (Msoc_testplan.Export.pretty (A.Report.to_json report))
+    else print_string (A.Report.to_text report);
+    exit (A.Engine.exit_code report)
+  | Some path -> (
+    (* ratchet mode: fail only on findings the committed baseline does
+       not cover *)
+    match A.Baseline.load path with
+    | Error m -> Fmt.failwith "analyze: %s" m
+    | Ok baseline ->
+      let cmp = A.Baseline.compare_run baseline report.A.Engine.diagnostics in
+      let ratcheted =
+        { report with A.Engine.diagnostics = cmp.A.Baseline.fresh }
+      in
+      if as_json then
+        print_string (Msoc_testplan.Export.pretty (A.Report.to_json ratcheted))
+      else begin
+        print_string (A.Report.to_text ratcheted);
+        if cmp.A.Baseline.suppressed > 0 then
+          Printf.printf "ratchet: %d known finding(s) absorbed by %s\n"
+            cmp.A.Baseline.suppressed path;
+        List.iter
+          (fun (code, file, was, now) ->
+            Printf.printf
+              "ratchet: %s %s improved %d -> %d — regenerate the baseline \
+               (--write-baseline)\n"
+              code file was now)
+          cmp.A.Baseline.improved
+      end;
+      exit (A.Engine.exit_code ratcheted))
 
 let analyze_cmd =
   let doc =
     "run the source-level static analyzer over this repository's own \
-     lib/ and bin/ trees: concurrency (module-level mutable state under \
-     the domain pool, unpaired locks), exception safety (catch-alls, \
-     failwith/exit in libraries) and API hygiene (.mli coverage, \
-     warnings-as-errors stanzas, stdout discipline); exit 1 on any \
-     error-severity finding"
+     lib/, bin/, test/ and bench/ trees: token rules for concurrency, \
+     exception safety and API hygiene, plus a semantic AST tier (S5xx: \
+     lock-order cycles across the call graph, exception-path lock leaks, \
+     atomic check-then-act, blocking calls under a lock, dead exported \
+     API); exit 1 on any error-severity finding"
   in
   let root_arg =
     Arg.(
@@ -266,8 +315,49 @@ let analyze_cmd =
              $(b,analysis.allow) under the root when present). Stale or \
              unjustified entries are themselves reported.")
   in
+  let semantic_arg =
+    let semantic =
+      ( true,
+        Arg.info [ "semantic" ]
+          ~doc:
+            "Run the S5xx AST tier (lock-order cycles, exception-path lock \
+             leaks, atomic check-then-act, blocking under lock, dead \
+             exported API) on top of the token rules. This is the default." )
+    in
+    let no_semantic =
+      ( false,
+        Arg.info [ "no-semantic" ]
+          ~doc:"Token rules only; skip parsing and the S5xx tier." )
+    in
+    Arg.(value & vflag true [ semantic; no_semantic ])
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Ratchet mode: compare against a committed baseline and fail \
+             only on NEW findings (a (code, file) group that grew past the \
+             snapshot).")
+  in
+  let write_baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "write-baseline" ] ~docv:"FILE"
+          ~doc:"Snapshot this run's findings as a ratchet baseline.")
+  in
+  let list_rules_arg =
+    Arg.(
+      value & flag
+      & info [ "rules" ]
+          ~doc:"List every S-family rule (code, severity, title) and exit.")
+  in
   Cmd.v (Cmd.info "analyze" ~doc)
-    Term.(const run_analyze $ root_arg $ allowlist_arg $ json_flag)
+    Term.(
+      const run_analyze $ root_arg $ allowlist_arg $ semantic_arg
+      $ baseline_arg $ write_baseline_arg $ list_rules_arg $ json_flag)
 
 (* --- explore --- *)
 

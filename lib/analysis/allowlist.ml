@@ -5,16 +5,26 @@ module Codes = Msoc_check.Codes
 
      MSOC-S303 lib/core/report.ml # console rendering facade for the CLI
      MSOC-S204 lib/core/export.ml:300 # parse_exn's contract raises Failure
+     MSOC-S504 lib/serve/cache.ml@3f2a9c01 # spill under lock is deliberate
 
    The justification after [#] is mandatory in spirit: an entry
    without one is reported as MSOC-S402 (warning) so audits never rot
    silently. Entries that match nothing are reported as MSOC-S401 —
-   fixed code must shed its allowlist line. *)
+   fixed code must shed its allowlist line.
+
+   The [@hash] form anchors the entry to line *content* rather than a
+   line number: the 8-hex-char value is [Source.hash_line] of the
+   flagged line, so the entry keeps matching when unrelated edits move
+   the line, and goes loudly stale (MSOC-S404) when the audited code
+   itself changes. *)
 
 type entry = {
   code : string;
   file : string;
   line : int option;
+  hash : string option;
+      (* content anchor; when present it supersedes [line] for
+         matching (the line number is informational) *)
   justification : string;
   source_line : int;  (* 1-based line in the allowlist file itself *)
 }
@@ -27,15 +37,30 @@ type t = {
 
 let empty = { path = None; entries = []; parse_diags = [] }
 
+let is_hex c =
+  ('0' <= c && c <= '9') || ('a' <= c && c <= 'f') || ('A' <= c && c <= 'F')
+
 let parse_target target =
-  match String.rindex_opt target ':' with
-  | None -> Some (target, None)
-  | Some i -> (
-    let file = String.sub target 0 i in
-    let suffix = String.sub target (i + 1) (String.length target - i - 1) in
-    match int_of_string_opt suffix with
-    | Some line when line >= 1 && file <> "" -> Some (file, Some line)
-    | Some _ | None -> None)
+  let target, hash =
+    match String.rindex_opt target '@' with
+    | None -> (Some target, None)
+    | Some i ->
+      let h = String.sub target (i + 1) (String.length target - i - 1) in
+      if String.length h = 8 && String.for_all is_hex h then
+        (Some (String.sub target 0 i), Some (String.lowercase_ascii h))
+      else (None, None)
+  in
+  match target with
+  | None -> None
+  | Some target -> (
+    match String.rindex_opt target ':' with
+    | None -> if target = "" then None else Some (target, None, hash)
+    | Some i -> (
+      let file = String.sub target 0 i in
+      let suffix = String.sub target (i + 1) (String.length target - i - 1) in
+      match int_of_string_opt suffix with
+      | Some line when line >= 1 && file <> "" -> Some (file, Some line, hash)
+      | Some _ | None -> None))
 
 let of_string ?path text =
   let entries = ref [] in
@@ -61,20 +86,20 @@ let of_string ?path text =
       | [ code; target ] when String.length code > 5
                               && String.sub code 0 5 = "MSOC-" -> (
         match parse_target target with
-        | Some (file, line) ->
+        | Some (file, line, hash) ->
           entries :=
-            { code; file; line; justification; source_line } :: !entries
+            { code; file; line; hash; justification; source_line } :: !entries
         | None ->
           diags :=
             Diagnostic.makef ?file:path ~line:source_line ~code:Codes.s403
               ~severity:Diagnostic.Error
-              "allowlist target %S is not FILE or FILE:LINE" target
+              "allowlist target %S is not FILE[:LINE][@HASH8]" target
             :: !diags)
       | _ ->
         diags :=
           Diagnostic.makef ?file:path ~line:source_line ~code:Codes.s403
             ~severity:Diagnostic.Error
-            "expected \"MSOC-code path[:line] # justification\", got %S"
+            "expected \"MSOC-code path[:line][@hash] # justification\", got %S"
             (String.trim raw_line)
           :: !diags)
     (String.split_on_char '\n' text);
@@ -83,12 +108,21 @@ let of_string ?path text =
 let load ~root rel =
   of_string ~path:rel (Source.read_file (Filename.concat root rel))
 
-let entry_matches entry (d : Diagnostic.t) =
+let entry_matches ~file_lines entry (d : Diagnostic.t) =
   entry.code = d.Diagnostic.code
   && d.Diagnostic.location.Diagnostic.file = Some entry.file
-  && (match entry.line with
-     | None -> true
-     | Some l -> d.Diagnostic.location.Diagnostic.line = Some l)
+  &&
+  match entry.hash with
+  | Some h -> (
+    (* content anchor: the finding's line must hash to it *)
+    match (d.Diagnostic.location.Diagnostic.line, file_lines entry.file) with
+    | Some l, Some lines when l >= 1 && l <= Array.length lines ->
+      Source.hash_line lines.(l - 1) = h
+    | _ -> false)
+  | None -> (
+    match entry.line with
+    | None -> true
+    | Some l -> d.Diagnostic.location.Diagnostic.line = Some l)
 
 type applied = {
   kept : Diagnostic.t list;
@@ -98,7 +132,7 @@ type applied = {
          parse errors, anchored in the allowlist file *)
 }
 
-let apply t diags =
+let apply ?(file_lines = fun (_ : string) -> None) t diags =
   let used = Array.make (List.length t.entries) false in
   let kept =
     List.filter
@@ -106,7 +140,7 @@ let apply t diags =
         let hit = ref false in
         List.iteri
           (fun i entry ->
-            if entry_matches entry d then begin
+            if entry_matches ~file_lines entry d then begin
               used.(i) <- true;
               hit := true
             end)
@@ -121,12 +155,37 @@ let apply t diags =
            let stale =
              if used.(i) then []
              else
-               [
-                 Diagnostic.makef ?file:t.path ~line:entry.source_line
-                   ~code:Codes.s401 ~severity:Diagnostic.Warning
-                   "allowlist entry %s %s matched no finding — remove it"
-                   entry.code entry.file;
-               ]
+               (* A dead hash anchor is a stronger signal than a plain
+                  stale entry: the audited code itself changed. *)
+               let anchor_dead =
+                 match entry.hash with
+                 | None -> None
+                 | Some h -> (
+                   match file_lines entry.file with
+                   | Some lines
+                     when not
+                            (Array.exists
+                               (fun line -> Source.hash_line line = h)
+                               lines) -> Some h
+                   | Some _ | None -> None)
+               in
+               match anchor_dead with
+               | Some h ->
+                 [
+                   Diagnostic.makef ?file:t.path ~line:entry.source_line
+                     ~code:Codes.s404 ~severity:Diagnostic.Warning
+                     "allowlist entry %s %s@%s: no line of %s hashes to the \
+                      anchor any more — the audited code changed, re-review \
+                      and re-anchor (or delete the entry)"
+                     entry.code entry.file h entry.file;
+                 ]
+               | None ->
+                 [
+                   Diagnostic.makef ?file:t.path ~line:entry.source_line
+                     ~code:Codes.s401 ~severity:Diagnostic.Warning
+                     "allowlist entry %s %s matched no finding — remove it"
+                     entry.code entry.file;
+                 ]
            in
            let unjustified =
              if entry.justification <> "" then []

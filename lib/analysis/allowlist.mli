@@ -1,17 +1,25 @@
 (** Audited exceptions to analyzer rules.
 
-    One entry per line: [MSOC-code path[:line] # justification].
+    One entry per line: [MSOC-code path[:line][@hash] # justification].
     Blank lines and [#]-comment lines are skipped. An entry suppresses
     every finding with the same code in the same file (narrowed to one
     line when the [:line] anchor is given), but the audit is kept
     honest by meta-diagnostics: a stale entry (matched nothing) is
     MSOC-S401, a missing justification MSOC-S402, and a malformed line
-    MSOC-S403 — so the allowlist itself is linted on every run. *)
+    MSOC-S403 — so the allowlist itself is linted on every run.
+
+    The [@hash] anchor (8 hex chars, {!Source.hash_line} of the
+    flagged line) binds the entry to line {e content} instead of a
+    line number: unrelated edits that move the line keep the entry
+    live, while a change to the audited line itself turns it into a
+    loud MSOC-S404 ("the code under audit changed — re-review"). *)
 
 type entry = {
   code : string;
   file : string;
   line : int option;
+  hash : string option;
+      (** when present, supersedes [line] for matching *)
   justification : string;
   source_line : int;
 }
@@ -38,6 +46,13 @@ type applied = {
   meta : Msoc_check.Diagnostic.t list;
 }
 
-val apply : t -> Msoc_check.Diagnostic.t list -> applied
+val apply :
+  ?file_lines:(string -> string array option) ->
+  t ->
+  Msoc_check.Diagnostic.t list ->
+  applied
 (** Filter findings through the allowlist; [meta] carries the
-    S401/S402/S403 audit diagnostics. *)
+    S401-S404 audit diagnostics. [file_lines] resolves a root-relative
+    path to its raw lines — required for [@hash] anchors to match
+    (the engine passes a memoized disk reader); without it, hash
+    entries match nothing and audit as stale. *)

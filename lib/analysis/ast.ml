@@ -1,0 +1,87 @@
+(* Parsing the project's own sources to Parsetree via
+   compiler-libs.common.
+
+   The semantic tier (Callgraph/Flow/Semantic) never type-checks: it
+   parses each .ml/.mli with the stock OCaml parser and walks the
+   resulting Parsetree. Parsing is cached per *content* (MD5 of the
+   text), so a file re-analyzed unchanged — across engine runs in one
+   process, or shared between rules — parses exactly once.
+
+   Parse failures are data, not exceptions: a file the parser rejects
+   (syntax extension, mid-edit state) degrades gracefully — the
+   engine keeps the lexical token rules for it and the semantic rules
+   skip it. *)
+
+type impl = (Parsetree.structure, string) result
+
+type intf = (Parsetree.signature, string) result
+
+(* Content-addressed caches. The analyzer is single-threaded (one
+   engine run walks files sequentially), and lib/analysis is not
+   reachable from the concurrent roots, but guard anyway: the cache is
+   process-global state and a stress test may analyze from domains. *)
+let cache_lock = Mutex.create ()
+
+let impl_cache : (string, impl) Hashtbl.t = Hashtbl.create 256
+
+let intf_cache : (string, intf) Hashtbl.t = Hashtbl.create 256
+
+let hits = ref 0
+
+let misses = ref 0
+
+let cache_stats () =
+  Mutex.protect cache_lock (fun () -> (!hits, !misses))
+
+let reset_cache_stats () =
+  Mutex.protect cache_lock (fun () ->
+      hits := 0;
+      misses := 0)
+
+let lexbuf_of ~path text =
+  let lexbuf = Lexing.from_string text in
+  Lexing.set_filename lexbuf path;
+  lexbuf
+
+let describe_error ~path = function
+  | Syntaxerr.Error err ->
+    let loc = Syntaxerr.location_of_error err in
+    Printf.sprintf "%s:%d: syntax error" path loc.Location.loc_start.Lexing.pos_lnum
+  | Lexer.Error (_, loc) ->
+    Printf.sprintf "%s:%d: lexical error" path loc.Location.loc_start.Lexing.pos_lnum
+  | e -> Printf.sprintf "%s: parse failed: %s" path (Printexc.to_string e)
+
+let cached cache parse ~path text =
+  let key = Digest.string text in
+  match
+    Mutex.protect cache_lock (fun () ->
+        match Hashtbl.find_opt cache key with
+        | Some r ->
+          incr hits;
+          Some r
+        | None ->
+          incr misses;
+          None)
+  with
+  | Some r -> r
+  | None ->
+    let r =
+      match parse (lexbuf_of ~path text) with
+      | ast -> Ok ast
+      | exception e -> Error (describe_error ~path e)
+    in
+    Mutex.protect cache_lock (fun () -> Hashtbl.replace cache key r);
+    r
+
+let parse_impl ~path text = cached impl_cache Parse.implementation ~path text
+
+let parse_intf ~path text = cached intf_cache Parse.interface ~path text
+
+(* --- small Parsetree helpers shared by the semantic modules --- *)
+
+let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+let ident_path (lid : Longident.t) = Longident.flatten lid
+
+(* [path_string (Ldot (Lident "Mutex") "lock")] is ["Mutex.lock"]. *)
+let path_string lid = String.concat "." (ident_path lid)

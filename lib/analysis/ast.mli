@@ -1,0 +1,37 @@
+(** Cached Parsetree parsing — the substrate of the semantic tier.
+
+    Every [.ml]/[.mli] the analyzer touches is parsed with the stock
+    OCaml parser (compiler-libs.common, never type-checked) through a
+    per-content cache: the key is the MD5 of the file text, so an
+    unchanged file parses exactly once per process however many rules
+    or engine runs ask for it.
+
+    Parse failures degrade gracefully: the result is an [Error]
+    carrying a one-line description, the semantic rules skip the file
+    and the lexical token rules keep covering it. *)
+
+type impl = (Parsetree.structure, string) result
+
+type intf = (Parsetree.signature, string) result
+
+val parse_impl : path:string -> string -> impl
+(** [parse_impl ~path text] parses [text] as a structure; [path] only
+    labels locations and error messages. Cached by content hash. *)
+
+val parse_intf : path:string -> string -> intf
+
+val cache_stats : unit -> int * int
+(** [(hits, misses)] of the content-addressed parse cache since start
+    (or the last {!reset_cache_stats}) — surfaced by the bench. *)
+
+val reset_cache_stats : unit -> unit
+
+(** {2 Parsetree helpers shared by the semantic modules} *)
+
+val line_of : Location.t -> int
+(** 1-based start line. *)
+
+val ident_path : Longident.t -> string list
+
+val path_string : Longident.t -> string
+(** [path_string lid] is the dotted rendering, e.g. ["Mutex.lock"]. *)

@@ -1,0 +1,117 @@
+(* The CI ratchet: a committed snapshot of known findings, keyed by
+   (code, file) with a count. A run compared against the baseline
+   fails only on NEW findings — a (code, file) group whose count grew
+   past the snapshot — so the gate can be adopted on an imperfect
+   tree and only ever tightens. Groups that shrank are reported so
+   the snapshot gets re-tightened (the ratchet clicks forward). *)
+
+module Diagnostic = Msoc_check.Diagnostic
+module Export = Msoc_testplan.Export
+
+type t = (string * string, int) Hashtbl.t
+(* (code, file) -> count *)
+
+let group_key (d : Diagnostic.t) =
+  ( d.Diagnostic.code,
+    Option.value d.Diagnostic.location.Diagnostic.file ~default:"" )
+
+(* Audit meta-diagnostics (S4xx) are the allowlist linting itself —
+   never baselined, always live. *)
+let ratchetable (d : Diagnostic.t) =
+  match d.Diagnostic.code with
+  | "MSOC-S401" | "MSOC-S402" | "MSOC-S403" | "MSOC-S404" -> false
+  | _ -> true
+
+let of_diagnostics diags =
+  let t = Hashtbl.create 32 in
+  List.iter
+    (fun d ->
+      if ratchetable d then
+        let k = group_key d in
+        Hashtbl.replace t k (1 + Option.value (Hashtbl.find_opt t k) ~default:0))
+    diags;
+  t
+
+let sorted_bindings t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [] |> List.sort compare
+
+let to_json t =
+  Export.Object
+    [
+      ("version", Export.Int 1);
+      ( "findings",
+        Export.List
+          (List.map
+             (fun ((code, file), count) ->
+               Export.Object
+                 [
+                   ("code", Export.String code);
+                   ("file", Export.String file);
+                   ("count", Export.Int count);
+                 ])
+             (sorted_bindings t)) );
+    ]
+
+let to_string t = Export.pretty (to_json t)
+
+let of_json json =
+  match Export.member "findings" json with
+  | Some (Export.List items) -> (
+    let t = Hashtbl.create 32 in
+    try
+      List.iter
+        (fun item ->
+          match
+            ( Export.member "code" item,
+              Export.member "file" item,
+              Export.member "count" item )
+          with
+          | Some (Export.String code), Some (Export.String file),
+            Some (Export.Int count)
+            when count >= 1 ->
+            Hashtbl.replace t (code, file)
+              (count + Option.value (Hashtbl.find_opt t (code, file)) ~default:0)
+          | _ -> raise Exit)
+        items;
+      Ok t
+    with Exit -> Error "baseline: malformed findings entry")
+  | Some _ -> Error "baseline: \"findings\" is not a list"
+  | None -> Error "baseline: missing \"findings\" field"
+
+let of_string text =
+  match Export.parse text with
+  | Ok json -> of_json json
+  | Error e -> Error ("baseline: " ^ e)
+
+let load path =
+  match Source.read_file path with
+  | text -> of_string text
+  | exception Sys_error e -> Error ("baseline: " ^ e)
+
+type comparison = {
+  fresh : Diagnostic.t list;
+  suppressed : int;
+  improved : (string * string * int * int) list;
+}
+
+let compare_run baseline diags =
+  let current = of_diagnostics diags in
+  let fresh =
+    List.filter
+      (fun d ->
+        (not (ratchetable d))
+        ||
+        let k = group_key d in
+        Option.value (Hashtbl.find_opt current k) ~default:0
+        > Option.value (Hashtbl.find_opt baseline k) ~default:0)
+      diags
+  in
+  let improved =
+    sorted_bindings baseline
+    |> List.filter_map (fun ((code, file), allowed) ->
+           let now =
+             Option.value (Hashtbl.find_opt current (code, file)) ~default:0
+           in
+           if now < allowed then Some (code, file, allowed, now) else None)
+  in
+  { fresh; suppressed = List.length diags - List.length fresh; improved }

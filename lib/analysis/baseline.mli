@@ -1,0 +1,35 @@
+(** The CI ratchet baseline: fail only on NEW findings.
+
+    A baseline is a committed snapshot of analyzer findings grouped by
+    (code, file) with a count. Comparing a run against it keeps a
+    finding only when its group's count exceeds the snapshot — so the
+    static-analysis gate can be adopted on an imperfect tree, never
+    loosens, and reports shrunken groups so the snapshot is
+    re-tightened as debt is paid down. Allowlist audit
+    meta-diagnostics (S401-S404) are never baselined. *)
+
+type t
+
+val of_diagnostics : Msoc_check.Diagnostic.t list -> t
+
+val to_string : t -> string
+(** Pretty JSON ([{"version":1,"findings":[{code,file,count},…]}]),
+    deterministically sorted — stable under re-generation, so the
+    committed file only changes when the findings do. *)
+
+val of_string : string -> (t, string) result
+
+val load : string -> (t, string) result
+(** Read and parse a baseline file (absolute or cwd-relative path). *)
+
+type comparison = {
+  fresh : Msoc_check.Diagnostic.t list;
+      (** findings NOT covered by the baseline (their group is new or
+          grew), plus all S4xx audit diagnostics *)
+  suppressed : int;  (** findings absorbed by the baseline *)
+  improved : (string * string * int * int) list;
+      (** [(code, file, baseline_count, current_count)] groups that
+          shrank — the snapshot should be regenerated *)
+}
+
+val compare_run : t -> Msoc_check.Diagnostic.t list -> comparison

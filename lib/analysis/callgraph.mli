@@ -1,0 +1,35 @@
+(** Module-qualified def/use graph over the project's parsed sources.
+
+    Nodes are top-level value bindings (one nesting level of
+    [module X = struct .. end] included, named ["X.f"]); edges are
+    identifier references resolved against sibling modules, library
+    exposure ([Msoc_serve.Cache.find]) and per-file module aliases.
+    Unresolvable references (stdlib, function arguments, local opens)
+    never become edges, so every edge is certain.
+
+    The S5xx rules walk this graph to propagate lock acquisition and
+    blocking behaviour across function boundaries (MSOC-S501,
+    MSOC-S504). *)
+
+type def = {
+  key : string;  (** globally unique: ["lib/serve/cache.ml#Lru.find"] *)
+  module_name : string;  (** ["Cache"] *)
+  ml_path : string;
+  name : string;  (** ["find"] or ["Lru.find"] *)
+  line : int;
+  body : Parsetree.expression;
+}
+
+type t
+
+val build : Project.t -> t
+(** One Parsetree walk per parsable module (through the {!Ast}
+    content cache); modules that fail to parse contribute no nodes. *)
+
+val defs : t -> def list
+
+val find : t -> string -> def option
+
+val callees : t -> string -> string list
+(** Callee def keys of a definition, deduplicated; [[]] for unknown
+    keys. *)

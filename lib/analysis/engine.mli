@@ -9,9 +9,13 @@
 type report = {
   diagnostics : Msoc_check.Diagnostic.t list;
       (** Sorted; allowlist-suppressed findings removed, allowlist
-          audit diagnostics (S401-S403) included. *)
+          audit diagnostics (S401-S404) included. *)
   suppressed : int;  (** findings removed by allowlist entries *)
   files_scanned : int;  (** modules plus dune files *)
+  parse_failures : int;
+      (** modules the semantic tier could not parse (token rules kept
+          as their fallback); 0 when the tier is off *)
+  elapsed_s : float;  (** wall time of the whole run *)
   allowlist_path : string option;
 }
 

@@ -1,0 +1,450 @@
+(* Per-function control-flow-ish traversal of Parsetree expressions.
+
+   One walk per top-level definition yields everything the S5xx rules
+   need: every Mutex acquisition (with whether the critical section is
+   released on all exception paths), every call made while locks are
+   held, every directly-nested acquisition pair, and the Atomic
+   get/set/read-modify-write footprint.
+
+   Locks are identified syntactically: an ident or a field chain
+   rooted in an ident ([m], [t.lock], [state.cache.lock]) renders to a
+   stable string; anything else (array reads, function results) is
+   opaque and excluded from cross-function reasoning. That keeps the
+   analysis sound against renamings it can see and silent about
+   aliases it cannot. *)
+
+open Parsetree
+
+type acquisition = {
+  lock : string;
+  line : int;
+  released : bool;
+      (* true when the critical section provably releases on all
+         paths: Mutex.protect, lock;Fun.protect, an exception-free
+         prefix closed by Mutex.unlock, or a bare acquire-wrapper
+         (no continuation to leak from) *)
+}
+
+type held_call = {
+  held : string list;  (* locks held at the call site, outermost first *)
+  callee : Longident.t;
+  call_line : int;
+}
+
+type summary = {
+  acquisitions : acquisition list;
+  held_calls : held_call list;
+  nested : (string * string * int) list;
+      (* (outer, inner, line): inner acquired while outer held *)
+  check_then_act : (string * int) list;
+      (* atomics with Atomic.get before Atomic.set and no RMW *)
+  blocking_sites : (string * int) list;
+      (* calls to blocking primitives anywhere in the body *)
+}
+
+(* Primitives that can block the calling thread: process-external I/O,
+   joins and delays. [Condition.wait] is deliberately absent — it
+   releases its mutex while waiting, which is the correct way to block
+   under a lock. *)
+let blocking_paths =
+  [
+    "Thread.delay"; "Thread.join"; "Domain.join"; "Event.sync";
+    "Sys.command"; "Sys.remove"; "Sys.rename"; "Sys.readdir";
+    "Sys.file_exists"; "Sys.is_directory"; "Filename.temp_file";
+    "open_in"; "open_in_bin"; "open_out"; "open_out_bin"; "input_line";
+    "really_input_string"; "really_input"; "input_value"; "output_string";
+    "output_value"; "output_bytes"; "flush"; "close_in"; "close_out";
+    "print_string"; "print_endline"; "Printf.printf"; "read_line";
+    "Unix.mkdir";
+  ]
+
+let unix_nonblocking =
+  [
+    "Unix.gettimeofday"; "Unix.time"; "Unix.getpid"; "Unix.getppid";
+    "Unix.getuid"; "Unix.getenv"; "Unix.environment"; "Unix.error_message";
+    "Unix.string_of_inet_addr"; "Unix.inet_addr_of_string";
+  ]
+
+let is_blocking_path path =
+  List.mem path blocking_paths
+  || String.length path > 5
+     && String.sub path 0 5 = "Unix."
+     && not (List.mem path unix_nonblocking)
+
+(* --- syntactic helpers --- *)
+
+let head_path e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some txt
+  | _ -> None
+
+let rec lock_expr e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (Ast.path_string txt)
+  | Pexp_field (inner, { txt; _ }) ->
+    Option.map (fun p -> p ^ "." ^ Ast.path_string txt) (lock_expr inner)
+  | Pexp_constraint (inner, _) -> lock_expr inner
+  | _ -> None
+
+let line_of e = Ast.line_of e.pexp_loc
+
+(* Normalize [f @@ x] and [x |> f] into a direct application so the
+   head path and argument positions read through the operators. *)
+let normalize_apply e =
+  match e.pexp_desc with
+  | Pexp_apply (head, args) -> (
+    match (head_path head, args) with
+    | Some (Longident.Lident "@@"), [ (_, f); (_, x) ] -> (
+      match f.pexp_desc with
+      | Pexp_apply (f_head, f_args) -> Some (f_head, f_args @ [ (Asttypes.Nolabel, x) ])
+      | _ -> Some (f, [ (Asttypes.Nolabel, x) ]))
+    | Some (Longident.Lident "|>"), [ (_, x); (_, f) ] -> (
+      match f.pexp_desc with
+      | Pexp_apply (f_head, f_args) -> Some (f_head, f_args @ [ (Asttypes.Nolabel, x) ])
+      | _ -> Some (f, [ (Asttypes.Nolabel, x) ]))
+    | _ -> Some (head, args))
+  | _ -> None
+
+let apply_path e =
+  match normalize_apply e with
+  | Some (head, args) -> (
+    match head_path head with
+    | Some lid -> Some (Ast.path_string lid, lid, args)
+    | None -> None)
+  | None -> None
+
+(* The body a higher-order combinator runs: through [fun () -> e] and
+   [function] with one catch-all case; anything else is itself. *)
+let rec thunk_body e =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, _, body) -> thunk_body body
+  | _ -> e
+
+let labelled name args =
+  List.find_map
+    (function
+      | Asttypes.Labelled l, e when l = name -> Some e
+      | _ -> None)
+    args
+
+let positional args =
+  List.filter_map
+    (function Asttypes.Nolabel, e -> Some e | _ -> None)
+    args
+
+(* --- may_raise: conservative syntactic exception-freedom --- *)
+
+(* Calls that cannot raise (on the values this codebase passes them):
+   pure stdlib accessors, container inserts, Atomic ops, unlock and
+   condition signalling. Everything not listed — including any
+   project-defined function — is assumed to raise. *)
+let safe_calls =
+  [
+    "Mutex.unlock"; "Mutex.lock"; "Mutex.try_lock"; "Condition.signal";
+    "Condition.broadcast"; "Hashtbl.replace"; "Hashtbl.remove";
+    "Hashtbl.find_opt"; "Hashtbl.mem"; "Hashtbl.length"; "Hashtbl.reset";
+    "Hashtbl.clear"; "Hashtbl.add"; "Queue.push"; "Queue.add";
+    "Queue.length"; "Queue.is_empty"; "Queue.clear"; "Queue.take_opt";
+    "Queue.peek_opt"; "Buffer.add_string"; "Buffer.add_char";
+    "Buffer.contents"; "Buffer.length"; "Buffer.clear"; "Buffer.reset";
+    "Atomic.get"; "Atomic.set"; "Atomic.incr"; "Atomic.decr";
+    "Atomic.exchange"; "Atomic.compare_and_set"; "Atomic.fetch_and_add";
+    "Atomic.make"; "ignore"; "not"; "ref"; "incr"; "decr"; "fst"; "snd";
+    "min"; "max"; "abs"; "succ"; "pred"; "float_of_int"; "truncate";
+    "string_of_int"; "string_of_float"; "string_of_bool"; "int_of_float";
+    "String.length"; "String.trim"; "String.concat"; "String.equal";
+    "Array.length"; "List.length"; "List.rev"; "List.mem"; "List.filter";
+    "List.exists"; "Option.is_some"; "Option.is_none"; "Option.value";
+    "Option.map"; "compare"; "Unix.gettimeofday"; "Sys.time";
+  ]
+
+let safe_operators =
+  [
+    "+"; "-"; "*"; "+."; "-."; "*."; "/."; "="; "<>"; "<"; ">"; "<="; ">=";
+    "=="; "!="; "&&"; "||"; "^"; "@"; ":="; "!"; "land"; "lor"; "lxor";
+    "lsl"; "lsr"; "asr"; "~-"; "~-."; "~+"; "not";
+  ]
+
+let rec may_raise e =
+  match e.pexp_desc with
+  | Pexp_constant _ | Pexp_ident _ | Pexp_fun _ | Pexp_function _
+  | Pexp_unreachable ->
+    false
+  | Pexp_construct (_, arg) | Pexp_variant (_, arg) ->
+    (match arg with Some a -> may_raise a | None -> false)
+  | Pexp_tuple es | Pexp_array es -> List.exists may_raise es
+  | Pexp_record (fields, base) ->
+    List.exists (fun (_, v) -> may_raise v) fields
+    || (match base with Some b -> may_raise b | None -> false)
+  | Pexp_field (inner, _) | Pexp_constraint (inner, _) | Pexp_lazy inner
+  | Pexp_newtype (_, inner) | Pexp_open (_, inner) ->
+    may_raise inner
+  | Pexp_setfield (r, _, v) -> may_raise r || may_raise v
+  | Pexp_sequence (a, b) -> may_raise a || may_raise b
+  | Pexp_ifthenelse (c, t, f) ->
+    may_raise c || may_raise t
+    || (match f with Some f -> may_raise f | None -> false)
+  | Pexp_let (_, vbs, body) ->
+    List.exists (fun vb -> may_raise vb.pvb_expr) vbs || may_raise body
+  | Pexp_apply _ -> (
+    match apply_path e with
+    | Some (path, _, args) ->
+      let name =
+        match String.rindex_opt path '.' with
+        | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+        | None -> path
+      in
+      if List.mem path safe_calls || List.mem name safe_operators then
+        List.exists (fun (_, a) -> may_raise a) args
+      else true
+    | None -> true)
+  | _ -> true
+
+(* --- the traversal --- *)
+
+type state = {
+  mutable acqs : acquisition list;
+  mutable calls : held_call list;
+  mutable pairs : (string * string * int) list;
+}
+
+let record_acq st ~held ~line ~released lock =
+  st.acqs <- { lock; line; released } :: st.acqs;
+  List.iter (fun outer -> st.pairs <- (outer, lock, line) :: st.pairs) held
+
+(* Walk [e] with [held] the stack of locks currently held. Sequencing
+   constructs are linearized so a [Mutex.lock] sees its continuation:
+   the statements that follow it up to the matching [Mutex.unlock] (or
+   the protecting [Fun.protect]) form its critical section. *)
+let rec walk st ~held e =
+  match e.pexp_desc with
+  | Pexp_sequence _ | Pexp_let _ ->
+    walk_seq st ~held (linearize e)
+  | Pexp_apply _ -> walk_apply st ~held e ~continuation:[]
+  | Pexp_ifthenelse (c, t, f) ->
+    walk st ~held c;
+    walk st ~held t;
+    Option.iter (walk st ~held) f
+  | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+    walk st ~held scrut;
+    List.iter (fun c -> walk st ~held c.pc_rhs) cases
+  | Pexp_function cases -> List.iter (fun c -> walk st ~held c.pc_rhs) cases
+  | Pexp_fun (_, default, _, body) ->
+    Option.iter (walk st ~held) default;
+    walk st ~held body
+  | Pexp_construct (_, arg) | Pexp_variant (_, arg) ->
+    Option.iter (walk st ~held) arg
+  | Pexp_tuple es | Pexp_array es -> List.iter (walk st ~held) es
+  | Pexp_record (fields, base) ->
+    List.iter (fun (_, v) -> walk st ~held v) fields;
+    Option.iter (walk st ~held) base
+  | Pexp_field (inner, _) | Pexp_constraint (inner, _) | Pexp_lazy inner
+  | Pexp_newtype (_, inner) | Pexp_open (_, inner) | Pexp_assert inner ->
+    walk st ~held inner
+  | Pexp_setfield (r, _, v) ->
+    walk st ~held r;
+    walk st ~held v
+  | Pexp_while (c, body) ->
+    walk st ~held c;
+    walk st ~held body
+  | Pexp_for (_, lo, hi, _, body) ->
+    walk st ~held lo;
+    walk st ~held hi;
+    walk st ~held body
+  | Pexp_letmodule (_, _, body) -> walk st ~held body
+  | Pexp_ident { txt; _ } ->
+    (* a bare reference can be a callback about to run under our locks *)
+    if held <> [] then
+      st.calls <- { held; callee = txt; call_line = line_of e } :: st.calls
+  | _ -> ()
+
+(* Linearize nested sequences and let-chains into a statement list.
+   A [let x = e in rest] contributes [e] as a statement (its value
+   effectful or not) followed by the rest. *)
+and linearize e =
+  match e.pexp_desc with
+  | Pexp_sequence (a, b) -> a :: linearize b
+  | Pexp_let (_, vbs, body) ->
+    List.map (fun vb -> vb.pvb_expr) vbs @ linearize body
+  | _ -> [ e ]
+
+and walk_seq st ~held = function
+  | [] -> ()
+  | stmt :: rest -> (
+    match apply_path stmt with
+    | Some ("Mutex.lock", _, args) ->
+      let lock =
+        match positional args with
+        | [ m ] -> Option.value (lock_expr m) ~default:"<opaque>"
+        | _ -> "<opaque>"
+      in
+      let line = line_of stmt in
+      walk_critical st ~held ~lock ~line rest
+    | _ ->
+      walk_stmt st ~held stmt;
+      walk_seq st ~held rest)
+
+(* After [Mutex.lock lock], classify the continuation. *)
+and walk_critical st ~held ~lock ~line rest =
+  let held' = lock :: held in
+  match rest with
+  | [] ->
+    (* acquire-wrapper idiom: nothing here can leak the lock *)
+    record_acq st ~held ~line ~released:true lock
+  | guard :: after when is_protect guard ->
+    record_acq st ~held ~line ~released:true lock;
+    walk_protect st ~held:held' guard;
+    (* Fun.protect's finally released the lock *)
+    walk_seq st ~held after
+  | _ -> (
+    (* scan for the matching unlock; the prefix is the critical
+       section and must be exception-free *)
+    match split_at_unlock lock rest with
+    | Some (critical, after) ->
+      let released = not (List.exists may_raise critical) in
+      record_acq st ~held ~line ~released lock;
+      List.iter (walk_stmt st ~held:held') critical;
+      walk_seq st ~held after
+    | None ->
+      record_acq st ~held ~line ~released:false lock;
+      List.iter (walk_stmt st ~held:held') rest)
+
+and is_protect e =
+  match apply_path e with
+  | Some (("Fun.protect" | "Mutex.protect"), _, _) -> true
+  | _ -> false
+
+and split_at_unlock lock stmts =
+  let rec go acc = function
+    | [] -> None
+    | stmt :: rest -> (
+      match apply_path stmt with
+      | Some ("Mutex.unlock", _, args)
+        when (match positional args with
+             | [ m ] -> lock_expr m = Some lock
+             | _ -> false) ->
+        Some (List.rev acc, rest)
+      | _ -> go (stmt :: acc) rest)
+  in
+  go [] stmts
+
+and walk_stmt st ~held stmt =
+  match apply_path stmt with
+  | Some _ -> walk_apply st ~held stmt ~continuation:[]
+  | None -> walk st ~held stmt
+
+and walk_apply st ~held e ~continuation:_ =
+  match apply_path e with
+  | None -> (
+    match normalize_apply e with
+    | Some (head, args) ->
+      walk st ~held head;
+      List.iter (fun (_, a) -> walk st ~held a) args
+    | None -> ())
+  | Some ("Mutex.protect", lid, args) -> (
+    ignore lid;
+    match positional args with
+    | [ m; body ] ->
+      let lock = Option.value (lock_expr m) ~default:"<opaque>" in
+      record_acq st ~held ~line:(line_of e) ~released:true lock;
+      walk st ~held:(lock :: held) (thunk_body body)
+    | _ -> List.iter (fun (_, a) -> walk st ~held a) args)
+  | Some ("Mutex.lock", _, args) ->
+    (* a lock outside statement position (e.g. a one-expression
+       function body) is an acquire wrapper *)
+    let lock =
+      match positional args with
+      | [ m ] -> Option.value (lock_expr m) ~default:"<opaque>"
+      | _ -> "<opaque>"
+    in
+    record_acq st ~held ~line:(line_of e) ~released:true lock
+  | Some ("Fun.protect", _, _) -> walk_protect st ~held e
+  | Some (_, lid, args) ->
+    if held <> [] then
+      st.calls <- { held; callee = lid; call_line = line_of e } :: st.calls;
+    List.iter (fun (_, a) -> walk st ~held (thunk_body a)) args
+
+and walk_protect st ~held e =
+  match normalize_apply e with
+  | Some (_, args) ->
+    Option.iter (fun f -> walk st ~held (thunk_body f)) (labelled "finally" args);
+    List.iter (fun body -> walk st ~held (thunk_body body)) (positional args)
+  | None -> ()
+
+(* --- Atomic check-then-act --- *)
+
+let atomic_footprint e =
+  let gets = Hashtbl.create 4 and sets = Hashtbl.create 4 in
+  let rmw = Hashtbl.create 4 in
+  let pos = ref 0 in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self ex ->
+          incr pos;
+          (match apply_path ex with
+          | Some (path, _, args) -> (
+            let atom =
+              match positional args with
+              | m :: _ -> lock_expr m
+              | [] -> None
+            in
+            match (path, atom) with
+            | "Atomic.get", Some a ->
+              if not (Hashtbl.mem gets a) then
+                Hashtbl.replace gets a (!pos, Ast.line_of ex.pexp_loc)
+            | "Atomic.set", Some a ->
+              Hashtbl.replace sets a (!pos, Ast.line_of ex.pexp_loc)
+            | ( ( "Atomic.compare_and_set" | "Atomic.exchange"
+                | "Atomic.fetch_and_add" | "Atomic.incr" | "Atomic.decr" ),
+                Some a ) ->
+              Hashtbl.replace rmw a ()
+            | _ -> ())
+          | None -> ());
+          Ast_iterator.default_iterator.expr self ex);
+    }
+  in
+  it.expr it e;
+  Hashtbl.fold
+    (fun atom (get_pos, _) acc ->
+      match Hashtbl.find_opt sets atom with
+      | Some (set_pos, set_line)
+        when set_pos > get_pos && not (Hashtbl.mem rmw atom) ->
+        (atom, set_line) :: acc
+      | _ -> acc)
+    gets []
+
+(* --- blocking-call sites --- *)
+
+let blocking_footprint e =
+  let sites = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self ex ->
+          (match ex.pexp_desc with
+          | Pexp_ident { txt; _ } ->
+            let path = Ast.path_string txt in
+            if is_blocking_path path then
+              sites := (path, Ast.line_of ex.pexp_loc) :: !sites
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self ex);
+    }
+  in
+  it.expr it e;
+  List.rev !sites
+
+(* --- entry point --- *)
+
+let summarize e =
+  let st = { acqs = []; calls = []; pairs = [] } in
+  walk st ~held:[] e;
+  {
+    acquisitions = List.rev st.acqs;
+    held_calls = List.rev st.calls;
+    nested = List.rev st.pairs;
+    check_then_act = List.sort compare (atomic_footprint e);
+    blocking_sites = blocking_footprint e;
+  }

@@ -15,8 +15,11 @@ type lib = {
   dune_path : string;
 }
 
+type scope = Lib | Bin | Test | Bench
+
 type module_info = {
-  owner : lib option;  (* [None] for bin/ executables *)
+  owner : lib option;  (* [None] outside lib/ *)
+  scope : scope;
   name : string;  (* "Pool" *)
   ml_path : string;  (* "lib/util/pool.ml" *)
   mli_path : string option;
@@ -83,6 +86,7 @@ let load ~root =
            let mli = ml_path ^ "i" in
            {
              owner = Some lib;
+             scope = Lib;
              name = module_name_of_path ml_path;
              ml_path;
              mli_path =
@@ -91,29 +95,40 @@ let load ~root =
              source = Source.load ~root ml_path;
            })
   in
-  let bin_modules =
-    list_dir root "bin"
+  (* bin/, test/ and bench/ are flat executable directories: their
+     modules join the scan (exception-safety, lock rules, semantic
+     tier) without joining the library-only hygiene checks. *)
+  let flat_modules scope dir =
+    list_dir root dir
     |> List.filter (fun f -> Filename.check_suffix f ".ml")
     |> List.map (fun f ->
-           let ml_path = join "bin" f in
+           let ml_path = join dir f in
            {
              owner = None;
+             scope;
              name = module_name_of_path ml_path;
              ml_path;
              mli_path = None;
              source = Source.load ~root ml_path;
            })
   in
+  let extra_dune dir =
+    let path = join dir "dune" in
+    if Sys.file_exists (Filename.concat root path) then
+      [ Source.load ~root path ]
+    else []
+  in
   let dune_files =
     List.map (fun lib -> Source.load ~root lib.dune_path) libs
-    @ (if Sys.file_exists (Filename.concat root "bin/dune") then
-         [ Source.load ~root "bin/dune" ]
-       else [])
+    @ extra_dune "bin" @ extra_dune "test" @ extra_dune "bench"
   in
   {
     root;
     libs;
-    modules = List.concat_map lib_modules libs @ bin_modules;
+    modules =
+      List.concat_map lib_modules libs
+      @ flat_modules Bin "bin" @ flat_modules Test "test"
+      @ flat_modules Bench "bench";
     dune_files;
   }
 

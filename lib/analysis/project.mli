@@ -14,8 +14,14 @@ type lib = {
   dune_path : string;
 }
 
+type scope = Lib | Bin | Test | Bench
+(** Where a module lives. Library-only rules (S2xx/S3xx hygiene) look
+    at {!Lib} modules; concurrency, exception-flow and semantic rules
+    cover all four scopes. *)
+
 type module_info = {
-  owner : lib option;  (** [None] for [bin/] executables *)
+  owner : lib option;  (** [None] outside [lib/] *)
+  scope : scope;
   name : string;  (** OCaml module name, e.g. ["Pool"] *)
   ml_path : string;
   mli_path : string option;  (** sibling [.mli] when it exists *)
@@ -26,13 +32,22 @@ type t = {
   root : string;
   libs : lib list;
   modules : module_info list;
-  dune_files : Source.t list;  (** every [lib/*/dune] plus [bin/dune] *)
+  dune_files : Source.t list;
+      (** every [lib/*/dune] plus [bin/dune], [test/dune] and
+          [bench/dune] when present *)
 }
 
 val load : root:string -> t
-(** Scan [root/lib] and [root/bin]. Directories without a dune
-    [(name ...)] stanza are skipped; listing order is sorted, so runs
-    are deterministic. *)
+(** Scan [root/lib], [root/bin], [root/test] and [root/bench].
+    Directories without a dune [(name ...)] stanza are skipped under
+    [lib/]; listing order is sorted, so runs are deterministic. *)
+
+val exposed_name : lib -> string
+(** The OCaml-visible wrapper module of a library: ["msoc_serve"] is
+    exposed as ["Msoc_serve"]. *)
+
+val opened_libs : t -> Source.t -> string list
+(** Library names ([lib.name]) the source [open]s at top level. *)
 
 val dependencies : t -> module_info -> module_info list
 (** Library modules this module references (never [bin] modules, never

@@ -14,9 +14,16 @@ let to_text (r : Engine.report) =
       Printf.sprintf ", %d suppressed by %s" r.Engine.suppressed
         (Option.value r.Engine.allowlist_path ~default:"allowlist")
   in
-  Printf.sprintf "%sanalyze: %s (%d files%s)\n" findings
+  let degraded =
+    if r.Engine.parse_failures = 0 then ""
+    else
+      Printf.sprintf ", %d unparsable (token rules only)"
+        r.Engine.parse_failures
+  in
+  Printf.sprintf "%sanalyze: %s (%d files%s%s, %.0f ms)\n" findings
     (Diagnostic.summary r.Engine.diagnostics)
-    r.Engine.files_scanned suppressed
+    r.Engine.files_scanned suppressed degraded
+    (r.Engine.elapsed_s *. 1000.)
 
 let to_json (r : Engine.report) =
   match Diagnostic.report_json r.Engine.diagnostics with
@@ -26,6 +33,8 @@ let to_json (r : Engine.report) =
       @ [
           ("files_scanned", Export.Int r.Engine.files_scanned);
           ("suppressed", Export.Int r.Engine.suppressed);
+          ("parse_failures", Export.Int r.Engine.parse_failures);
+          ("elapsed_ms", Export.Float (r.Engine.elapsed_s *. 1000.));
           ( "allowlist",
             match r.Engine.allowlist_path with
             | Some p -> Export.String p

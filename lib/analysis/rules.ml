@@ -20,12 +20,16 @@ type config = {
       (* reachability roots for S101: directories or single .ml files *)
   required_flags : string list;
       (* substrings every dune stanza must carry (S302) *)
+  semantic : bool;
+      (* run the S5xx AST tier; on parsable modules S502 supersedes
+         the token S102 heuristic *)
 }
 
 let default_config =
   {
     roots = [ "lib/serve"; "lib/search"; "lib/util/pool.ml" ];
     required_flags = [ "-w +a-4-40-41-42-44-45-70"; "-warn-error +a" ];
+    semantic = true;
   }
 
 let severity_of code =
@@ -99,9 +103,15 @@ let rule_concurrent_state config p =
 
 (* --- S102: Mutex.lock without unlock/Fun.protect pairing --- *)
 
-let rule_lock_pairing (p : Project.t) =
+(* Token heuristic, superseded by the AST-precise S502 wherever the
+   semantic tier runs and the module parses; it stays as the fallback
+   for parse failures (graceful degradation, DESIGN.md §13). *)
+let rule_lock_pairing ?(skip = fun (_ : Project.module_info) -> false)
+    (p : Project.t) =
   List.concat_map
     (fun (m : Project.module_info) ->
+      if skip m then []
+      else
       let lines = Source.masked m.Project.source in
       List.filter_map
         (fun (lo, hi) ->
@@ -309,8 +319,10 @@ let rule_stdout_in_lib p =
 (* --- all rules --- *)
 
 let run config p =
+  let skip m = config.semantic && Semantic.parse_ok m in
   rule_concurrent_state config p
-  @ rule_lock_pairing p
+  @ rule_lock_pairing ~skip p
+  @ (if config.semantic then Semantic.run p else [])
   @ rule_catch_all p
   @ rule_assert_false p
   @ rule_lib_exit p

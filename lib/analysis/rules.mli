@@ -13,13 +13,19 @@ type config = {
           (["lib/util/pool.ml"]). *)
   required_flags : string list;
       (** Substrings every dune stanza must carry (MSOC-S302). *)
+  semantic : bool;
+      (** Run the {!Semantic} S5xx tier. On modules that parse, the
+          AST-precise MSOC-S502 supersedes the token MSOC-S102
+          heuristic; parse failures keep the token rule (graceful
+          degradation, DESIGN.md §13). *)
 }
 
 val default_config : config
 (** Roots: [lib/serve], [lib/search], [lib/util/pool.ml] — the
     concurrent subsystems from PRs 1-4. Required flags: the PR 2
-    warnings-as-errors set. *)
+    warnings-as-errors set. Semantic tier on. *)
 
 val run : config -> Project.t -> Msoc_check.Diagnostic.t list
-(** Every rule over the whole project, unfiltered (the engine applies
+(** Every rule over the whole project — token families and, when
+    [config.semantic], the S5xx tier — unfiltered (the engine applies
     the allowlist) and unsorted. *)

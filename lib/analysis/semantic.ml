@@ -1,0 +1,550 @@
+(* The S5xx semantic rule family: AST-level checks over the parsed
+   project, where the lexical token rules cannot see.
+
+   S501 builds the Mutex acquisition graph across the call graph and
+   reports cycles (two call paths taking the same locks in opposite
+   orders). S502 classifies every critical section: a lock whose
+   continuation can raise before the unlock — and is not under
+   Fun.protect/Mutex.protect — leaves the mutex held on the exception
+   path. S503 flags Atomic check-then-act. S504 flags blocking calls
+   (I/O, joins, delays) made while any lock is held, directly or
+   through project calls. S505 reports .mli-exported values no other
+   module references.
+
+   Files that fail to parse are skipped here; the engine keeps the
+   token rules as their substrate (graceful degradation). *)
+
+module Diagnostic = Msoc_check.Diagnostic
+module Codes = Msoc_check.Codes
+
+let severity_of code =
+  match Codes.describe code with
+  | Some info -> info.Codes.severity
+  | None -> Diagnostic.Error
+
+let diag ?file ?line code fmt =
+  Diagnostic.makef ?file ?line ~code ~severity:(severity_of code) fmt
+
+let source_text src = String.concat "\n" (Array.to_list (Source.raw src))
+
+let parse_ok (m : Project.module_info) =
+  match Ast.parse_impl ~path:m.Project.ml_path (source_text m.Project.source) with
+  | Ok _ -> true
+  | Error _ -> false
+
+let parse_failures (p : Project.t) =
+  List.length (List.filter (fun m -> not (parse_ok m)) p.Project.modules)
+
+(* --- shared per-run context --- *)
+
+module StringSet = Set.Make (String)
+
+type ctx = {
+  project : Project.t;
+  graph : Callgraph.t;
+  summaries : (string, Flow.summary) Hashtbl.t;  (* def key -> summary *)
+}
+
+let make_ctx project =
+  let graph = Callgraph.build project in
+  let summaries = Hashtbl.create 512 in
+  List.iter
+    (fun (d : Callgraph.def) ->
+      Hashtbl.replace summaries d.Callgraph.key
+        (Flow.summarize d.Callgraph.body))
+    (Callgraph.defs graph);
+  { project; graph; summaries }
+
+let summary ctx key =
+  match Hashtbl.find_opt ctx.summaries key with
+  | Some s -> s
+  | None ->
+    {
+      Flow.acquisitions = [];
+      held_calls = [];
+      nested = [];
+      check_then_act = [];
+      blocking_sites = [];
+    }
+
+(* A lock rendered module-qualified, so [t.lock] in Cache and [t.lock]
+   in Metrics stay distinct graph nodes. Opaque locks are dropped. *)
+let qualify (d : Callgraph.def) lock =
+  if lock = "<opaque>" then None
+  else Some (d.Callgraph.module_name ^ ":" ^ lock)
+
+(* Resolve a held-call Longident against the def's known callees: the
+   value name must match; a module hint (last qualifier) narrows
+   multiple candidates. Over-matching is accepted — lock and blocking
+   propagation prefer a false edge over a missed one. *)
+let resolve_call ctx (d : Callgraph.def) lid =
+  let comps = Ast.ident_path lid in
+  match List.rev comps with
+  | [] -> []
+  | value :: quals_rev -> (
+    let candidates =
+      Callgraph.callees ctx.graph d.Callgraph.key
+      |> List.filter_map (fun key -> Callgraph.find ctx.graph key)
+      |> List.filter (fun (c : Callgraph.def) ->
+             let last =
+               match String.rindex_opt c.Callgraph.name '.' with
+               | Some i ->
+                 String.sub c.Callgraph.name (i + 1)
+                   (String.length c.Callgraph.name - i - 1)
+               | None -> c.Callgraph.name
+             in
+             last = value)
+    in
+    match quals_rev with
+    | [] -> candidates
+    | m :: _ ->
+      let narrowed =
+        List.filter
+          (fun (c : Callgraph.def) ->
+            c.Callgraph.module_name = m
+            || c.Callgraph.name = m ^ "." ^ value)
+          candidates
+      in
+      if narrowed <> [] then narrowed else candidates)
+
+(* Fixpoint of a per-def set property over the call graph. *)
+let fixpoint ctx (own : Callgraph.def -> StringSet.t) =
+  let table = Hashtbl.create 512 in
+  let defs = Callgraph.defs ctx.graph in
+  List.iter
+    (fun (d : Callgraph.def) -> Hashtbl.replace table d.Callgraph.key (own d))
+    defs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (d : Callgraph.def) ->
+        let current = Hashtbl.find table d.Callgraph.key in
+        let merged =
+          List.fold_left
+            (fun acc callee ->
+              match Hashtbl.find_opt table callee with
+              | Some s -> StringSet.union acc s
+              | None -> acc)
+            current
+            (Callgraph.callees ctx.graph d.Callgraph.key)
+        in
+        if not (StringSet.equal merged current) then begin
+          Hashtbl.replace table d.Callgraph.key merged;
+          changed := true
+        end)
+      defs
+  done;
+  table
+
+(* --- S501: lock-order cycles --- *)
+
+let rule_lock_order ctx =
+  let locks_of =
+    fixpoint ctx (fun d ->
+        List.fold_left
+          (fun acc (a : Flow.acquisition) ->
+            match qualify d a.Flow.lock with
+            | Some q -> StringSet.add q acc
+            | None -> acc)
+          StringSet.empty
+          (summary ctx d.Callgraph.key).Flow.acquisitions)
+  in
+  (* edges: (outer, inner) -> first provenance (file, line) *)
+  let edges = Hashtbl.create 64 in
+  let add_edge a b file line =
+    if a <> "" && b <> "" && not (Hashtbl.mem edges (a, b)) then
+      Hashtbl.replace edges (a, b) (file, line)
+  in
+  List.iter
+    (fun (d : Callgraph.def) ->
+      let s = summary ctx d.Callgraph.key in
+      List.iter
+        (fun (outer, inner, line) ->
+          match (qualify d outer, qualify d inner) with
+          | Some a, Some b -> add_edge a b d.Callgraph.ml_path line
+          | _ -> ())
+        s.Flow.nested;
+      List.iter
+        (fun (hc : Flow.held_call) ->
+          let inner_locks =
+            List.fold_left
+              (fun acc (c : Callgraph.def) ->
+                match Hashtbl.find_opt locks_of c.Callgraph.key with
+                | Some s -> StringSet.union acc s
+                | None -> acc)
+              StringSet.empty
+              (resolve_call ctx d hc.Flow.callee)
+          in
+          List.iter
+            (fun outer ->
+              match qualify d outer with
+              | Some a ->
+                StringSet.iter
+                  (fun b -> add_edge a b d.Callgraph.ml_path hc.Flow.call_line)
+                  inner_locks
+              | None -> ())
+            hc.Flow.held)
+        s.Flow.held_calls)
+    (Callgraph.defs ctx.graph);
+  (* reachability over the lock graph *)
+  let succs = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (a, b) _ ->
+      Hashtbl.replace succs a
+        (StringSet.add b
+           (Option.value (Hashtbl.find_opt succs a) ~default:StringSet.empty)))
+    edges;
+  let reaches a b =
+    let seen = Hashtbl.create 16 in
+    let rec go x =
+      x = b
+      || (not (Hashtbl.mem seen x))
+         && begin
+           Hashtbl.replace seen x ();
+           match Hashtbl.find_opt succs x with
+           | Some nexts -> StringSet.exists go nexts
+           | None -> false
+         end
+    in
+    (match Hashtbl.find_opt succs a with
+    | Some nexts -> StringSet.exists go nexts
+    | None -> false)
+  in
+  (* one report per unordered cycle pair (or self-loop), anchored at
+     the edge that closes it *)
+  let reported = Hashtbl.create 8 in
+  Hashtbl.fold
+    (fun (a, b) (file, line) acc ->
+      let cycle = if a = b then true else reaches b a in
+      if not cycle then acc
+      else
+        let id = if a <= b then (a, b) else (b, a) in
+        if Hashtbl.mem reported id then acc
+        else begin
+          Hashtbl.replace reported id ();
+          let d =
+            if a = b then
+              diag ~file ~line Codes.s501
+                "lock %s can be re-acquired while already held (self-deadlock \
+                 on a non-reentrant mutex)"
+                a
+            else
+              diag ~file ~line Codes.s501
+                "lock-order cycle: %s is acquired while %s is held, and a \
+                 call path acquires them in the opposite order — potential \
+                 deadlock"
+                b a
+          in
+          d :: acc
+        end)
+    edges []
+
+(* --- S502: lock not released on all exception paths --- *)
+
+let rule_lock_release ctx =
+  List.concat_map
+    (fun (d : Callgraph.def) ->
+      (summary ctx d.Callgraph.key).Flow.acquisitions
+      |> List.filter_map (fun (a : Flow.acquisition) ->
+             if a.Flow.released then None
+             else
+               Some
+                 (diag ~file:d.Callgraph.ml_path ~line:a.Flow.line Codes.s502
+                    "Mutex.lock %s is not released on all exception paths — \
+                     wrap the critical section in Mutex.protect or \
+                     Fun.protect ~finally:unlock"
+                    a.Flow.lock)))
+    (Callgraph.defs ctx.graph)
+
+(* --- S503: Atomic check-then-act --- *)
+
+let rule_check_then_act ctx =
+  List.concat_map
+    (fun (d : Callgraph.def) ->
+      (summary ctx d.Callgraph.key).Flow.check_then_act
+      |> List.map (fun (atom, line) ->
+             diag ~file:d.Callgraph.ml_path ~line Codes.s503
+               "Atomic.get %s followed by Atomic.set in %s without a \
+                compare_and_set loop — another domain can interleave between \
+                the check and the act"
+               atom d.Callgraph.name))
+    (Callgraph.defs ctx.graph)
+
+(* --- S504: blocking call while a lock is held --- *)
+
+let rule_blocking_under_lock ctx =
+  (* which defs may block, transitively, and through what primitive *)
+  let blocks_via =
+    fixpoint ctx (fun d ->
+        List.fold_left
+          (fun acc (path, _) -> StringSet.add path acc)
+          StringSet.empty
+          (summary ctx d.Callgraph.key).Flow.blocking_sites)
+  in
+  List.concat_map
+    (fun (d : Callgraph.def) ->
+      (summary ctx d.Callgraph.key).Flow.held_calls
+      |> List.filter_map (fun (hc : Flow.held_call) ->
+             let path = Ast.path_string hc.Flow.callee in
+             let held = String.concat ", " hc.Flow.held in
+             if Flow.is_blocking_path path then
+               Some
+                 (diag ~file:d.Callgraph.ml_path ~line:hc.Flow.call_line
+                    Codes.s504
+                    "blocking call %s while holding %s — the lock is pinned \
+                     for the whole operation"
+                    path held)
+             else
+               let via =
+                 List.fold_left
+                   (fun acc (c : Callgraph.def) ->
+                     match Hashtbl.find_opt blocks_via c.Callgraph.key with
+                     | Some s -> StringSet.union acc s
+                     | None -> acc)
+                   StringSet.empty
+                   (resolve_call ctx d hc.Flow.callee)
+               in
+               if StringSet.is_empty via then None
+               else
+                 Some
+                   (diag ~file:d.Callgraph.ml_path ~line:hc.Flow.call_line
+                      Codes.s504
+                      "call to %s while holding %s may block (reaches %s)"
+                      path held
+                      (String.concat ", " (StringSet.elements via)))))
+    (Callgraph.defs ctx.graph)
+
+(* --- S505: dead exported API --- *)
+
+(* Uses are collected textually over masked sources: every [Mod.value]
+   pair in the project (plus examples/), with per-file [module A = …]
+   aliases expanded. Token scanning under-approximates nothing the
+   codebase does — qualified access is the house style — and two
+   same-named modules in different libraries conservatively share
+   their uses. *)
+
+let is_upper c = 'A' <= c && c <= 'Z'
+
+let is_lower_start c = ('a' <= c && c <= 'z') || c = '_'
+
+(* All [(module, value)] pairs on one masked line. *)
+let dotted_pairs line =
+  let n = String.length line in
+  let ident_start i =
+    let j = ref i in
+    while !j > 0 && Source.is_ident_char line.[!j - 1] do
+      decr j
+    done;
+    !j
+  in
+  let ident_end i =
+    let j = ref i in
+    while !j < n && Source.is_ident_char line.[!j] do
+      incr j
+    done;
+    !j
+  in
+  let pairs = ref [] in
+  String.iteri
+    (fun i c ->
+      if c = '.' && i > 0 && i + 1 < n then begin
+        let ms = ident_start (i - 1) and me = i in
+        let vs = i + 1 in
+        let ve = ident_end vs in
+        if
+          me > ms && ve > vs
+          && is_upper line.[ms]
+          && is_lower_start line.[vs]
+        then
+          pairs :=
+            (String.sub line ms (me - ms), String.sub line vs (ve - vs))
+            :: !pairs
+      end)
+    line;
+  !pairs
+
+(* Per-file [module A = …path…] aliases, textual: A maps to the last
+   module component of the path. *)
+let file_aliases masked_lines =
+  Array.to_list masked_lines
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         let pre = "module " in
+         if
+           String.length line > String.length pre
+           && String.sub line 0 (String.length pre) = pre
+         then
+           match String.index_opt line '=' with
+           | None -> None
+           | Some eq ->
+             let lhs =
+               String.trim (String.sub line (String.length pre) (eq - String.length pre))
+             in
+             let rhs =
+               String.trim (String.sub line (eq + 1) (String.length line - eq - 1))
+             in
+             if
+               lhs <> "" && rhs <> ""
+               && String.for_all
+                    (fun c -> Source.is_ident_char c || c = '.')
+                    rhs
+               && is_upper rhs.[0]
+             then
+               let target =
+                 match String.rindex_opt rhs '.' with
+                 | Some i -> String.sub rhs (i + 1) (String.length rhs - i - 1)
+                 | None -> rhs
+               in
+               if lhs <> target then Some (lhs, target) else None
+             else None
+         else None)
+
+(* Fully-used marks: [open M] / [include M] where the last component
+   is a bare project module name. *)
+let full_use_marks masked_lines =
+  Array.to_list masked_lines
+  |> List.concat_map (fun line ->
+         List.filter_map
+           (fun kw ->
+             match Source.find_token line kw with
+             | None -> None
+             | Some i ->
+               let rest =
+                 String.trim
+                   (String.sub line
+                      (i + String.length kw)
+                      (String.length line - i - String.length kw))
+               in
+               let stop =
+                 let j = ref 0 in
+                 while
+                   !j < String.length rest
+                   && (Source.is_ident_char rest.[!j] || rest.[!j] = '.')
+                 do
+                   incr j
+                 done;
+                 !j
+               in
+               let path = String.sub rest 0 stop in
+               if path = "" then None
+               else
+                 let target =
+                   match String.rindex_opt path '.' with
+                   | Some k ->
+                     String.sub path (k + 1) (String.length path - k - 1)
+                   | None -> path
+                 in
+                 if target <> "" && is_upper target.[0] then Some target
+                 else None)
+           [ "open"; "include" ])
+
+let list_example_sources root =
+  let dir = Filename.concat root "examples" in
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.filter (fun f -> Filename.check_suffix f ".ml")
+    |> List.filter_map (fun f ->
+           match Source.load ~root ("examples/" ^ f) with
+           | src -> Some src
+           | exception Sys_error _ -> None)
+  else []
+
+let rule_dead_api ctx =
+  let p = ctx.project in
+  (* use index: (module name, value name) set and fully-used modules,
+     per source file *)
+  let uses = Hashtbl.create 1024 in
+  let fully_used = Hashtbl.create 16 in
+  let index_source (src : Source.t) =
+    let masked = Source.masked src in
+    let aliases = file_aliases masked in
+    let resolve m =
+      match List.assoc_opt m aliases with Some t -> t | None -> m
+    in
+    Array.iter
+      (fun line ->
+        List.iter
+          (fun (m, v) ->
+            Hashtbl.replace uses (resolve m, v) (Source.path src))
+          (dotted_pairs line))
+      masked;
+    List.iter
+      (fun m -> Hashtbl.replace fully_used (resolve m) (Source.path src))
+      (full_use_marks masked)
+  in
+  List.iter (fun (m : Project.module_info) -> index_source m.Project.source)
+    p.Project.modules;
+  List.iter index_source (list_example_sources p.Project.root);
+  (* exported values per lib module with a parsable .mli *)
+  List.concat_map
+    (fun (m : Project.module_info) ->
+      match m.Project.mli_path with
+      | None -> []
+      | Some mli_path -> (
+        match Source.load ~root:p.Project.root mli_path with
+        | exception Sys_error _ -> []
+        | mli_src -> (
+          match Ast.parse_intf ~path:mli_path (source_text mli_src) with
+          | Error _ -> []
+          | Ok signature ->
+            if Hashtbl.mem fully_used m.Project.name then []
+            else
+              List.filter_map
+                (fun (item : Parsetree.signature_item) ->
+                  match item.psig_desc with
+                  | Parsetree.Psig_value vd ->
+                    let name = vd.Parsetree.pval_name.txt in
+                    if
+                      name = ""
+                      || not (is_lower_start name.[0])
+                      || not (String.for_all Source.is_ident_char name)
+                    then None
+                    else
+                      let used_by =
+                        Hashtbl.find_opt uses (m.Project.name, name)
+                      in
+                      let external_use =
+                        match used_by with
+                        | Some path ->
+                          path <> m.Project.ml_path || Hashtbl.length uses = 0
+                        | None -> false
+                      in
+                      (* Hashtbl.replace keeps one witness; a value used
+                         only by its own .ml can shadow an external use,
+                         so double-check by scanning for any other
+                         witness before flagging. *)
+                      let external_use =
+                        external_use
+                        || Hashtbl.fold
+                             (fun (mm, vv) path acc ->
+                               acc
+                               || mm = m.Project.name && vv = name
+                                  && path <> m.Project.ml_path)
+                             uses false
+                      in
+                      if external_use then None
+                      else
+                        Some
+                          (diag ~file:mli_path
+                             ~line:(Ast.line_of vd.Parsetree.pval_loc)
+                             Codes.s505
+                             "%s.%s is exported but never referenced outside \
+                              its module — drop it from the interface or \
+                              delete the dead code"
+                             m.Project.name name)
+                  | _ -> None)
+                signature)))
+    (List.filter
+       (fun (m : Project.module_info) -> m.Project.owner <> None)
+       p.Project.modules)
+
+(* --- entry point --- *)
+
+let run (p : Project.t) =
+  let ctx = make_ctx p in
+  rule_lock_order ctx
+  @ rule_lock_release ctx
+  @ rule_check_then_act ctx
+  @ rule_blocking_under_lock ctx
+  @ rule_dead_api ctx

@@ -1,0 +1,26 @@
+(** The S5xx semantic rule family: AST-level analysis over the parsed
+    project (DESIGN.md §13).
+
+    Where the token rules see lines, these rules see structure:
+    MSOC-S501 walks the Mutex acquisition graph across the
+    {!Callgraph} and reports lock-order cycles; MSOC-S502 classifies
+    every critical section's exception paths; MSOC-S503 catches
+    [Atomic] check-then-act races; MSOC-S504 flags blocking calls made
+    while a lock is held (directly or transitively); MSOC-S505 reports
+    [.mli]-exported values no other module references.
+
+    Modules that fail to parse contribute nothing here — the engine
+    falls back to the token rules for them (graceful degradation). *)
+
+val run : Project.t -> Msoc_check.Diagnostic.t list
+(** All S5xx findings over the project, unsorted and unfiltered (the
+    engine applies the allowlist and sorting). *)
+
+val parse_ok : Project.module_info -> bool
+(** Whether the module's [.ml] parses — the engine keeps token rule
+    MSOC-S102 alive exactly for the modules where this is [false]
+    (or when the semantic tier is disabled). *)
+
+val parse_failures : Project.t -> int
+(** Count of modules whose [.ml] does not parse (reported by the CLI
+    so degradation is visible, never silent). *)

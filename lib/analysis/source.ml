@@ -33,6 +33,40 @@ let mask text =
   let n = String.length text in
   let out = Bytes.of_string text in
   let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  (* Quoted string literals [{|…|}] / [{id|…|id}]: the body obeys no
+     escape rules, so the whole literal is consumed (and blanked) in
+     one scan. [quoted_string_start i] recognizes the opener at [i]
+     and returns the delimiter id; [consume_quoted] blanks through the
+     matching [|id}] (or to EOF when unterminated, as the OCaml lexer
+     would error there anyway). *)
+  let quoted_string_start i =
+    if text.[i] <> '{' then None
+    else
+      let j = ref (i + 1) in
+      while
+        !j < n
+        && (match text.[!j] with 'a' .. 'z' | '_' -> true | _ -> false)
+      do
+        incr j
+      done;
+      if !j < n && text.[!j] = '|' then
+        Some (String.sub text (i + 1) (!j - i - 1))
+      else None
+  in
+  let consume_quoted i id =
+    let closer = "|" ^ id ^ "}" in
+    let m = String.length closer in
+    let rec find j =
+      if j + m > n then n
+      else if String.sub text j m = closer then j + m
+      else find (j + 1)
+    in
+    let stop = find (i + String.length id + 2) in
+    for k = i to stop - 1 do
+      blank k
+    done;
+    stop
+  in
   let i = ref 0 in
   let comment_depth = ref 0 in
   let in_string = ref false in
@@ -79,6 +113,11 @@ let mask text =
           blank !i;
           in_comment_string := true;
           incr i
+        | '{', _ when quoted_string_start !i <> None ->
+          (* the comment lexer also consumes quoted strings whole, so
+             a comment terminator inside one does not end the comment *)
+          let id = Option.get (quoted_string_start !i) in
+          i := consume_quoted !i id
         | _ ->
           blank !i;
           incr i
@@ -94,6 +133,9 @@ let mask text =
         blank !i;
         in_string := true;
         incr i
+      | '{', _ when quoted_string_start !i <> None ->
+        let id = Option.get (quoted_string_start !i) in
+        i := consume_quoted !i id
       | '\'', Some '\\' ->
         (* escaped char literal: '\n', '\\', '\xNN', '\123' *)
         let j = ref (!i + 2) in
@@ -139,6 +181,16 @@ let read_file path =
 
 let load ~root rel =
   of_string ~path:rel (read_file (Filename.concat root rel))
+
+(* --- content anchors --- *)
+
+(* Allowlist entries (and the CI ratchet baseline) anchor findings by
+   the *content* of the flagged line rather than its number, so
+   unrelated edits that shift line numbers never stale an audit. The
+   anchor is the first 8 hex chars of the MD5 of the trimmed raw
+   line. *)
+let hash_line line =
+  String.sub (Digest.to_hex (Digest.string (String.trim line))) 0 8
 
 (* --- token matching --- *)
 

@@ -28,8 +28,14 @@ val line_count : t -> int
 
 val mask : string -> string
 (** The masking lexer on a whole text: comments (nested, with
-    comment-embedded strings), string literals and char literals
-    blanked to spaces. Exposed for tests. *)
+    comment-embedded strings), string literals (plain ["…"] and
+    quoted [{|…|}] / [{id|…|id}] forms) and char literals blanked to
+    spaces. Exposed for tests. *)
+
+val hash_line : string -> string
+(** Stable 8-hex-char content anchor of one source line (MD5 of the
+    trimmed text) — the [@hash] form of allowlist entries and the CI
+    ratchet baseline key. *)
 
 val is_ident_char : char -> bool
 (** Letters, digits, ['_'] and ['''] — the characters that extend an

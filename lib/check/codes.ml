@@ -43,6 +43,12 @@ let s303 = "MSOC-S303"
 let s401 = "MSOC-S401"
 let s402 = "MSOC-S402"
 let s403 = "MSOC-S403"
+let s404 = "MSOC-S404"
+let s501 = "MSOC-S501"
+let s502 = "MSOC-S502"
+let s503 = "MSOC-S503"
+let s504 = "MSOC-S504"
+let s505 = "MSOC-S505"
 
 type info = { code : string; severity : Diagnostic.severity; title : string }
 
@@ -99,6 +105,12 @@ let all =
     warning s401 "allowlist entry matched no finding";
     warning s402 "allowlist entry carries no justification";
     error s403 "malformed allowlist line";
+    warning s404 "allowlist anchor hash no longer matches the code";
+    error s501 "lock-order cycle across the call graph (potential deadlock)";
+    error s502 "lock not released on all exception paths";
+    error s503 "atomic check-then-act without compare_and_set";
+    warning s504 "blocking call while a lock is held";
+    warning s505 "exported value never referenced outside its module";
   ]
 
 let describe code = List.find_opt (fun i -> i.code = code) all

@@ -4,10 +4,11 @@
     the mutation tests assert them, so once published a code keeps its
     meaning forever (retired codes are never reused). Numbering:
     E1xx/W1xx schedule checks, E2xx/W2xx cost cross-checks,
-    E3xx/W3xx [.soc] input lint, S1xx-S4xx source-level static
+    E3xx/W3xx [.soc] input lint, S1xx-S5xx source-level static
     analysis ({!Msoc_analysis}: S1xx concurrency, S2xx exception
-    safety, S3xx API hygiene, S4xx allowlist meta). The tables in
-    DESIGN.md §8 and §11 are generated from {!all}. *)
+    safety, S3xx API hygiene, S4xx allowlist meta, S5xx semantic
+    AST-level checks). The tables in DESIGN.md §8, §11 and §13 are
+    generated from {!all}. *)
 
 (* schedule checks *)
 
@@ -109,6 +110,34 @@ val s401 : string  (** allowlist entry matched no finding (stale) *)
 val s402 : string  (** allowlist entry carries no justification *)
 
 val s403 : string  (** malformed allowlist line *)
+
+val s404 : string
+(** allowlist entry carries a [@hash] content anchor that no longer
+    matches any line of the target file — the code under audit changed *)
+
+(* semantic (AST-level) analysis, Msoc_analysis S5xx *)
+
+val s501 : string
+(** lock-order cycle: the Mutex acquisition graph built across the
+    call graph contains a cycle — two call paths acquire the same
+    locks in opposite orders (potential deadlock) *)
+
+val s502 : string
+(** a [Mutex.lock] whose critical section can raise without the lock
+    being released ([Fun.protect]/[Mutex.protect] absent and the
+    continuation is not provably exception-free up to the unlock) *)
+
+val s503 : string
+(** [Atomic.get] followed by [Atomic.set] on the same atomic in one
+    function without a [compare_and_set] loop (check-then-act race) *)
+
+val s504 : string
+(** blocking call ([Unix] I/O, channel I/O, joins/delays) while a
+    lock is held, directly or through the call graph *)
+
+val s505 : string
+(** a value exported by a [.mli] is never referenced outside its own
+    module (dead exported API) *)
 
 type info = { code : string; severity : Diagnostic.severity; title : string }
 

@@ -93,7 +93,6 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let dir t = t.dir
 
 (* Keys are hex digests, but guard anyway: a key must never escape the
    cache directory or collide with temp names. *)

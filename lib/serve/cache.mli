@@ -44,4 +44,3 @@ val stats : t -> stats
 
 val stats_json : t -> Msoc_testplan.Export.json
 
-val dir : t -> string option

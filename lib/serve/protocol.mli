@@ -24,10 +24,6 @@
     Malformed lines never kill a connection: they produce a
     [bad_request] response with an empty [id]. *)
 
-val version : int
-(** Current schema version (1). Requests with any other [v] are
-    rejected so an old client fails loudly, not subtly. *)
-
 type op = Plan | Explore | Optimize | Stats | Shutdown
 
 val op_name : op -> string
@@ -50,9 +46,6 @@ val request_json : request -> Msoc_testplan.Export.json
 val request_to_line : request -> string
 (** Compact, newline-free — ready for [output_string] + ['\n']. *)
 
-val request_of_json :
-  Msoc_testplan.Export.json -> (request, string) result
-
 val request_of_line : string -> (request, string) result
 
 type status =
@@ -66,8 +59,6 @@ type status =
   | Shutting_down  (** server draining; no new work admitted *)
 
 val status_name : status -> string
-
-val status_of_name : string -> status option
 
 type response = {
   id : string;
@@ -85,11 +76,6 @@ val ok :
 val reject : ?elapsed_ms:float -> id:string -> status -> string -> response
 (** @raise Invalid_argument when called with [Success]. *)
 
-val response_json : response -> Msoc_testplan.Export.json
-
 val response_to_line : response -> string
-
-val response_of_json :
-  Msoc_testplan.Export.json -> (response, string) result
 
 val response_of_line : string -> (response, string) result

@@ -21,16 +21,18 @@ type t = {
 let jobs t = t.jobs
 
 let rec worker pool =
-  Mutex.lock pool.lock;
-  while Queue.is_empty pool.queue && not pool.stopping do
-    Condition.wait pool.work_available pool.lock
-  done;
-  match Queue.take_opt pool.queue with
+  let next =
+    Mutex.protect pool.lock (fun () ->
+        while Queue.is_empty pool.queue && not pool.stopping do
+          Condition.wait pool.work_available pool.lock
+        done;
+        Queue.take_opt pool.queue)
+  in
+  match next with
   | Some task ->
-    Mutex.unlock pool.lock;
     task ();
     worker pool
-  | None -> Mutex.unlock pool.lock (* stopping and drained *)
+  | None -> () (* stopping and drained *)
 
 let create ~jobs =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
@@ -72,30 +74,24 @@ let map pool f xs =
     let done_lock = Mutex.create () in
     let all_done = Condition.create () in
     let remaining = ref n in
-    Mutex.lock pool.lock;
-    if pool.stopping then begin
-      Mutex.unlock pool.lock;
-      invalid_arg "Pool.map: pool already shut down"
-    end;
-    Array.iteri
-      (fun i x ->
-        Queue.add
-          (fun () ->
-            let r = try Ok (f x) with e -> Error e in
-            Mutex.lock done_lock;
-            results.(i) <- Some r;
-            decr remaining;
-            if !remaining = 0 then Condition.signal all_done;
-            Mutex.unlock done_lock)
-          pool.queue)
-      items;
-    Condition.broadcast pool.work_available;
-    Mutex.unlock pool.lock;
-    Mutex.lock done_lock;
-    while !remaining > 0 do
-      Condition.wait all_done done_lock
-    done;
-    Mutex.unlock done_lock;
+    Mutex.protect pool.lock (fun () ->
+        if pool.stopping then invalid_arg "Pool.map: pool already shut down";
+        Array.iteri
+          (fun i x ->
+            Queue.add
+              (fun () ->
+                let r = try Ok (f x) with e -> Error e in
+                Mutex.protect done_lock (fun () ->
+                    results.(i) <- Some r;
+                    decr remaining;
+                    if !remaining = 0 then Condition.signal all_done))
+              pool.queue)
+          items;
+        Condition.broadcast pool.work_available);
+    Mutex.protect done_lock (fun () ->
+        while !remaining > 0 do
+          Condition.wait all_done done_lock
+        done);
     (* every slot is filled; re-raise the first failure in input order
        so error reporting is deterministic *)
     Array.to_list results

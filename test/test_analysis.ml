@@ -70,7 +70,15 @@ let fixture ?(mli = true) ?(dune = clean_dune) ?(extra = []) body =
   @ (if mli then [ ("lib/fix/fix.mli", "(* fixture interface *)\n") ] else [])
   @ extra
 
-let fix_config = { Rules.default_config with Rules.roots = [ "lib/fix" ] }
+(* Token-tier config: the S5xx semantic tier is exercised separately
+   (test_semantic.ml) so each fixture still reports exactly one
+   finding. *)
+let fix_config =
+  {
+    Rules.default_config with
+    Rules.roots = [ "lib/fix" ];
+    Rules.semantic = false;
+  }
 
 let analyze ?(config = fix_config) files =
   with_project files (fun root -> Engine.run ~config ~root ())

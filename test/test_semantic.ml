@@ -1,0 +1,678 @@
+(* Mutation-style tests for the S5xx semantic tier: every rule gets a
+   firing fixture and a near-miss (the legal spelling one edit away),
+   plus seeded mutations of the real lib/serve sources proving the
+   analyzer catches the concurrency bugs it was built for, hash-anchor
+   allowlist coverage, the CI ratchet baseline, and the quoted-string
+   masking regression with its qcheck line-geometry property. *)
+
+module Diagnostic = Msoc_check.Diagnostic
+module Codes = Msoc_check.Codes
+module Engine = Msoc_analysis.Engine
+module Rules = Msoc_analysis.Rules
+module Allowlist = Msoc_analysis.Allowlist
+module Baseline = Msoc_analysis.Baseline
+module Source = Msoc_analysis.Source
+module Project = Msoc_analysis.Project
+module Callgraph = Msoc_analysis.Callgraph
+module Flow = Msoc_analysis.Flow
+module Ast = Msoc_analysis.Ast
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+let with_project = Test_analysis.with_project
+let fixture = Test_analysis.fixture
+let show = Test_analysis.show
+
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* Semantic tier on; roots kept away from lib/fix so S101 stays out of
+   the picture and each fixture isolates its S5xx rule. *)
+let sem_config =
+  { Rules.default_config with Rules.roots = [ "lib/none" ] }
+
+let analyze ?(config = sem_config) files =
+  with_project files (fun root -> Engine.run ~config ~root ())
+
+let codes_of (r : Engine.report) =
+  List.map (fun (d : Diagnostic.t) -> d.Diagnostic.code) r.Engine.diagnostics
+
+let has code r = List.mem code (codes_of r)
+
+let assert_fires ~ctx code line (r : Engine.report) =
+  let hits =
+    List.filter (fun (d : Diagnostic.t) -> d.Diagnostic.code = code)
+      r.Engine.diagnostics
+  in
+  checki (ctx ^ ": exactly one " ^ code ^ " — " ^ show r) 1 (List.length hits);
+  match hits with
+  | [ d ] ->
+    checkb
+      (ctx ^ ": line anchor")
+      true
+      (d.Diagnostic.location.Diagnostic.line = Some line)
+  | _ -> ()
+
+let assert_clean ~ctx (r : Engine.report) =
+  checks (ctx ^ ": clean") "<clean>" (show r)
+
+(* --- S501: lock-order cycles --- *)
+
+let test_s501_lock_order () =
+  let r =
+    analyze
+      (fixture
+         "let a = Mutex.create ()\n\
+          let b = Mutex.create ()\n\
+          let f () = Mutex.protect a (fun () -> Mutex.protect b (fun () -> 1))\n\
+          let g () = Mutex.protect b (fun () -> Mutex.protect a (fun () -> 2))\n")
+  in
+  checkb ("S501 opposite orders fire — " ^ show r) true (has Codes.s501 r);
+  (* same order everywhere: no cycle *)
+  let r =
+    analyze
+      (fixture
+         "let a = Mutex.create ()\n\
+          let b = Mutex.create ()\n\
+          let f () = Mutex.protect a (fun () -> Mutex.protect b (fun () -> 1))\n\
+          let g () = Mutex.protect a (fun () -> Mutex.protect b (fun () -> 2))\n")
+  in
+  assert_clean ~ctx:"S501 consistent order" r
+
+let test_s501_through_callgraph () =
+  (* f holds [a] and calls helper, which re-acquires [a]: a self-cycle
+     visible only across the call graph *)
+  let r =
+    analyze
+      (fixture
+         "let a = Mutex.create ()\n\
+          let helper () = Mutex.protect a (fun () -> 1)\n\
+          let f () = Mutex.protect a (fun () -> helper ())\n")
+  in
+  checkb ("S501 re-acquisition via call — " ^ show r) true (has Codes.s501 r);
+  (* helper takes a different lock: no cycle *)
+  let r =
+    analyze
+      (fixture
+         "let a = Mutex.create ()\n\
+          let b = Mutex.create ()\n\
+          let helper () = Mutex.protect b (fun () -> 1)\n\
+          let f () = Mutex.protect a (fun () -> helper ())\n")
+  in
+  assert_clean ~ctx:"S501 distinct locks via call" r
+
+(* --- S502: lock not released on all exception paths --- *)
+
+let test_s502_exception_paths () =
+  let r =
+    analyze
+      (fixture
+         "let m = Mutex.create ()\n\
+          let bad xs =\n\
+         \  Mutex.lock m;\n\
+         \  let v = List.hd xs in\n\
+         \  Mutex.unlock m;\n\
+          \  v\n")
+  in
+  assert_fires ~ctx:"S502 raising critical section" Codes.s502 3 r;
+  (* Fun.protect dominates the unlock: clean *)
+  let r =
+    analyze
+      (fixture
+         "let m = Mutex.create ()\n\
+          let good xs =\n\
+         \  Mutex.lock m;\n\
+         \  Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> List.hd xs)\n")
+  in
+  assert_clean ~ctx:"S502 Fun.protect" r;
+  (* Mutex.protect: clean *)
+  let r =
+    analyze
+      (fixture
+         "let m = Mutex.create ()\n\
+          let good xs = Mutex.protect m (fun () -> List.hd xs)\n")
+  in
+  assert_clean ~ctx:"S502 Mutex.protect" r;
+  (* exception-free prefix up to the unlock: clean *)
+  let r =
+    analyze
+      (fixture
+         "let m = Mutex.create ()\n\
+          let flag = ref false\n\
+          let set () =\n\
+         \  Mutex.lock m;\n\
+         \  flag := true;\n\
+         \  Mutex.unlock m\n")
+  in
+  assert_clean ~ctx:"S502 safe prefix" r
+
+(* --- S503: Atomic check-then-act --- *)
+
+let test_s503_check_then_act () =
+  let r =
+    analyze
+      (fixture
+         "let hits = Atomic.make 0\n\
+          let bump () =\n\
+         \  let v = Atomic.get hits in\n\
+         \  Atomic.set hits (v + 1)\n")
+  in
+  (* anchored at the act (the Atomic.set), line 4 *)
+  assert_fires ~ctx:"S503 get-then-set" Codes.s503 4 r;
+  (* a compare_and_set loop on the same atomic: clean *)
+  let r =
+    analyze
+      (fixture
+         "let hits = Atomic.make 0\n\
+          let rec bump () =\n\
+         \  let v = Atomic.get hits in\n\
+         \  if not (Atomic.compare_and_set hits v (v + 1)) then bump ()\n")
+  in
+  assert_clean ~ctx:"S503 CAS loop" r;
+  (* get and set on different atomics: clean *)
+  let r =
+    analyze
+      (fixture
+         "let a = Atomic.make 0\n\
+          let b = Atomic.make 0\n\
+          let copy () =\n\
+         \  let v = Atomic.get a in\n\
+         \  Atomic.set b v\n")
+  in
+  assert_clean ~ctx:"S503 distinct atomics" r
+
+(* --- S504: blocking call while a lock is held --- *)
+
+let test_s504_blocking_under_lock () =
+  let r =
+    analyze
+      (fixture
+         "let m = Mutex.create ()\n\
+          let nap () = Mutex.protect m (fun () -> Thread.delay 0.1)\n")
+  in
+  assert_fires ~ctx:"S504 direct" Codes.s504 2 r;
+  (* transitive: the blocking primitive is one call away *)
+  let r =
+    analyze
+      (fixture
+         "let m = Mutex.create ()\n\
+          let slow () = Thread.delay 0.1\n\
+          let f () = Mutex.protect m (fun () -> slow ())\n")
+  in
+  assert_fires ~ctx:"S504 transitive" Codes.s504 3 r;
+  (* Condition.wait releases its mutex while waiting: not blocking *)
+  let r =
+    analyze
+      (fixture
+         "let m = Mutex.create ()\n\
+          let c = Condition.create ()\n\
+          let flag = ref false\n\
+          let wait () =\n\
+         \  Mutex.protect m (fun () ->\n\
+         \      while not !flag do Condition.wait c m done)\n")
+  in
+  assert_clean ~ctx:"S504 Condition.wait" r;
+  (* whitelisted Unix call (no I/O wait): clean *)
+  let r =
+    analyze
+      (fixture
+         "let m = Mutex.create ()\n\
+          let stamp = ref 0.0\n\
+          let f () = Mutex.protect m (fun () -> stamp := Unix.gettimeofday ())\n")
+  in
+  assert_clean ~ctx:"S504 gettimeofday" r
+
+(* --- S505: dead exported API --- *)
+
+let test_s505_dead_api () =
+  let mli = "val used : int -> int\nval dead : int -> int\n" in
+  let body = "let used x = x + 1\nlet dead x = x - 1\n" in
+  let user =
+    [ ("lib/fix/other.ml", "let f x = Fix.used x\n");
+      ("lib/fix/other.mli", "val f : int -> int\n") ]
+  in
+  let r =
+    analyze
+      (fixture ~mli:false ~extra:user body @ [ ("lib/fix/fix.mli", mli) ])
+  in
+  (* [Fix.dead] is unreferenced; [Fix.used] is referenced by Other *)
+  checkb ("S505 dead export fires — " ^ show r) true (has Codes.s505 r);
+  checkb "S505 anchors in fix.mli line 2" true
+    (List.exists
+       (fun (d : Diagnostic.t) ->
+         d.Diagnostic.code = Codes.s505
+         && d.Diagnostic.location.Diagnostic.file = Some "lib/fix/fix.mli"
+         && d.Diagnostic.location.Diagnostic.line = Some 2)
+       r.Engine.diagnostics);
+  checkb "S505 spares the used export" true
+    (not
+       (List.exists
+          (fun (d : Diagnostic.t) ->
+            d.Diagnostic.code = Codes.s505
+            && d.Diagnostic.location.Diagnostic.line = Some 1
+            && d.Diagnostic.location.Diagnostic.file = Some "lib/fix/fix.mli")
+          r.Engine.diagnostics));
+  (* [open]ing the module marks every export used *)
+  let r =
+    analyze
+      (fixture ~mli:false
+         ~extra:
+           [ ("lib/fix/other.ml", "open Fix\nlet f x = used (dead x)\n");
+             ("lib/fix/other.mli", "val f : int -> int\n") ]
+         body
+      @ [ ("lib/fix/fix.mli", mli) ])
+  in
+  checkb ("S505 open marks used — " ^ show r) true
+    (not
+       (List.exists
+          (fun (d : Diagnostic.t) ->
+            d.Diagnostic.code = Codes.s505
+            && d.Diagnostic.location.Diagnostic.file = Some "lib/fix/fix.mli")
+          r.Engine.diagnostics))
+
+(* --- graceful degradation: parse failure keeps the token tier --- *)
+
+let test_parse_failure_degrades () =
+  let r =
+    analyze
+      (fixture
+         "let m = Mutex.create ()\n\
+          let f () =\n\
+         \  Mutex.lock m;\n\
+         \  compute (oops\n")
+  in
+  checki ("unparsable module counted — " ^ show r) 1 r.Engine.parse_failures;
+  checkb "token S102 still fires" true (has Codes.s102 r);
+  checkb "no S502 from the failed parse" true (not (has Codes.s502 r));
+  (* parsable module: S502 supersedes S102 (no double fire) *)
+  let r =
+    analyze
+      (fixture
+         "let m = Mutex.create ()\n\
+          let bad xs =\n\
+         \  Mutex.lock m;\n\
+         \  let v = List.hd xs in\n\
+         \  Mutex.unlock m;\n\
+          \  v\n")
+  in
+  checkb "S502 on the parsable spelling" true (has Codes.s502 r);
+  checkb "S102 superseded" true (not (has Codes.s102 r));
+  (* --no-semantic: token tier only, S102 is back *)
+  let r =
+    analyze
+      ~config:{ sem_config with Rules.semantic = false }
+      (fixture
+         "let m = Mutex.create ()\n\
+          let bad xs =\n\
+         \  Mutex.lock m;\n\
+         \  let v = List.hd xs in\n\
+         \  ignore (List.length xs);\n\
+          \  ()\n")
+  in
+  checkb "token tier alone flags unpaired lock" true (has Codes.s102 r);
+  checki "semantic off: no parse accounting" 0 r.Engine.parse_failures
+
+(* --- seeded mutations of the real lib/serve sources --- *)
+
+(* dune runs tests from _build/default/test; (source_tree ../lib) in
+   test/dune materializes the real sources. *)
+let read_real path = Source.read_file (Filename.concat ".." path)
+
+let serve_dune =
+  "(library\n\
+  \ (name fix)\n\
+  \ (flags\n\
+  \  (:standard -w +a-4-40-41-42-44-45-70 -warn-error +a)))\n"
+
+let replace ~what ~by text =
+  match
+    let wl = String.length what in
+    let rec find i =
+      if i + wl > String.length text then None
+      else if String.sub text i wl = what then Some i
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> Alcotest.fail ("mutation anchor not found: " ^ what)
+  | Some i ->
+    String.sub text 0 i ^ by
+    ^ String.sub text (i + String.length what)
+        (String.length text - i - String.length what)
+
+let mutated_cache mutation =
+  [
+    ("lib/fix/dune", serve_dune);
+    ("lib/fix/cache.ml", mutation (read_real "lib/serve/cache.ml"));
+    ("lib/fix/cache.mli", "(* mutated fixture interface *)\n");
+  ]
+
+let test_mutated_serve_unguarded_lock () =
+  (* drop the Fun.protect guard from Cache.locked: every critical
+     section that can raise now leaks the mutex on exceptions *)
+  let mutation text =
+    replace
+      ~what:"Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f"
+      ~by:"let r = f () in\n  Mutex.unlock t.lock;\n  r" text
+  in
+  let r = analyze (mutated_cache mutation) in
+  checkb ("mutated cache: S502 caught — " ^ show r) true (has Codes.s502 r)
+
+let test_mutated_serve_lock_cycle () =
+  (* re-acquire the cache lock through the call graph: a wrapper holds
+     t.lock and calls locked, which takes it again *)
+  let mutation text =
+    text
+    ^ "\nlet peek_twice t f = Mutex.protect t.lock (fun () -> locked t f)\n"
+  in
+  let r = analyze (mutated_cache mutation) in
+  checkb ("mutated cache: S501 caught — " ^ show r) true (has Codes.s501 r)
+
+let test_real_serve_cache_no_false_positives () =
+  (* the unmutated cache funnels every critical section through
+     [locked] (lock + Fun.protect): the semantic tier must not invent
+     S501/S502/S504 findings on it (its S202 eviction invariant is the
+     only expected hit) *)
+  let r =
+    analyze
+      [
+        ("lib/fix/dune", serve_dune);
+        ("lib/fix/cache.ml", read_real "lib/serve/cache.ml");
+        ("lib/fix/cache.mli", "(* fixture interface *)\n");
+      ]
+  in
+  List.iter
+    (fun code ->
+      checkb
+        ("unmutated cache clean of " ^ code ^ " — " ^ show r)
+        true
+        (not (has code r)))
+    [ Codes.s501; Codes.s502; Codes.s504 ]
+
+let test_mutated_serve_blocking_under_lock () =
+  (* inline a disk sweep under the real cache lock: S504 must see the
+     blocking call the [locked] indirection would have hidden *)
+  let mutation text =
+    text
+    ^ "\n\
+       let sweep t =\n\
+      \  Mutex.protect t.lock (fun () ->\n\
+      \      Array.iter Sys.remove (Sys.readdir \".\"))\n"
+  in
+  let r = analyze (mutated_cache mutation) in
+  checkb ("mutated cache: S504 caught — " ^ show r) true (has Codes.s504 r)
+
+(* --- allowlist @hash anchors and S404 --- *)
+
+let s202_fixture = "let get = function Some x -> x | None -> assert false\n"
+
+let test_allowlist_hash_anchor () =
+  let line_hash = Source.hash_line s202_fixture in
+  (* live anchor: suppresses the finding, no audit noise *)
+  let files =
+    fixture s202_fixture
+    @ [
+        ( "analysis.allow",
+          Printf.sprintf "MSOC-S202 lib/fix/fix.ml@%s # fixture audit\n"
+            line_hash );
+      ]
+  in
+  let r = analyze files in
+  checks ("hash anchor suppresses — " ^ show r) "<clean>" (show r);
+  checki "one suppressed" 1 r.Engine.suppressed;
+  (* the anchor survives the line moving *)
+  let files =
+    fixture ("let shift = 0\n" ^ s202_fixture)
+    @ [
+        ( "analysis.allow",
+          Printf.sprintf "MSOC-S202 lib/fix/fix.ml@%s # fixture audit\n"
+            line_hash );
+      ]
+  in
+  let r = analyze files in
+  checks ("anchor follows moved line — " ^ show r) "<clean>" (show r)
+
+let test_allowlist_stale_hash_is_s404 () =
+  let files =
+    fixture s202_fixture
+    @ [
+        ("analysis.allow",
+         "MSOC-S202 lib/fix/fix.ml@deadbeef # audited against older code\n");
+      ]
+  in
+  let r = analyze files in
+  checkb ("finding kept — " ^ show r) true (has Codes.s202 r);
+  checkb "S404 dead anchor reported" true (has Codes.s404 r);
+  checkb "not the plain S401" true (not (has Codes.s401 r));
+  (* malformed anchor: S403 *)
+  let files =
+    fixture "let id x = x\n"
+    @ [ ("analysis.allow", "MSOC-S202 lib/fix/fix.ml@xyz # bad anchor\n") ]
+  in
+  let r = analyze files in
+  checkb "S403 on malformed hash" true (has Codes.s403 r)
+
+let test_allowlist_hash_parsing () =
+  let t =
+    Allowlist.of_string
+      "MSOC-S504 lib/serve/cache.ml:12@0a1b2c3d # spill under lock\n"
+  in
+  (match t.Allowlist.entries with
+  | [ e ] ->
+    checks "file" "lib/serve/cache.ml" e.Allowlist.file;
+    checkb "line kept as informational" true (e.Allowlist.line = Some 12);
+    checkb "hash parsed" true (e.Allowlist.hash = Some "0a1b2c3d")
+  | _ -> Alcotest.fail "expected one entry");
+  checki "no parse diags" 0 (List.length t.Allowlist.parse_diags)
+
+(* --- the CI ratchet baseline --- *)
+
+let mkdiag ?line code file =
+  Diagnostic.make ~file ?line ~code ~severity:Diagnostic.Error "seeded"
+
+let test_baseline_ratchet () =
+  let known = [ mkdiag ~line:3 Codes.s202 "lib/a.ml"; mkdiag Codes.s303 "lib/b.ml" ] in
+  let b = Baseline.of_diagnostics known in
+  (* same findings: everything absorbed *)
+  let cmp = Baseline.compare_run b known in
+  checki "absorbed" 2 cmp.Baseline.suppressed;
+  checki "nothing fresh" 0 (List.length cmp.Baseline.fresh);
+  (* a new file's finding is fresh; known groups stay absorbed *)
+  let cmp = Baseline.compare_run b (mkdiag Codes.s202 "lib/c.ml" :: known) in
+  checki "one fresh" 1 (List.length cmp.Baseline.fresh);
+  (* a known group growing past its count resurfaces whole *)
+  let cmp =
+    Baseline.compare_run b (mkdiag ~line:9 Codes.s202 "lib/a.ml" :: known)
+  in
+  checkb "grown group resurfaces" true
+    (List.exists
+       (fun (d : Diagnostic.t) ->
+         d.Diagnostic.location.Diagnostic.file = Some "lib/a.ml")
+       cmp.Baseline.fresh);
+  (* shrinking reports the improvement *)
+  let cmp = Baseline.compare_run b [ List.hd known ] in
+  checki "improvement noted" 1 (List.length cmp.Baseline.improved);
+  (* round-trip through the committed JSON form *)
+  match Baseline.of_string (Baseline.to_string b) with
+  | Error e -> Alcotest.fail e
+  | Ok b' ->
+    let cmp = Baseline.compare_run b' known in
+    checki "round-tripped baseline still absorbs" 2 cmp.Baseline.suppressed
+
+let test_baseline_never_absorbs_audit () =
+  let audit =
+    Diagnostic.make ~file:"analysis.allow" ~line:2 ~code:Codes.s401
+      ~severity:Diagnostic.Warning "stale"
+  in
+  let b = Baseline.of_diagnostics [ audit ] in
+  let cmp = Baseline.compare_run b [ audit ] in
+  checki "S4xx stays live" 1 (List.length cmp.Baseline.fresh)
+
+(* --- quoted-string masking (regression) --- *)
+
+let test_mask_quoted_strings () =
+  let masked = Source.mask "let s = {|Mutex.lock and \"quote\"|} ;;" in
+  checkb "{|...|} body blanked" true
+    (not (contains masked "Mutex.lock"));
+  let masked = Source.mask "let s = {ext|assert false |} still|ext} done" in
+  checkb "{id|...|id} honors its id" true
+    (not (contains masked "assert false")
+    && not (contains masked "still"));
+  checkb "{id|...|id} ends at its terminator" true
+    (contains masked "done");
+  (* a comment terminator inside a quoted string does not end the string *)
+  let masked = Source.mask "let s = {|a *) b|}\nlet live = exit 1\n" in
+  checkb "*) inside {|...|} inert" true
+    (contains masked "exit");
+  (* a quoted string inside a comment keeps the comment's extent *)
+  let masked = Source.mask "(* {|inner *) still comment|} *) let live = 3" in
+  checkb "comment swallows quoted *)" true
+    (contains masked "live");
+  checkb "comment body blanked" true
+    (not (contains masked "still"));
+  (* near-misses: Bigarray access and record syntax are not quoted strings *)
+  let masked = Source.mask "let v = x.{0} + 1 let r = { r with field = 2 }" in
+  checkb "x.{0} untouched" true (contains masked "x.{0}");
+  checkb "record braces untouched" true (contains masked "field");
+  (* the loaded-source view agrees with the raw mask *)
+  let src = Source.of_string ~path:"q.ml" "let s = {|exit 1|}\nlet k = 2\n" in
+  checki "line_count" 2 (Source.line_count src);
+  checkb "masked lines blank the quoted body" true
+    (not (contains (Source.masked src).(0) "exit"));
+  checks "default allowlist name" "analysis.allow" Engine.default_allowlist_file
+
+let mask_geometry_prop =
+  let gen =
+    QCheck.string_gen_of_size (QCheck.Gen.int_range 0 200)
+      (QCheck.Gen.oneofl
+         [ 'a'; 'x'; '{'; '}'; '|'; '"'; '\''; '('; '*'; ')'; '\n'; ' '; '\\' ])
+  in
+  QCheck.Test.make ~count:500 ~name:"mask preserves line geometry" gen
+    (fun text ->
+      let masked = Source.mask text in
+      let lines t = String.split_on_char '\n' t in
+      List.length (lines masked) = List.length (lines text)
+      && List.for_all2
+           (fun a b -> String.length a = String.length b)
+           (lines masked) (lines text))
+
+(* --- the Ast parse cache --- *)
+
+let test_ast_cache () =
+  Ast.reset_cache_stats ();
+  let text = "let f x = x + 1\n" in
+  (match Ast.parse_impl ~path:"a.ml" text with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let hits0, misses0 = Ast.cache_stats () in
+  (* same content, different path: served from the content-keyed cache *)
+  (match Ast.parse_impl ~path:"b.ml" text with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let hits1, misses1 = Ast.cache_stats () in
+  checkb "second parse is a cache hit" true (hits1 = hits0 + 1);
+  checki "no extra miss" misses0 misses1;
+  match Ast.parse_impl ~path:"c.ml" "let broken = (" with
+  | Ok _ -> Alcotest.fail "broken text parsed"
+  | Error e -> checkb "parse error described" true (String.length e > 0)
+
+(* --- white-box: Flow and Callgraph helpers --- *)
+
+let test_flow_and_callgraph () =
+  with_project
+    (fixture
+       "let m = Mutex.create ()\n\
+        let alias = m\n\
+        let risky = List.hd [ 1 ]\n\
+        let caller () = risky + 1\n")
+    (fun root ->
+      let p = Project.load ~root in
+      let g = Callgraph.build p in
+      let def name =
+        match
+          List.find_opt (fun (d : Callgraph.def) -> d.Callgraph.name = name)
+            (Callgraph.defs g)
+        with
+        | Some d -> d
+        | None -> Alcotest.fail ("def not found: " ^ name)
+      in
+      checkb "lock_expr renders idents" true
+        (Flow.lock_expr (def "alias").Callgraph.body = Some "m");
+      checkb "List.hd may raise" true
+        (Flow.may_raise (def "risky").Callgraph.body);
+      checkb "a closure body does not raise by itself" true
+        (not (Flow.may_raise (def "caller").Callgraph.body));
+      let caller = def "caller" in
+      checkb "caller -> risky edge" true
+        (List.mem (def "risky").Callgraph.key
+           (Callgraph.callees g caller.Callgraph.key));
+      (* Project.dependencies: fix has no library deps *)
+      match p.Project.modules with
+      | m :: _ -> checki "no lib deps" 0 (List.length (Project.dependencies p m))
+      | [] -> Alcotest.fail "no modules")
+
+(* --- the full-repo semantic run stays fast --- *)
+
+let test_semantic_run_under_budget () =
+  let r = Engine.run ~root:".." () in
+  checkb
+    (Printf.sprintf "full semantic run in %.1f s (< 10 s budget)"
+       r.Engine.elapsed_s)
+    true (r.Engine.elapsed_s < 10.0)
+
+let suites =
+  [
+    ( "semantic-rules",
+      [
+        Alcotest.test_case "S501 lock order" `Quick test_s501_lock_order;
+        Alcotest.test_case "S501 via call graph" `Quick
+          test_s501_through_callgraph;
+        Alcotest.test_case "S502 exception paths" `Quick
+          test_s502_exception_paths;
+        Alcotest.test_case "S503 check-then-act" `Quick
+          test_s503_check_then_act;
+        Alcotest.test_case "S504 blocking under lock" `Quick
+          test_s504_blocking_under_lock;
+        Alcotest.test_case "S505 dead exported API" `Quick test_s505_dead_api;
+        Alcotest.test_case "parse-failure degradation" `Quick
+          test_parse_failure_degrades;
+      ] );
+    ( "semantic-serve-mutations",
+      [
+        Alcotest.test_case "unguarded cache lock caught" `Quick
+          test_mutated_serve_unguarded_lock;
+        Alcotest.test_case "lock re-acquisition caught" `Quick
+          test_mutated_serve_lock_cycle;
+        Alcotest.test_case "blocking inlined under lock caught" `Quick
+          test_mutated_serve_blocking_under_lock;
+        Alcotest.test_case "unmutated cache has no false positives" `Quick
+          test_real_serve_cache_no_false_positives;
+        Alcotest.test_case "full run under budget" `Quick
+          test_semantic_run_under_budget;
+      ] );
+    ( "semantic-allowlist",
+      [
+        Alcotest.test_case "hash anchor" `Quick test_allowlist_hash_anchor;
+        Alcotest.test_case "stale hash is S404" `Quick
+          test_allowlist_stale_hash_is_s404;
+        Alcotest.test_case "hash grammar" `Quick test_allowlist_hash_parsing;
+      ] );
+    ( "semantic-baseline",
+      [
+        Alcotest.test_case "ratchet" `Quick test_baseline_ratchet;
+        Alcotest.test_case "audit never baselined" `Quick
+          test_baseline_never_absorbs_audit;
+      ] );
+    ( "semantic-infra",
+      [
+        Alcotest.test_case "quoted-string masking" `Quick
+          test_mask_quoted_strings;
+        QCheck_alcotest.to_alcotest mask_geometry_prop;
+        Alcotest.test_case "ast cache" `Quick test_ast_cache;
+        Alcotest.test_case "flow & callgraph helpers" `Quick
+          test_flow_and_callgraph;
+      ] );
+  ]

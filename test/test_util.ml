@@ -133,6 +133,34 @@ let test_bell_matches_enumeration () =
       (List.length (Combinat.set_partitions (List.init n Fun.id)))
   done
 
+(* The restricted-growth-string encoding enumerates exactly the set
+   partitions: decoding every RGS of length n through groups_of_rgs
+   yields each canonical partition once. *)
+let test_rgs_encodes_partitions () =
+  for n = 0 to 6 do
+    let items = Array.init n Fun.id in
+    let decoded =
+      Combinat.restricted_growth_seq n
+      |> Seq.map (fun rgs -> Combinat.groups_of_rgs items rgs)
+      |> List.of_seq
+    in
+    checki
+      (Printf.sprintf "Bell(%d) strings" n)
+      (Combinat.bell_number n) (List.length decoded);
+    let canon p = List.map (List.sort compare) p |> List.sort compare in
+    checki
+      (Printf.sprintf "distinct partitions at n=%d" n)
+      (Combinat.bell_number n)
+      (List.length (List.sort_uniq compare (List.map canon decoded)));
+    List.iter
+      (fun p ->
+        checki
+          (Printf.sprintf "covers all %d elements" n)
+          n
+          (List.length (List.concat p)))
+      decoded
+  done
+
 let test_subsets () =
   checki "2^4 subsets" 16 (List.length (Combinat.subsets [ 1; 2; 3; 4 ]));
   checkb "empty subset present" true (List.mem [] (Combinat.subsets [ 1; 2 ]))
@@ -271,6 +299,7 @@ let suites =
         Alcotest.test_case "partitions distinct" `Quick test_set_partitions_distinct;
         Alcotest.test_case "bell numbers" `Quick test_bell_number;
         Alcotest.test_case "bell matches enumeration" `Quick test_bell_matches_enumeration;
+        Alcotest.test_case "rgs encoding" `Quick test_rgs_encodes_partitions;
         Alcotest.test_case "subsets" `Quick test_subsets;
         Alcotest.test_case "pairs" `Quick test_pairs;
         Alcotest.test_case "block sizes" `Quick test_block_sizes;
