@@ -798,25 +798,109 @@ module Serve_protocol = Msoc_serve.Protocol
 module Serve_service = Msoc_serve.Service
 module Export = Msoc_testplan.Export
 
-let run_serve socket cache_dir memory_cache queue jobs =
-  let cache =
-    Msoc_serve.Cache.create ?dir:cache_dir ~memory_capacity:memory_cache ()
+(* daemon arguments shared by [serve] and [fleet] *)
+
+let serve_socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Serve as a daemon on this Unix-domain socket instead of stdio.")
+
+let serve_tcp_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT"
+        ~doc:
+          "Serve as a TCP daemon on 127.0.0.1:$(docv) (0 picks a free port). \
+           Exclusive with $(b,--socket).")
+
+let worker_id_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "worker-id" ] ~docv:"ID"
+        ~doc:
+          "Stamp every response envelope with this worker id (fleet members \
+           use w0, w1, ...).")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist results content-addressed under this directory; identical \
+           problems hit the cache across restarts, clients and concurrent \
+           daemons sharing the directory.")
+
+let memory_cache_arg =
+  Arg.(
+    value & opt int 512
+    & info [ "memory-cache" ] ~docv:"N"
+        ~doc:"In-memory LRU capacity (entries).")
+
+let cache_max_mb_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-max-mb" ] ~docv:"MB"
+        ~doc:
+          "Cap the on-disk cache; a size-aware sweep removes the oldest \
+           entries once the directory crosses the cap.")
+
+let queue_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Bounded request queue capacity; requests beyond it are rejected \
+           with an $(b,overloaded) envelope.")
+
+let run_serve socket tcp worker_id cache_dir memory_cache cache_max_mb queue
+    jobs =
+  let max_disk_bytes =
+    Option.map
+      (fun mb ->
+        if mb < 1 then Fmt.failwith "--cache-max-mb must be >= 1, got %d" mb;
+        mb * 1024 * 1024)
+      cache_max_mb
   in
-  let service = Serve_service.create ~cache ~jobs:(resolve_jobs jobs) () in
+  let cache =
+    Msoc_serve.Cache.create ?dir:cache_dir ?max_disk_bytes
+      ~memory_capacity:memory_cache ()
+  in
+  let service =
+    Serve_service.create ~cache ?worker:worker_id ~jobs:(resolve_jobs jobs) ()
+  in
+  let describe endpoint =
+    Fmt.epr "msoc_plan serve: listening on %s (jobs=%d, queue=%d%s%s)@."
+      endpoint (Serve_service.jobs service) queue
+      (match cache_dir with
+      | Some d -> Printf.sprintf ", cache-dir=%s" d
+      | None -> ", memory cache only")
+      (match worker_id with
+      | Some w -> Printf.sprintf ", worker=%s" w
+      | None -> "")
+  in
   Fun.protect
     ~finally:(fun () -> Serve_service.shutdown service)
     (fun () ->
-      match socket with
-      | Some path ->
-        Fmt.epr "msoc_plan serve: listening on %s (jobs=%d, queue=%d%s)@." path
-          (Serve_service.jobs service) queue
-          (match cache_dir with
-          | Some d -> Printf.sprintf ", cache-dir=%s" d
-          | None -> ", memory cache only");
+      match (socket, tcp) with
+      | Some _, Some _ -> Fmt.failwith "--socket and --tcp are exclusive"
+      | Some path, None ->
+        describe path;
         Msoc_serve.Server.serve_unix ~queue_capacity:queue ~socket_path:path
           service;
         Fmt.epr "msoc_plan serve: drained, exiting@."
-      | None -> Msoc_serve.Server.serve_channels service stdin stdout)
+      | None, Some port ->
+        Msoc_serve.Server.serve_tcp ~queue_capacity:queue
+          ~ready:(fun bound ->
+            describe (Printf.sprintf "127.0.0.1:%d" bound))
+          ~port service;
+        Fmt.epr "msoc_plan serve: drained, exiting@."
+      | None, None -> Msoc_serve.Server.serve_channels service stdin stdout)
 
 let serve_cmd =
   let doc =
@@ -824,40 +908,136 @@ let serve_cmd =
      (default) or a Unix-domain socket daemon with a bounded request queue, \
      per-request deadlines and a two-level result cache"
   in
-  let socket_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "socket" ] ~docv:"PATH"
-          ~doc:"Serve as a daemon on this Unix-domain socket instead of stdio.")
-  in
-  let cache_dir_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "cache-dir" ] ~docv:"DIR"
-          ~doc:
-            "Persist results content-addressed under this directory; identical \
-             problems hit the cache across restarts and clients.")
-  in
-  let memory_cache_arg =
-    Arg.(
-      value & opt int 512
-      & info [ "memory-cache" ] ~docv:"N"
-          ~doc:"In-memory LRU capacity (entries).")
-  in
-  let queue_arg =
-    Arg.(
-      value & opt int 64
-      & info [ "queue" ] ~docv:"N"
-          ~doc:
-            "Bounded request queue capacity; requests beyond it are rejected \
-             with an $(b,overloaded) envelope.")
-  in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const run_serve $ socket_arg $ cache_dir_arg $ memory_cache_arg
-      $ queue_arg $ jobs_arg)
+      const run_serve $ serve_socket_arg $ serve_tcp_arg $ worker_id_arg
+      $ cache_dir_arg $ memory_cache_arg $ cache_max_mb_arg $ queue_arg
+      $ jobs_arg)
+
+(* --- fleet --- *)
+
+module Fleet_router = Msoc_fleet.Router
+module Fleet_supervisor = Msoc_fleet.Supervisor
+
+let run_fleet socket tcp workers base_port cache_dir memory_cache cache_max_mb
+    queue jobs window replicas retry_rounds seed =
+  if workers < 1 then Fmt.failwith "--workers must be >= 1, got %d" workers;
+  let listen =
+    match (socket, tcp) with
+    | Some _, Some _ -> Fmt.failwith "--socket and --tcp are exclusive"
+    | Some path, None -> `Unix path
+    | None, Some port -> `Tcp ("127.0.0.1", port)
+    | None, None -> Fmt.failwith "fleet needs --socket PATH or --tcp PORT"
+  in
+  let specs =
+    List.init workers (fun i ->
+        let id = Printf.sprintf "w%d" i in
+        let port = base_port + i in
+        let argv =
+          [ Sys.executable_name; "serve"; "--tcp"; string_of_int port;
+            "--worker-id"; id; "--memory-cache"; string_of_int memory_cache;
+            "--queue"; string_of_int queue ]
+          @ (match cache_dir with Some d -> [ "--cache-dir"; d ] | None -> [])
+          @ (match cache_max_mb with
+            | Some mb -> [ "--cache-max-mb"; string_of_int mb ]
+            | None -> [])
+          @ (match jobs with Some j -> [ "--jobs"; string_of_int j ] | None -> [])
+        in
+        { Fleet_supervisor.id; argv = Array.of_list argv; port })
+  in
+  let ids = List.map (fun (s : Fleet_supervisor.spec) -> s.id) specs in
+  (* one metrics table shared by the router and the supervisor, so
+     worker restarts show up in the fleet's stats envelope *)
+  let metrics = Msoc_fleet.Fleet_metrics.create ~ids in
+  let stop = Atomic.make false in
+  let request_stop = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+  let old_term = Sys.signal Sys.sigterm request_stop in
+  let old_int = Sys.signal Sys.sigint request_stop in
+  let supervisor =
+    Fleet_supervisor.create ~seed
+      ~on_restart:(Msoc_fleet.Fleet_metrics.incr_restart metrics)
+      specs
+  in
+  Fmt.epr "msoc_plan fleet: %d workers on ports %d-%d (%s)@." workers base_port
+    (base_port + workers - 1)
+    (String.concat ", "
+       (List.map
+          (fun (id, pid) -> Printf.sprintf "%s pid %d" id pid)
+          (Fleet_supervisor.pids supervisor)));
+  Fun.protect
+    ~finally:(fun () ->
+      Fleet_supervisor.stop supervisor;
+      Sys.set_signal Sys.sigterm old_term;
+      Sys.set_signal Sys.sigint old_int)
+    (fun () ->
+      let cfg =
+        Fleet_router.config ~window ~replicas ~retry_rounds ~seed
+          (List.map
+             (fun (s : Fleet_supervisor.spec) ->
+               { Fleet_router.id = s.Fleet_supervisor.id; host = "127.0.0.1";
+                 port = s.Fleet_supervisor.port })
+             specs)
+      in
+      Fleet_router.run ~metrics
+        ~ready:(fun bound ->
+          match listen with
+          | `Unix path -> Fmt.epr "msoc_plan fleet: router on %s@." path
+          | `Tcp _ -> Fmt.epr "msoc_plan fleet: router on 127.0.0.1:%d@." bound)
+        ~listen ~stop cfg);
+  Fmt.epr "msoc_plan fleet: drained, exiting@."
+
+let fleet_cmd =
+  let doc =
+    "run a planning fleet: N serve workers on consecutive TCP ports behind a \
+     consistent-hash router, supervised (health checks, restart on crash) and \
+     sharing one on-disk result cache; clients speak the ordinary serve \
+     protocol to the router endpoint"
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker process count.")
+  in
+  let base_port_arg =
+    Arg.(
+      value & opt int 7670
+      & info [ "base-port" ] ~docv:"PORT"
+          ~doc:"Workers listen on $(docv), $(docv)+1, ...")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "window" ] ~docv:"N"
+          ~doc:
+            "Per-worker in-flight cap; admissions beyond it are shed with an \
+             $(b,overloaded) envelope, never spilled to another worker.")
+  in
+  let replicas_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "replicas" ] ~docv:"N"
+          ~doc:"Hash-ring virtual nodes per worker.")
+  in
+  let retry_rounds_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "retry-rounds" ] ~docv:"N"
+          ~doc:
+            "Jittered-backoff rounds to wait for any worker before answering \
+             $(b,unavailable).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Seed for backoff jitter (restart and retry schedules).")
+  in
+  Cmd.v (Cmd.info "fleet" ~doc)
+    Term.(
+      const run_fleet $ serve_socket_arg $ serve_tcp_arg $ workers_arg
+      $ base_port_arg $ cache_dir_arg $ memory_cache_arg $ cache_max_mb_arg
+      $ queue_arg $ jobs_arg $ window_arg $ replicas_arg $ retry_rounds_arg
+      $ seed_arg)
 
 (* --- replay --- *)
 
@@ -937,8 +1117,175 @@ let percentile sorted p =
   | 0 -> 0.0
   | n -> sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
 
-let run_replay socket count mix_str widths_str weights_str soc_file
-    analog_labels window repeat deadline_ms verify =
+let latency_json lats =
+  let a = Array.of_list lats in
+  Array.sort compare a;
+  Export.Object
+    [
+      ("count", Export.Int (Array.length a));
+      ("p50_ms", Export.Float (percentile a 0.50));
+      ("p90_ms", Export.Float (percentile a 0.90));
+      ("p99_ms", Export.Float (percentile a 0.99));
+      ("p99_9_ms", Export.Float (percentile a 0.999));
+      ("max_ms", Export.Float (percentile a 1.0));
+    ]
+
+let ordinal_of_id id =
+  if String.length id > 1 && id.[0] = 'q' then
+    int_of_string_opt (String.sub id 1 (String.length id - 1))
+  else None
+
+(* connect () gives a fresh connection to the replay target: a serve
+   daemon's Unix socket or the TCP front door of a worker or a fleet
+   router — the protocol is identical on all three. *)
+let replay_connect socket tcp =
+  match (socket, tcp) with
+  | Some _, Some _ -> Fmt.failwith "--socket and --tcp are exclusive"
+  | None, None -> Fmt.failwith "replay needs --socket PATH or --tcp HOST:PORT"
+  | Some path, None ->
+    fun () ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> fd
+      | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e)
+  | None, Some spec ->
+    let host, port_text =
+      match String.rindex_opt spec ':' with
+      | Some i ->
+        ( String.sub spec 0 i,
+          String.sub spec (i + 1) (String.length spec - i - 1) )
+      | None -> ("127.0.0.1", spec)
+    in
+    let port =
+      match int_of_string_opt port_text with
+      | Some p -> p
+      | None -> Fmt.failwith "--tcp: expected HOST:PORT or PORT, got %S" spec
+    in
+    let addr =
+      match host with
+      | "" | "localhost" | "127.0.0.1" -> Unix.inet_addr_loopback
+      | h -> (
+        match Unix.inet_addr_of_string h with
+        | a -> a
+        | exception Failure _ -> Fmt.failwith "--tcp: bad host in %S" spec)
+    in
+    fun () ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (match
+         Unix.connect fd (Unix.ADDR_INET (addr, port));
+         Unix.setsockopt fd Unix.TCP_NODELAY true
+       with
+      | () -> fd
+      | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e)
+
+(* Open loop: requests depart on a Poisson schedule fixed before the
+   run starts, split round-robin over [clients] connections. Arrivals
+   never wait for responses — pressure the target cannot absorb shows
+   up honestly as latency or shed envelopes, not as a politely pausing
+   generator. Each connection pairs a sender (paces the schedule) with
+   a reader (scatters responses by ordinal); a receive timeout bounds
+   stragglers so a silent drop is counted, not waited on forever. *)
+let replay_open_loop ~connect ~clients ~rate ~seed requests =
+  let requests = Array.of_list requests in
+  let n = Array.length requests in
+  let arrivals = Array.make n 0.0 in
+  let rng = Msoc_util.Rng.create ~seed in
+  let t = ref 0.0 in
+  Array.iteri
+    (fun i _ ->
+      let u = Msoc_util.Rng.float rng ~bound:1.0 in
+      t := !t +. (-.log (1.0 -. u) /. rate);
+      arrivals.(i) <- !t)
+    requests;
+  let send_at = Array.make n 0.0 in
+  let results = Array.make n None in
+  let malformed = Atomic.make 0 in
+  let parts = Array.make (max 1 clients) [] in
+  for i = n - 1 downto 0 do
+    parts.(i mod clients) <- i :: parts.(i mod clients)
+  done;
+  let t0 = Unix.gettimeofday () in
+  let client_thread part () =
+    let fd = connect () in
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let expected = List.length part in
+    let reader =
+      Thread.create
+        (fun () ->
+          let got = ref 0 in
+          try
+            while !got < expected do
+              let line = input_line ic in
+              let now = Unix.gettimeofday () in
+              match Serve_protocol.response_of_line line with
+              | Error _ -> Atomic.incr malformed
+              | Ok resp -> (
+                incr got;
+                match ordinal_of_id resp.Serve_protocol.id with
+                | Some i when i >= 0 && i < n ->
+                  results.(i) <- Some (resp, 1e3 *. (now -. send_at.(i)))
+                | Some _ | None -> Atomic.incr malformed)
+            done
+          with End_of_file | Sys_error _ -> ())
+        ()
+    in
+    List.iter
+      (fun i ->
+        let rec pace () =
+          let dt = t0 +. arrivals.(i) -. Unix.gettimeofday () in
+          if dt > 0.0 then begin
+            Thread.delay (Float.min dt 0.05);
+            pace ()
+          end
+        in
+        pace ();
+        send_at.(i) <- Unix.gettimeofday ();
+        try
+          output_string oc (Serve_protocol.request_to_line requests.(i));
+          output_char oc '\n';
+          flush oc
+        with Sys_error _ -> ())
+      part;
+    Thread.join reader;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let threads =
+    Array.to_list (Array.map (fun part -> Thread.create (client_thread part) ()) parts)
+  in
+  List.iter Thread.join threads;
+  (results, Atomic.get malformed, Unix.gettimeofday () -. t0)
+
+(* One stats envelope on a fresh connection; soft-fails to None so a
+   load report survives a target that drained right after the run. *)
+let fetch_stats connect =
+  match connect () with
+  | exception Unix.Unix_error _ -> None
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        try
+          output_string oc
+            (Serve_protocol.request_to_line
+               (Serve_protocol.request ~id:"stats" Serve_protocol.Stats));
+          output_char oc '\n';
+          flush oc;
+          match Serve_protocol.response_of_line (input_line ic) with
+          | Ok r -> Some r.Serve_protocol.result
+          | Error _ -> None
+        with End_of_file | Sys_error _ -> None)
+
+let run_replay socket tcp count mix_str widths_str weights_str soc_file
+    analog_labels window repeat deadline_ms verify clients rate allow_shed
+    json_out seed =
   let mix =
     String.split_on_char ',' mix_str
     |> List.filter (fun s -> String.trim s <> "")
@@ -949,6 +1296,15 @@ let run_replay socket count mix_str widths_str weights_str soc_file
              Fmt.failwith "--mix accepts plan and optimize, got %S" s)
   in
   if mix = [] then Fmt.failwith "--mix selects no operations";
+  if clients < 1 then Fmt.failwith "--clients must be >= 1, got %d" clients;
+  let allowed_shed =
+    String.split_on_char ',' allow_shed
+    |> List.filter (fun s -> String.trim s <> "")
+    |> List.map (fun s ->
+           match Serve_protocol.status_of_name (String.trim s) with
+           | Some st -> st
+           | None -> Fmt.failwith "--allow-shed: unknown status %S" s)
+  in
   let widths = parse_int_list ~what:"--widths" widths_str in
   let weights = parse_float_list ~what:"--weights" weights_str in
   let soc_text =
@@ -968,93 +1324,186 @@ let run_replay socket count mix_str widths_str weights_str soc_file
     |> List.mapi (fun i (r : Serve_protocol.request) ->
            { r with Serve_protocol.id = Printf.sprintf "q%d" i })
   in
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.connect fd (Unix.ADDR_UNIX socket);
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
+  let n = List.length requests in
+  let connect = replay_connect socket tcp in
   let fail_replay msg =
     Fmt.epr "replay: FAIL: %s@." msg;
     exit 1
   in
-  let t0 = Unix.gettimeofday () in
-  let responses, malformed =
-    try replay_exchange ~window ic oc requests
-    with Failure msg | Sys_error msg -> fail_replay msg
+  let results, malformed, wall =
+    match rate with
+    | Some r ->
+      if r <= 0.0 then Fmt.failwith "--rate must be positive";
+      replay_open_loop ~connect ~clients ~rate:r ~seed requests
+    | None ->
+      (* closed loop: one connection, bounded pipeline windows *)
+      let fd = connect () in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let t0 = Unix.gettimeofday () in
+      let responses, malformed =
+        try replay_exchange ~window ic oc requests
+        with Failure msg | Sys_error msg -> fail_replay msg
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      let results = Array.make n None in
+      List.iter
+        (fun ((resp : Serve_protocol.response), lat) ->
+          match ordinal_of_id resp.Serve_protocol.id with
+          | Some i when i >= 0 && i < n -> results.(i) <- Some (resp, lat)
+          | Some _ | None -> ())
+        responses;
+      (results, malformed, wall)
   in
-  let wall = Unix.gettimeofday () -. t0 in
-  (* one stats envelope closes the session *)
-  let stats =
-    try
-      output_string oc
-        (Serve_protocol.request_to_line
-           (Serve_protocol.request ~id:"stats" Serve_protocol.Stats));
-      output_char oc '\n';
-      flush oc;
-      match Serve_protocol.response_of_line (input_line ic) with
-      | Ok r -> r.Serve_protocol.result
-      | Error e -> fail_replay (Printf.sprintf "malformed stats response: %s" e)
-    with End_of_file | Sys_error _ ->
-      fail_replay "server closed the connection before the stats exchange"
+  let stats = fetch_stats connect in
+  let answered =
+    List.concat
+      (List.mapi
+         (fun i req ->
+           match results.(i) with
+           | Some (resp, lat) -> [ (req, resp, lat) ]
+           | None -> [])
+         requests)
   in
-  Unix.close fd;
+  let dropped = n - List.length answered in
   let by_status = Hashtbl.create 8 in
   List.iter
-    (fun ((r : Serve_protocol.response), _) ->
+    (fun (_, (r : Serve_protocol.response), lat) ->
       let k = Serve_protocol.status_name r.Serve_protocol.status in
-      Hashtbl.replace by_status k (1 + Option.value (Hashtbl.find_opt by_status k) ~default:0))
-    responses;
-  let total = List.length responses in
-  let cached =
-    List.length
-      (List.filter (fun ((r : Serve_protocol.response), _) ->
-           r.Serve_protocol.cached <> None)
-         responses)
+      let count, lats =
+        Option.value (Hashtbl.find_opt by_status k) ~default:(0, [])
+      in
+      Hashtbl.replace by_status k (count + 1, lat :: lats))
+    answered;
+  let oks =
+    List.filter
+      (fun (_, (r : Serve_protocol.response), _) ->
+        r.Serve_protocol.status = Serve_protocol.Success)
+      answered
   in
-  let lat = Array.of_list (List.map snd responses) in
-  Array.sort compare lat;
-  Fmt.pr "replayed %d requests in %.2f s (%.0f req/s), window %d@."
-    (List.length requests) wall
-    (float_of_int (List.length requests) /. Float.max 1e-9 wall)
-    window;
-  Hashtbl.iter (fun k v -> Fmt.pr "  %-18s %d@." k v) by_status;
-  Fmt.pr "  cache hits (any level): %d of %d (%.1f%%)@." cached total
-    (100.0 *. float_of_int cached /. float_of_int (max 1 total));
-  Fmt.pr "  client latency ms: p50 %.2f  p95 %.2f  max %.2f@."
-    (percentile lat 0.50) (percentile lat 0.95) (percentile lat 1.0);
-  (match Export.member "cache" stats with
+  let warm, cold =
+    List.partition
+      (fun (_, (r : Serve_protocol.response), _) ->
+        r.Serve_protocol.cached <> None)
+      oks
+  in
+  let lat_of (_, _, l) = l in
+  (* worker attribution and routing stability: of the repeated routing
+     keys, what fraction of answers came from each key's modal worker *)
+  let worker_counts = Hashtbl.create 8 in
+  let key_workers = Hashtbl.create 64 in
+  List.iter
+    (fun (req, (r : Serve_protocol.response), _) ->
+      match r.Serve_protocol.worker with
+      | None -> ()
+      | Some w ->
+        Hashtbl.replace worker_counts w
+          (1 + Option.value (Hashtbl.find_opt worker_counts w) ~default:0);
+        if w <> "router" then begin
+          let key = Fleet_router.routing_key req in
+          Hashtbl.replace key_workers key
+            (w :: Option.value (Hashtbl.find_opt key_workers key) ~default:[])
+        end)
+    answered;
+  let same_worker =
+    let repeated, modal =
+      Hashtbl.fold
+        (fun _ ws (repeated, modal) ->
+          match ws with
+          | [] | [ _ ] -> (repeated, modal)
+          | ws ->
+            let tally = Hashtbl.create 4 in
+            List.iter
+              (fun w ->
+                Hashtbl.replace tally w
+                  (1 + Option.value (Hashtbl.find_opt tally w) ~default:0))
+              ws;
+            let best = Hashtbl.fold (fun _ c m -> max c m) tally 0 in
+            (repeated + List.length ws, modal + best))
+        key_workers (0, 0)
+    in
+    if repeated = 0 then None
+    else Some (float_of_int modal /. float_of_int repeated)
+  in
+  Fmt.pr "replayed %d requests in %.2f s (%.0f req/s), %s@." n wall
+    (float_of_int n /. Float.max 1e-9 wall)
+    (match rate with
+    | Some r ->
+      Printf.sprintf "open loop at %.0f req/s over %d client(s)" r clients
+    | None -> Printf.sprintf "closed loop, window %d" window);
+  Hashtbl.iter
+    (fun k (count, lats) ->
+      let a = Array.of_list lats in
+      Array.sort compare a;
+      Fmt.pr "  %-18s %6d  p50 %.2f  p90 %.2f  p99 %.2f  p99.9 %.2f  max %.2f ms@."
+        k count (percentile a 0.50) (percentile a 0.90) (percentile a 0.99)
+        (percentile a 0.999) (percentile a 1.0))
+    by_status;
+  Fmt.pr "  warm (cached) %d / cold %d of %d ok@." (List.length warm)
+    (List.length cold) (List.length oks);
+  if Hashtbl.length worker_counts > 0 then begin
+    let workers =
+      List.sort compare
+        (Hashtbl.fold (fun w c acc -> (w, c) :: acc) worker_counts [])
+    in
+    Fmt.pr "  workers: %s%s@."
+      (String.concat ", "
+         (List.map (fun (w, c) -> Printf.sprintf "%s=%d" w c) workers))
+      (match same_worker with
+      | Some f -> Printf.sprintf "; same-worker %.1f%% of repeated keys" (100.0 *. f)
+      | None -> "")
+  end;
+  (match Option.bind stats (Export.member "cache") with
   | Some cache_json -> Fmt.pr "  server cache: %s@." (Export.to_string cache_json)
   | None -> ());
-  let ok_count = Option.value (Hashtbl.find_opt by_status "ok") ~default:0 in
   let failures = ref 0 in
   if malformed > 0 then begin
     Fmt.epr "FAIL: %d malformed response envelopes@." malformed;
     incr failures
   end;
-  if total <> List.length requests then begin
-    Fmt.epr "FAIL: %d of %d responses dropped@."
-      (List.length requests - total) (List.length requests);
+  if dropped > 0 then begin
+    Fmt.epr "FAIL: %d of %d requests got no response envelope@." dropped n;
     incr failures
   end;
-  if ok_count <> total then begin
-    Fmt.epr "FAIL: %d responses were not ok@." (total - ok_count);
+  let bad_status =
+    List.length
+      (List.filter
+         (fun (_, (r : Serve_protocol.response), _) ->
+           let st = r.Serve_protocol.status in
+           st <> Serve_protocol.Success && not (List.mem st allowed_shed))
+         answered)
+  in
+  if bad_status > 0 then begin
+    Fmt.epr "FAIL: %d responses had a status outside ok%s@." bad_status
+      (if allowed_shed = [] then ""
+       else
+         Printf.sprintf " + {%s}"
+           (String.concat ","
+              (List.map Serve_protocol.status_name allowed_shed)));
     incr failures
   end;
   (* bit-identical spot check against the one-shot planner *)
-  if verify > 0 && total = List.length requests then begin
+  if verify > 0 then begin
     let seen = Hashtbl.create 8 in
     let sample =
       List.filter
-        (fun ((req : Serve_protocol.request), _) ->
-          let key = Export.to_string (Serve_protocol.request_json { req with Serve_protocol.id = "" }) in
+        (fun ((req : Serve_protocol.request), (r : Serve_protocol.response), _) ->
+          r.Serve_protocol.status = Serve_protocol.Success
+          &&
+          let key =
+            Export.to_string
+              (Serve_protocol.request_json { req with Serve_protocol.id = "" })
+          in
           if Hashtbl.mem seen key || Hashtbl.length seen >= verify then false
           else begin
             Hashtbl.replace seen key ();
             true
           end)
-        (List.combine requests (List.map fst responses))
+        answered
     in
     List.iter
-      (fun ((req : Serve_protocol.request), (resp : Serve_protocol.response)) ->
+      (fun ((req : Serve_protocol.request), (resp : Serve_protocol.response), _) ->
         let params = req.Serve_protocol.params in
         let get_int name ~default =
           match Export.member name params with
@@ -1101,18 +1550,117 @@ let run_replay socket count mix_str widths_str weights_str soc_file
     Fmt.pr "  verified %d distinct configurations against the one-shot CLI@."
       (Hashtbl.length seen)
   end;
+  (match json_out with
+  | None -> ()
+  | Some path ->
+    let statuses =
+      List.sort compare
+        (Hashtbl.fold
+           (fun k (count, lats) acc ->
+             ( k,
+               Export.Object
+                 [ ("count", Export.Int count);
+                   ("latency", latency_json lats) ] )
+             :: acc)
+           by_status [])
+    in
+    let workers =
+      List.sort compare
+        (Hashtbl.fold
+           (fun w c acc -> (w, Export.Int c) :: acc)
+           worker_counts [])
+    in
+    let json =
+      Export.Object
+        [
+          ( "mode",
+            Export.String
+              (match rate with Some _ -> "open-loop" | None -> "closed-loop") );
+          ( "rate",
+            match rate with Some r -> Export.Float r | None -> Export.Null );
+          ("clients", Export.Int (match rate with Some _ -> clients | None -> 1));
+          ("requests", Export.Int n);
+          ("wall_s", Export.Float wall);
+          ( "achieved_rps",
+            Export.Float (float_of_int n /. Float.max 1e-9 wall) );
+          ("dropped", Export.Int dropped);
+          ("malformed", Export.Int malformed);
+          ("statuses", Export.Object statuses);
+          ("warm", latency_json (List.map lat_of warm));
+          ("cold", latency_json (List.map lat_of cold));
+          ("workers", Export.Object workers);
+          ( "same_worker_fraction",
+            match same_worker with
+            | Some f -> Export.Float f
+            | None -> Export.Null );
+          ("server", Option.value stats ~default:Export.Null);
+          ("failures", Export.Int !failures);
+        ]
+    in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Export.to_string json ^ "\n")));
   if !failures > 0 then exit 1
 
 let replay_cmd =
   let doc =
-    "replay a mixed request stream against a running serve daemon, validate \
-     every envelope and spot-check results against the one-shot planner"
+    "drive a serve daemon or a fleet router with a deterministic request \
+     stream — closed-loop pipelined by default, an open-loop Poisson load \
+     generator with $(b,--rate) — validate every envelope and spot-check \
+     results against the one-shot planner"
   in
   let socket_arg =
     Arg.(
-      required
+      value
       & opt (some string) None
-      & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon socket to connect to.")
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Daemon or router Unix socket to connect to.")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:
+            "TCP endpoint to connect to (a fleet router or a TCP worker). \
+             Exclusive with $(b,--socket).")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Concurrent connections in open-loop mode.")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ] ~docv:"R"
+          ~doc:
+            "Open-loop mode: send at R req/s with Poisson arrivals, split \
+             over $(b,--clients) connections, never waiting for responses.")
+  in
+  let allow_shed_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "allow-shed" ] ~docv:"STATUSES"
+          ~doc:
+            "Comma-separated statuses (e.g. overloaded,unavailable) tolerated \
+             without failing the run; dropped connections always fail.")
+  in
+  let json_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE"
+          ~doc:"Write the load report (percentiles, statuses, workers) as JSON.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Seed for the Poisson arrival schedule.")
   in
   let count_arg =
     Arg.(
@@ -1164,9 +1712,10 @@ let replay_cmd =
   in
   Cmd.v (Cmd.info "replay" ~doc)
     Term.(
-      const run_replay $ socket_arg $ count_arg $ mix_arg $ widths_arg
-      $ weights_arg $ soc_file_arg $ analog_labels_arg $ window_arg
-      $ repeat_arg $ deadline_arg $ verify_arg)
+      const run_replay $ socket_arg $ tcp_arg $ count_arg $ mix_arg
+      $ widths_arg $ weights_arg $ soc_file_arg $ analog_labels_arg
+      $ window_arg $ repeat_arg $ deadline_arg $ verify_arg $ clients_arg
+      $ rate_arg $ allow_shed_arg $ json_out_arg $ seed_arg)
 
 (* --- bist --- *)
 
@@ -1225,6 +1774,7 @@ let () =
             explore_cmd;
             optimize_cmd;
             serve_cmd;
+            fleet_cmd;
             replay_cmd;
             soc_info_cmd;
             sharing_cmd;

@@ -1,0 +1,95 @@
+module Export = Msoc_testplan.Export
+
+type t = {
+  ids : string array;
+  index : (string, int) Hashtbl.t;  (* frozen after create *)
+  up : int Atomic.t array;  (* gauge: 1 while the link is usable *)
+  forwarded : int Atomic.t array;
+  retries : int Atomic.t array;
+  failovers : int Atomic.t array;
+  shed_overloaded : int Atomic.t array;
+  reconnects : int Atomic.t array;
+  restarts : int Atomic.t array;
+  in_flight : int Atomic.t array;  (* gauge: forwarded, not yet answered *)
+  queued : int Atomic.t array;  (* gauge: assigned, waiting for slot/retry *)
+  shed_unavailable : int Atomic.t;
+  malformed : int Atomic.t;
+}
+
+let atomics n = Array.init n (fun _ -> Atomic.make 0)
+
+let create ~ids =
+  let ids = Array.of_list ids in
+  let index = Hashtbl.create (Array.length ids) in
+  Array.iteri (fun i id -> Hashtbl.replace index id i) ids;
+  let n = Array.length ids in
+  {
+    ids;
+    index;
+    up = atomics n;
+    forwarded = atomics n;
+    retries = atomics n;
+    failovers = atomics n;
+    shed_overloaded = atomics n;
+    reconnects = atomics n;
+    restarts = atomics n;
+    in_flight = atomics n;
+    queued = atomics n;
+    shed_unavailable = Atomic.make 0;
+    malformed = Atomic.make 0;
+  }
+
+(* Unknown ids are ignored rather than raised on: metric updates race
+   fleet reconfiguration and must never take a worker path down. *)
+let on t id f =
+  match Hashtbl.find_opt t.index id with Some i -> f i | None -> ()
+
+let set_up t id alive = on t id (fun i -> Atomic.set t.up.(i) (if alive then 1 else 0))
+
+let incr_forwarded t id = on t id (fun i -> Atomic.incr t.forwarded.(i))
+
+let incr_retry t id = on t id (fun i -> Atomic.incr t.retries.(i))
+
+let incr_failover t id = on t id (fun i -> Atomic.incr t.failovers.(i))
+
+let incr_shed_overloaded t id = on t id (fun i -> Atomic.incr t.shed_overloaded.(i))
+
+let incr_reconnect t id = on t id (fun i -> Atomic.incr t.reconnects.(i))
+
+let incr_restart t id = on t id (fun i -> Atomic.incr t.restarts.(i))
+
+let in_flight_incr t id = on t id (fun i -> Atomic.incr t.in_flight.(i))
+
+let in_flight_decr t id = on t id (fun i -> Atomic.decr t.in_flight.(i))
+
+let queued_incr t id = on t id (fun i -> Atomic.incr t.queued.(i))
+
+let queued_decr t id = on t id (fun i -> Atomic.decr t.queued.(i))
+
+let incr_shed_unavailable t = Atomic.incr t.shed_unavailable
+
+let incr_malformed t = Atomic.incr t.malformed
+
+let snapshot_json t =
+  let worker i id =
+    ( id,
+      Export.Object
+        [
+          ("up", Export.Int (Atomic.get t.up.(i)));
+          ("forwarded", Export.Int (Atomic.get t.forwarded.(i)));
+          ("retries", Export.Int (Atomic.get t.retries.(i)));
+          ("failovers", Export.Int (Atomic.get t.failovers.(i)));
+          ("shed_overloaded", Export.Int (Atomic.get t.shed_overloaded.(i)));
+          ("reconnects", Export.Int (Atomic.get t.reconnects.(i)));
+          ("restarts", Export.Int (Atomic.get t.restarts.(i)));
+          ("in_flight", Export.Int (Atomic.get t.in_flight.(i)));
+          ("queued", Export.Int (Atomic.get t.queued.(i)));
+        ] )
+  in
+  Export.Object
+    [
+      ( "workers",
+        Export.Object (Array.to_list (Array.mapi worker t.ids)) );
+      ("shed_unavailable", Export.Int (Atomic.get t.shed_unavailable));
+      ("malformed", Export.Int (Atomic.get t.malformed));
+    ]

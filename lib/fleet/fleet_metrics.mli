@@ -1,0 +1,49 @@
+(** Router-side fleet observability: per-worker counters and gauges.
+
+    Same discipline as {!Msoc_serve.Metrics}: every cell is an
+    [Atomic], updated lock-free from reader threads, worker links and
+    the supervisor, and snapshotted tear-tolerantly (each cell
+    individually consistent) for the fleet's [stats] envelope.
+
+    Counters per worker: [forwarded] (requests dispatched),
+    [retries] (resends after a link or worker failure), [failovers]
+    (requests moved off a down primary), [shed_overloaded] (window
+    full), [reconnects] (link re-establishments), [restarts]
+    (supervisor respawns). Gauges per worker: [up], [in_flight]
+    (dispatched, unanswered), [queued] (assigned, awaiting a window
+    slot or a retry). Fleet-level: [shed_unavailable] (no worker
+    reachable), [malformed] (unparseable client lines). *)
+
+type t
+
+val create : ids:string list -> t
+(** One row per worker id; updates for unknown ids are ignored. *)
+
+val set_up : t -> string -> bool -> unit
+
+val incr_forwarded : t -> string -> unit
+
+val incr_retry : t -> string -> unit
+
+val incr_failover : t -> string -> unit
+
+val incr_shed_overloaded : t -> string -> unit
+
+val incr_reconnect : t -> string -> unit
+
+val incr_restart : t -> string -> unit
+
+val in_flight_incr : t -> string -> unit
+
+val in_flight_decr : t -> string -> unit
+
+val queued_incr : t -> string -> unit
+
+val queued_decr : t -> string -> unit
+
+val incr_shed_unavailable : t -> unit
+
+val incr_malformed : t -> unit
+
+val snapshot_json : t -> Msoc_testplan.Export.json
+(** The ["fleet"] section of the router's [stats] response. *)

@@ -1,0 +1,495 @@
+module Export = Msoc_testplan.Export
+module Protocol = Msoc_serve.Protocol
+module Server = Msoc_serve.Server
+module Backoff = Msoc_util.Backoff
+
+(* --- routing keys --- *)
+
+(* The routing key must be computable without loading the SOC (the
+   router never parses problem files), must be stable across clients
+   (field order in hand-written JSON varies), and must send repeats of
+   the same request to the same worker (warm prepared/memo caches).
+   Canonicalized params — object keys sorted, recursively — plus the
+   op name give exactly that: a superset of the inputs to the worker's
+   own cache key. *)
+let rec canonical (j : Export.json) =
+  match j with
+  | Export.Object fields ->
+    Export.Object
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) fields
+      |> List.map (fun (k, v) -> (k, canonical v)))
+  | Export.List items -> Export.List (List.map canonical items)
+  | other -> other
+
+let routing_key (req : Protocol.request) =
+  Protocol.op_name req.Protocol.op
+  ^ "#"
+  ^ Export.to_string (canonical req.Protocol.params)
+
+(* --- configuration --- *)
+
+type worker_spec = { id : string; host : string; port : int }
+
+type config = {
+  workers : worker_spec list;
+  window : int;  (* per-worker in-flight cap *)
+  replicas : int;  (* ring virtual nodes per worker *)
+  retry_rounds : int;  (* all-down backoff rounds before unavailable *)
+  max_line : int;
+  idle_timeout_s : float option;
+  seed : int;
+}
+
+let config ?(window = 8) ?(replicas = 64) ?(retry_rounds = 5)
+    ?(max_line = 1 lsl 20) ?idle_timeout_s ?(seed = 1) workers =
+  if workers = [] then invalid_arg "Router.config: no workers";
+  if window < 1 then invalid_arg "Router.config: window must be >= 1";
+  { workers; window; replicas; retry_rounds; max_line; idle_timeout_s; seed }
+
+(* --- client-side connections --- *)
+
+type client = {
+  c_fd : Unix.file_descr;
+  c_oc : out_channel;
+  c_lock : Mutex.t;
+  mutable c_closed : bool;  (* under [c_lock] *)
+}
+
+(* Same discipline as the serve transports: the per-client write lock
+   keeps envelope lines whole across the reader thread (rejections)
+   and every worker-link thread (forwarded results); a closed or dead
+   peer swallows the write. *)
+let send_client c response =
+  Mutex.lock c.c_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock c.c_lock)
+    (fun () ->
+      if not c.c_closed then
+        try
+          output_string c.c_oc (Protocol.response_to_line response);
+          output_char c.c_oc '\n';
+          flush c.c_oc
+        with Sys_error _ -> ())
+
+let close_client c =
+  Mutex.lock c.c_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock c.c_lock)
+    (fun () ->
+      if not c.c_closed then begin
+        c.c_closed <- true;
+        (try flush c.c_oc with Sys_error _ -> ());
+        try Unix.close c.c_fd with Unix.Unix_error _ -> ()
+      end)
+
+(* --- router state --- *)
+
+type pending = {
+  internal : string;  (* the id on the worker wire *)
+  p_client : client;
+  orig_id : string;
+  request : Protocol.request;  (* original; resends re-render from it *)
+  key : string;
+  mutable assigned : string;  (* owning worker; under [pending_lock] *)
+}
+
+type state = {
+  cfg : config;
+  ring : Hash_ring.t;
+  metrics : Fleet_metrics.t;
+  links : (string * Worker_client.t) list;  (* frozen after start *)
+  slots : (string * int Atomic.t) list;  (* frozen after start *)
+  pending_lock : Mutex.t;
+  pending : (string, pending) Hashtbl.t;  (* internal id -> entry *)
+  next_id : int Atomic.t;
+  stop : bool Atomic.t;
+}
+
+let link st id = List.assoc id st.links
+
+let slot st id = List.assoc id st.slots
+
+(* CAS acquisition keeps the window exact under concurrent admission
+   from many reader threads without a lock on the hot path. *)
+let rec acquire_slot st id =
+  let a = slot st id in
+  let cur = Atomic.get a in
+  if cur >= st.cfg.window then false
+  else Atomic.compare_and_set a cur (cur + 1) || acquire_slot st id
+
+let release_slot st id = Atomic.decr (slot st id)
+
+let take_pending st internal =
+  Mutex.lock st.pending_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock st.pending_lock)
+    (fun () ->
+      match Hashtbl.find_opt st.pending internal with
+      | Some p ->
+        Hashtbl.remove st.pending internal;
+        Some p
+      | None -> None)
+
+let pending_count st =
+  Mutex.lock st.pending_lock;
+  let n = Hashtbl.length st.pending in
+  Mutex.unlock st.pending_lock;
+  n
+
+(* Register, then send. Registration first: the worker's reply can
+   race back on the link thread the instant the line is flushed. On a
+   failed send the entry is withdrawn and the slot released — the
+   caller moves on to the next candidate. *)
+let forward st p worker_id =
+  Mutex.lock st.pending_lock;
+  p.assigned <- worker_id;
+  Hashtbl.replace st.pending p.internal p;
+  Mutex.unlock st.pending_lock;
+  let line =
+    Protocol.request_to_line { p.request with Protocol.id = p.internal }
+  in
+  if Worker_client.send_line (link st worker_id) line then begin
+    Fleet_metrics.incr_forwarded st.metrics worker_id;
+    Fleet_metrics.in_flight_incr st.metrics worker_id;
+    true
+  end
+  else begin
+    Mutex.lock st.pending_lock;
+    Hashtbl.remove st.pending p.internal;
+    Mutex.unlock st.pending_lock;
+    release_slot st worker_id;
+    false
+  end
+
+type dispatch_outcome = Dispatched | Window_full of string | No_worker
+
+(* One non-blocking pass over the key's failover order: the first live
+   worker either takes the request or — when its window is full —
+   sheds it as [overloaded]. Overload never spills onto the next
+   worker: that would flood every cache-cold replica exactly when the
+   fleet is saturated. Down workers are skipped (failover); a link
+   that dies between the liveness check and the send counts a retry
+   and falls through to the next candidate. *)
+let try_dispatch st p =
+  let primary = Hash_ring.lookup st.ring p.key in
+  let rec go = function
+    | [] -> No_worker
+    | w :: rest ->
+      if not (Worker_client.is_up (link st w)) then go rest
+      else if not (acquire_slot st w) then begin
+        Fleet_metrics.incr_shed_overloaded st.metrics w;
+        Window_full w
+      end
+      else if forward st p w then begin
+        if w <> primary then Fleet_metrics.incr_failover st.metrics primary;
+        Dispatched
+      end
+      else begin
+        Fleet_metrics.incr_retry st.metrics w;
+        go rest
+      end
+  in
+  go (Hash_ring.successors st.ring p.key)
+
+(* --- the fleet [stats] envelope --- *)
+
+let stats_json st =
+  Export.Object
+    [
+      ("protocol_version", Export.Int Protocol.version);
+      ("fleet", Fleet_metrics.snapshot_json st.metrics);
+      ( "links",
+        Export.Object
+          (List.map
+             (fun (id, c) -> (id, Export.Bool (Worker_client.is_up c)))
+             st.links) );
+      ("pending", Export.Int (pending_count st));
+    ]
+
+(* --- admission (per-client reader threads) --- *)
+
+let router_reject ~id status why =
+  Protocol.reject ~worker:"router" ~id status why
+
+(* Interruptible sleep in 50 ms slices so a drain is observed fast. *)
+let backoff_sleep st backoff =
+  let delay = Backoff.next_delay_ms backoff /. 1000.0 in
+  let slices = max 1 (int_of_float (Float.ceil (delay /. 0.05))) in
+  let rec nap k =
+    if k > 0 && not (Atomic.get st.stop) then begin
+      Thread.delay 0.05;
+      nap (k - 1)
+    end
+  in
+  nap slices
+
+let admit st backoff client (req : Protocol.request) =
+  let id = req.Protocol.id in
+  match req.Protocol.op with
+  | Protocol.Stats ->
+    send_client client (Protocol.ok ~worker:"router" ~id (stats_json st))
+  | Protocol.Shutdown ->
+    Atomic.set st.stop true;
+    send_client client
+      (Protocol.ok ~worker:"router" ~id
+         (Export.Object [ ("draining", Export.Bool true) ]))
+  | Protocol.Plan | Protocol.Explore | Protocol.Optimize ->
+    let key = routing_key req in
+    let primary = Hash_ring.lookup st.ring key in
+    let p =
+      {
+        internal = Printf.sprintf "f%d" (Atomic.fetch_and_add st.next_id 1);
+        p_client = client;
+        orig_id = id;
+        request = req;
+        key;
+        assigned = primary;
+      }
+    in
+    Fleet_metrics.queued_incr st.metrics primary;
+    Backoff.reset backoff;
+    (* Every admitted request leaves through exactly one envelope:
+       dispatched (the worker answers), overloaded, shutting_down or
+       unavailable — a connection is never simply dropped. *)
+    let rec attempt round =
+      match try_dispatch st p with
+      | Dispatched -> ()
+      | Window_full w ->
+        send_client client
+          (router_reject ~id Protocol.Overloaded
+             (Printf.sprintf "worker %s window full (%d in flight)" w
+                st.cfg.window))
+      | No_worker ->
+        if Atomic.get st.stop then
+          send_client client
+            (router_reject ~id Protocol.Shutting_down "fleet is draining")
+        else if round >= st.cfg.retry_rounds then begin
+          Fleet_metrics.incr_shed_unavailable st.metrics;
+          send_client client
+            (router_reject ~id Protocol.Unavailable
+               (Printf.sprintf "no worker reachable after %d retries" round))
+        end
+        else begin
+          backoff_sleep st backoff;
+          attempt (round + 1)
+        end
+    in
+    attempt 0;
+    Fleet_metrics.queued_decr st.metrics primary
+
+let client_reader st client lr () =
+  let backoff = Backoff.create ~seed:st.cfg.seed () in
+  let rec loop () =
+    match Server.Line_reader.next lr with
+    | Server.Line_reader.Eof | Server.Line_reader.Idle_timeout -> ()
+    | Server.Line_reader.Too_long ->
+      Fleet_metrics.incr_malformed st.metrics;
+      send_client client
+        (router_reject ~id:"" Protocol.Bad_request
+           (Printf.sprintf "line exceeds %d bytes"
+              (Server.Line_reader.max_line lr)))
+    | Server.Line_reader.Line line when String.trim line = "" -> loop ()
+    | Server.Line_reader.Line line ->
+      (match Protocol.request_of_line line with
+      | Error e ->
+        Fleet_metrics.incr_malformed st.metrics;
+        send_client client (router_reject ~id:"" Protocol.Bad_request e)
+      | Ok req -> admit st backoff client req);
+      loop ()
+  in
+  loop ()
+
+(* --- worker-link events --- *)
+
+let on_response st (resp : Protocol.response) =
+  match take_pending st resp.Protocol.id with
+  | None -> ()  (* raced a redispatch or a drain; already answered *)
+  | Some p ->
+    release_slot st p.assigned;
+    Fleet_metrics.in_flight_decr st.metrics p.assigned;
+    (* keep the worker's own stamp so clients see who computed it *)
+    send_client p.p_client { resp with Protocol.id = p.orig_id }
+
+(* A dead worker orphans its in-flight requests. Each orphan is taken
+   out of the pending table (skipping any the reply path already
+   answered), its slot released, and re-forwarded to the next live
+   worker in its key's ring order — the ops are pure computations, so
+   a resend is safe even when the worker died mid-compute. With no
+   live replacement the client gets an honest [unavailable]. *)
+let on_worker_down st worker_id =
+  Mutex.lock st.pending_lock;
+  let orphans =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock st.pending_lock)
+      (fun () ->
+        let os =
+          Hashtbl.fold
+            (fun _ p acc -> if p.assigned = worker_id then p :: acc else acc)
+            st.pending []
+        in
+        List.iter (fun p -> Hashtbl.remove st.pending p.internal) os;
+        os)
+  in
+  List.iter
+    (fun p ->
+      release_slot st worker_id;
+      Fleet_metrics.in_flight_decr st.metrics worker_id;
+      Fleet_metrics.incr_retry st.metrics worker_id;
+      let rec go = function
+        | [] ->
+          Fleet_metrics.incr_shed_unavailable st.metrics;
+          send_client p.p_client
+            (router_reject ~id:p.orig_id Protocol.Unavailable
+               (Printf.sprintf "worker %s died and no replacement is reachable"
+                  worker_id))
+        | w :: rest ->
+          if
+            w <> worker_id
+            && Worker_client.is_up (link st w)
+            && acquire_slot st w
+          then begin
+            if forward st p w then
+              Fleet_metrics.incr_failover st.metrics worker_id
+            else begin
+              release_slot st w;
+              go rest
+            end
+          end
+          else go rest
+      in
+      go (Hash_ring.successors st.ring p.key))
+    orphans
+
+(* --- the router process --- *)
+
+let bind_listener listen =
+  match listen with
+  | `Unix socket_path ->
+    (if Sys.file_exists socket_path then
+       try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (match
+       Unix.bind fd (Unix.ADDR_UNIX socket_path);
+       Unix.listen fd 64
+     with
+    | () ->
+      let cleanup () =
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        try Unix.unlink socket_path with Unix.Unix_error _ | Sys_error _ -> ()
+      in
+      (fd, 0, cleanup)
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e)
+  | `Tcp (host, port) ->
+    let addr =
+      match host with
+      | "localhost" -> Unix.inet_addr_loopback
+      | h -> Unix.inet_addr_of_string h
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (match
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (addr, port));
+       Unix.listen fd 64
+     with
+    | () ->
+      let bound =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | Unix.ADDR_UNIX _ -> port
+      in
+      (fd, bound, fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e)
+
+let run ?ready ?metrics ~listen ~stop cfg =
+  let metrics =
+    match metrics with
+    | Some m -> m
+    | None -> Fleet_metrics.create ~ids:(List.map (fun w -> w.id) cfg.workers)
+  in
+  let ring =
+    Hash_ring.create ~replicas:cfg.replicas (List.map (fun w -> w.id) cfg.workers)
+  in
+  (* state is knotted through a forward ref so the link callbacks
+     (created with the links themselves) can reach it *)
+  let st_ref = ref None in
+  let with_st f = match !st_ref with Some st -> f st | None -> () in
+  let links =
+    List.mapi
+      (fun i w ->
+        ( w.id,
+          Worker_client.create ~id:w.id ~host:w.host ~port:w.port
+            ~seed:(cfg.seed + (7919 * (i + 1)))
+            ~on_response:(fun resp -> with_st (fun st -> on_response st resp))
+            ~on_state:(fun ~up ->
+              with_st (fun st ->
+                  Fleet_metrics.set_up st.metrics w.id up;
+                  if up then Fleet_metrics.incr_reconnect st.metrics w.id
+                  else on_worker_down st w.id))
+            () ))
+      cfg.workers
+  in
+  let st =
+    {
+      cfg;
+      ring;
+      metrics;
+      links;
+      slots = List.map (fun w -> (w.id, Atomic.make 0)) cfg.workers;
+      pending_lock = Mutex.create ();
+      pending = Hashtbl.create 64;
+      next_id = Atomic.make 0;
+      stop;
+    }
+  in
+  st_ref := Some st;
+  let listener, bound_port, cleanup = bind_listener listen in
+  (match ready with Some f -> f bound_port | None -> ());
+  let clients = ref [] in
+  let clients_lock = Mutex.create () in
+  Fun.protect
+    ~finally:(fun () ->
+      cleanup ();
+      List.iter (fun (_, c) -> Worker_client.stop c) links)
+    (fun () ->
+      while not (Atomic.get st.stop) do
+        match Unix.select [ listener ] [] [] 0.1 with
+        | [ _ ], _, _ -> (
+          match Unix.accept listener with
+          | fd, _ ->
+            (try Unix.setsockopt fd Unix.TCP_NODELAY true
+             with Unix.Unix_error _ -> ());
+            let client =
+              {
+                c_fd = fd;
+                c_oc = Unix.out_channel_of_descr fd;
+                c_lock = Mutex.create ();
+                c_closed = false;
+              }
+            in
+            Mutex.lock clients_lock;
+            clients := client :: !clients;
+            Mutex.unlock clients_lock;
+            let lr =
+              Server.Line_reader.create ?idle_timeout_s:cfg.idle_timeout_s
+                ~max_line:cfg.max_line fd
+            in
+            ignore (Thread.create (client_reader st client lr) ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      (* Drain: in-flight work finishes and flushes back to clients
+         before the links drop; 10 s bounds a hung worker. *)
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while pending_count st > 0 && Unix.gettimeofday () < deadline do
+        Thread.delay 0.02
+      done;
+      Mutex.lock clients_lock;
+      let conns = !clients in
+      clients := [];
+      Mutex.unlock clients_lock;
+      List.iter close_client conns)

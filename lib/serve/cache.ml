@@ -65,23 +65,36 @@ type t = {
   lock : Mutex.t;
   memory : Lru.t;
   dir : string option;
+  max_disk_bytes : int option;
   mutable memory_hits : int;
   mutable disk_hits : int;
   mutable misses : int;
   mutable disk_writes : int;
+  mutable dedup_skips : int;
+  mutable quarantined : int;
+  mutable gc_removed : int;
+  mutable writes_since_sweep : int;
 }
 
 type hit = Memory | Disk
 
-let create ?(memory_capacity = 512) ?dir () =
+let create ?(memory_capacity = 512) ?dir ?max_disk_bytes () =
+  (match max_disk_bytes with
+  | Some b when b < 1 -> invalid_arg "Cache: max_disk_bytes must be >= 1"
+  | Some _ | None -> ());
   {
     lock = Mutex.create ();
     memory = Lru.create memory_capacity;
     dir;
+    max_disk_bytes;
     memory_hits = 0;
     disk_hits = 0;
     misses = 0;
     disk_writes = 0;
+    dedup_skips = 0;
+    quarantined = 0;
+    gc_removed = 0;
+    writes_since_sweep = 0;
   }
 
 (* Every public operation runs under [t.lock]: the LRU's doubly-linked
@@ -112,6 +125,24 @@ let read_file path =
       (fun () -> Some (really_input_string ic (in_channel_length ic)))
   | exception Sys_error _ -> None
 
+let quarantine_dir dir = Filename.concat dir "quarantine"
+
+(* Move a torn or foreign entry aside instead of deleting it: the
+   payload stays inspectable post-mortem, the slot re-heals on the
+   next store, and a correct concurrent writer is never destroyed by a
+   reader that caught its rename mid-flight. The pid suffix keeps two
+   processes quarantining the same key from clobbering each other;
+   any failure degrades to plain removal. *)
+let quarantine t dir key path =
+  (try
+     let qdir = quarantine_dir dir in
+     if not (Sys.file_exists qdir) then Unix.mkdir qdir 0o755;
+     Sys.rename path
+       (Filename.concat qdir (Printf.sprintf "%s.%d.json" key (Unix.getpid ())))
+   with Sys_error _ | Unix.Unix_error _ -> (
+     try Sys.remove path with Sys_error _ -> ()));
+  t.quarantined <- t.quarantined + 1
+
 let disk_find t key =
   match t.dir with
   | None -> None
@@ -123,9 +154,49 @@ let disk_find t key =
       match Export.parse text with
       | Ok json -> Some (text, json)
       | Error _ ->
-        (* torn or foreign content: drop the entry, report a miss *)
-        (try Sys.remove path with Sys_error _ -> ());
+        (* torn or foreign content: quarantine it, report a miss *)
+        quarantine t dir key path;
         None))
+
+(* Entries eligible for the GC sweep: regular [<key>.json] files in
+   the top-level cache directory (temp files and the quarantine
+   subdirectory never match). *)
+let entry_files dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter_map (fun name ->
+           if not (Filename.check_suffix name ".json") then None
+           else
+             let path = Filename.concat dir name in
+             match Unix.stat path with
+             | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+               Some (path, st_size, st_mtime)
+             | _ -> None
+             | exception Unix.Unix_error _ -> None)
+
+(* Size-capped GC: once the store exceeds the cap, the oldest entries
+   (by mtime) leave first until it fits again. Concurrent sweepers
+   race removals harmlessly — a vanished file means another process
+   freed the space, which counts toward this sweeper's goal too. *)
+let gc_sweep t dir cap =
+  let files = entry_files dir in
+  let total = List.fold_left (fun acc (_, size, _) -> acc + size) 0 files in
+  if total > cap then begin
+    let excess = ref (total - cap) in
+    List.iter
+      (fun (path, size, _) ->
+        if !excess > 0 then begin
+          excess := !excess - size;
+          match Sys.remove path with
+          | () -> t.gc_removed <- t.gc_removed + 1
+          | exception Sys_error _ -> ()
+        end)
+      (List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b) files)
+  end
+
+let sweep_interval = 32
 
 let disk_store t key text =
   match t.dir with
@@ -133,13 +204,29 @@ let disk_store t key text =
   | Some dir -> (
     try
       if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
-      let tmp = Filename.temp_file ~temp_dir:dir ".serve" ".tmp" in
-      let oc = open_out_bin tmp in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () -> output_string oc text);
-      Sys.rename tmp (entry_path dir key);
-      t.disk_writes <- t.disk_writes + 1
+      let path = entry_path dir key in
+      if Sys.file_exists path then
+        (* content-addressed: the key determines the payload, so an
+           existing entry — ours or a concurrent writer's — already
+           holds this result and the write can be skipped *)
+        t.dedup_skips <- t.dedup_skips + 1
+      else begin
+        let tmp = Filename.temp_file ~temp_dir:dir ".serve" ".tmp" in
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc text);
+        Sys.rename tmp path;
+        t.disk_writes <- t.disk_writes + 1;
+        match t.max_disk_bytes with
+        | None -> ()
+        | Some cap ->
+          t.writes_since_sweep <- t.writes_since_sweep + 1;
+          if t.writes_since_sweep >= sweep_interval then begin
+            t.writes_since_sweep <- 0;
+            gc_sweep t dir cap
+          end
+      end
     with Sys_error _ | Unix.Unix_error _ -> ())
 
 let find t ~key =
@@ -179,6 +266,9 @@ type stats = {
   misses : int;
   memory_entries : int;
   disk_writes : int;
+  dedup_skips : int;
+  quarantined : int;
+  gc_removed : int;
 }
 
 let stats (t : t) =
@@ -189,6 +279,9 @@ let stats (t : t) =
     misses = t.misses;
     memory_entries = Lru.length t.memory;
     disk_writes = t.disk_writes;
+    dedup_skips = t.dedup_skips;
+    quarantined = t.quarantined;
+    gc_removed = t.gc_removed;
   }
 
 let stats_json t =
@@ -200,6 +293,9 @@ let stats_json t =
       ("misses", Export.Int s.misses);
       ("memory_entries", Export.Int s.memory_entries);
       ("disk_writes", Export.Int s.disk_writes);
+      ("dedup_skips", Export.Int s.dedup_skips);
+      ("quarantined", Export.Int s.quarantined);
+      ("gc_removed", Export.Int s.gc_removed);
       ( "dir",
         match t.dir with Some d -> Export.String d | None -> Export.Null );
     ]

@@ -9,8 +9,19 @@
 
     Disk entries live at [dir/<key>.json], written atomically
     (temp file + rename) so a crashed or concurrent writer can never
-    leave a torn entry; unreadable or corrupt entries are deleted and
-    treated as misses, never propagated as errors.
+    leave a torn entry. The disk tier is built for {e many processes
+    sharing one directory} (a planning fleet's workers):
+    {ul
+    {- a store whose entry already exists is skipped — content
+       addressing makes the payloads identical, so the second writer
+       dedups instead of rewriting ([dedup_skips]);}
+    {- a corrupt or foreign entry is moved into [dir/quarantine/]
+       (pid-suffixed, inspectable post-mortem) and reported as a miss,
+       after which the next store re-heals the slot ([quarantined]);}
+    {- with [max_disk_bytes] set, every 32nd write sweeps the
+       directory and removes oldest-first (mtime) until the store fits
+       the cap again ([gc_removed]); concurrent sweepers race
+       removals harmlessly.}}
 
     Thread-safe: every operation (lookup, store, stats) runs under an
     internal mutex, so one cache may be shared across domains — the
@@ -18,11 +29,14 @@
 
 type t
 
-val create : ?memory_capacity:int -> ?dir:string -> unit -> t
+val create :
+  ?memory_capacity:int -> ?dir:string -> ?max_disk_bytes:int -> unit -> t
 (** [memory_capacity] defaults to 512 entries; least-recently-used
     entries are evicted first. Without [dir] there is no disk level.
-    The directory is created on first use.
-    @raise Invalid_argument if [memory_capacity < 1]. *)
+    The directory is created on first use. [max_disk_bytes] (default
+    unbounded) caps the disk tier's total entry size via the GC sweep.
+    @raise Invalid_argument if [memory_capacity < 1] or
+    [max_disk_bytes < 1]. *)
 
 type hit = Memory | Disk
 
@@ -38,6 +52,9 @@ type stats = {
   misses : int;
   memory_entries : int;
   disk_writes : int;
+  dedup_skips : int;  (** stores skipped: entry already on disk *)
+  quarantined : int;  (** corrupt entries moved to [dir/quarantine/] *)
+  gc_removed : int;  (** entries removed by the size-cap sweep *)
 }
 
 val stats : t -> stats

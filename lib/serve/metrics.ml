@@ -5,7 +5,7 @@ let ops = Protocol.[ Plan; Explore; Optimize; Stats; Shutdown ]
 let statuses =
   Protocol.
     [ Success; Bad_request; Server_error; Overloaded; Deadline_exceeded;
-      Shutting_down ]
+      Shutting_down; Unavailable ]
 
 let n_buckets = 22
 

@@ -103,6 +103,7 @@ type status =
   | Overloaded
   | Deadline_exceeded
   | Shutting_down
+  | Unavailable
 
 let status_name = function
   | Success -> "ok"
@@ -111,6 +112,7 @@ let status_name = function
   | Overloaded -> "overloaded"
   | Deadline_exceeded -> "deadline_exceeded"
   | Shutting_down -> "shutting_down"
+  | Unavailable -> "unavailable"
 
 let status_of_name = function
   | "ok" -> Some Success
@@ -119,28 +121,34 @@ let status_of_name = function
   | "overloaded" -> Some Overloaded
   | "deadline_exceeded" -> Some Deadline_exceeded
   | "shutting_down" -> Some Shutting_down
+  | "unavailable" -> Some Unavailable
   | _ -> None
 
 type response = {
   id : string;
   status : status;
+  worker : string option;
   cached : string option;
   elapsed_ms : float option;
   result : Export.json;
   error : string option;
 }
 
-let ok ?cached ?elapsed_ms ~id result =
-  { id; status = Success; cached; elapsed_ms; result; error = None }
+let ok ?worker ?cached ?elapsed_ms ~id result =
+  { id; status = Success; worker; cached; elapsed_ms; result; error = None }
 
-let reject ?elapsed_ms ~id status error =
+let reject ?worker ?elapsed_ms ~id status error =
   if status = Success then invalid_arg "Protocol.reject: Success is not a rejection";
-  { id; status; cached = None; elapsed_ms; result = Export.Null; error = Some error }
+  { id; status; worker; cached = None; elapsed_ms; result = Export.Null;
+    error = Some error }
 
 let response_json r =
   Export.Object
     ([ ("v", Export.Int version); ("id", Export.String r.id);
        ("status", Export.String (status_name r.status)) ]
+    @ (match r.worker with
+      | Some w -> [ ("worker", Export.String w) ]
+      | None -> [])
     @ (match r.cached with
       | Some where -> [ ("cached", Export.String where) ]
       | None -> [])
@@ -165,6 +173,12 @@ let response_of_json json =
       | Some s -> Ok s
       | None -> Error (Printf.sprintf "unknown status %S" status_str)
     in
+    let* worker =
+      match Export.member "worker" json with
+      | None -> Ok None
+      | Some (Export.String s) -> Ok (Some s)
+      | Some _ -> Error "field \"worker\" must be a string"
+    in
     let* cached =
       match Export.member "cached" json with
       | None -> Ok None
@@ -179,7 +193,7 @@ let response_of_json json =
       | Some (Export.String s) -> Ok (Some s)
       | Some _ -> Error "field \"error\" must be a string"
     in
-    Ok { id; status; cached; elapsed_ms; result; error }
+    Ok { id; status; worker; cached; elapsed_ms; result; error }
   | _ -> Error "response envelope must be a JSON object"
 
 let response_of_line line =

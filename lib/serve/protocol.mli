@@ -24,6 +24,12 @@
     Malformed lines never kill a connection: they produce a
     [bad_request] response with an empty [id]. *)
 
+val version : int
+(** Envelope schema version, stamped as [v] on both directions. Both
+    readers reject any other value, so a router fronting workers built
+    at a different version surfaces the skew as a structured error
+    instead of silently mixing schemas. *)
+
 type op = Plan | Explore | Optimize | Stats | Shutdown
 
 val op_name : op -> string
@@ -54,15 +60,25 @@ type status =
       (** unparseable envelope, unknown op/params, or an infeasible
           problem — retrying identically will fail identically *)
   | Server_error  (** unexpected exception; retrying may succeed *)
-  | Overloaded  (** bounded queue full: shed load, retry later *)
+  | Overloaded  (** bounded queue or in-flight window full: shed load,
+          retry later *)
   | Deadline_exceeded  (** the [deadline_ms] budget elapsed *)
   | Shutting_down  (** server draining; no new work admitted *)
+  | Unavailable
+      (** no worker reachable after retries (fleet router); the
+          request was never computed — retry later *)
 
 val status_name : status -> string
+
+val status_of_name : string -> status option
 
 type response = {
   id : string;
   status : status;
+  worker : string option;
+      (** id of the worker that produced the response (["w0"], ...;
+          the router answers as ["router"]), so multi-process fleets
+          can attribute latency and routing per envelope *)
   cached : string option;  (** ["memory"] or ["disk"] on a cache hit *)
   elapsed_ms : float option;
   result : Msoc_testplan.Export.json;  (** [Null] unless [Success] *)
@@ -70,10 +86,12 @@ type response = {
 }
 
 val ok :
-  ?cached:string -> ?elapsed_ms:float -> id:string ->
+  ?worker:string -> ?cached:string -> ?elapsed_ms:float -> id:string ->
   Msoc_testplan.Export.json -> response
 
-val reject : ?elapsed_ms:float -> id:string -> status -> string -> response
+val reject :
+  ?worker:string -> ?elapsed_ms:float -> id:string -> status -> string ->
+  response
 (** @raise Invalid_argument when called with [Success]. *)
 
 val response_to_line : response -> string

@@ -21,16 +21,18 @@ type t = {
   pool : Pool.t;
   cache : Cache.t;
   metrics : Metrics.t;
+  worker : string option;  (* stamped on every response envelope *)
   prepared : (string, Evaluate.prepared) Hashtbl.t;
   mutable prepared_order : string list;  (* most recent first *)
   mutable stop : bool;
 }
 
-let create ?cache ?metrics ?(jobs = 1) () =
+let create ?cache ?metrics ?worker ?(jobs = 1) () =
   {
     pool = Pool.create ~jobs;
     cache = (match cache with Some c -> c | None -> Cache.create ());
     metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+    worker;
     prepared = Hashtbl.create max_prepared;
     prepared_order = [];
     stop = false;
@@ -467,4 +469,6 @@ let handle ?admitted_at t (req : Protocol.request) =
   let elapsed = Unix.gettimeofday () -. admitted_at in
   Metrics.incr_status t.metrics response.Protocol.status;
   Metrics.observe_latency t.metrics ~seconds:elapsed;
-  { response with Protocol.elapsed_ms = Some (1e3 *. elapsed) }
+  { response with
+    Protocol.elapsed_ms = Some (1e3 *. elapsed);
+    Protocol.worker = t.worker }

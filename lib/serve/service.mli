@@ -24,10 +24,13 @@
 type t
 
 val create :
-  ?cache:Cache.t -> ?metrics:Metrics.t -> ?jobs:int -> unit -> t
+  ?cache:Cache.t -> ?metrics:Metrics.t -> ?worker:string -> ?jobs:int ->
+  unit -> t
 (** [jobs] (default 1) sizes the worker pool used for
     sharing-combination packing inside each request. Default cache:
-    memory-only. *)
+    memory-only. [worker] (default absent) is stamped on every
+    response envelope, so a fleet client can attribute answers to the
+    process that produced them. *)
 
 val metrics : t -> Metrics.t
 

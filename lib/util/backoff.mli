@@ -1,0 +1,25 @@
+(** Capped exponential backoff with full jitter.
+
+    Attempt [k] draws a delay uniformly from [0, min (cap_ms, base_ms
+    * 2^k)] — the "FullJitter" policy. Uniform draws decorrelate many
+    clients retrying against one failed resource (reconnecting router
+    links, worker restarts), while the growing ceiling keeps pressure
+    off a resource that stays down. Deterministic for a fixed seed.
+
+    Not thread-safe: each retrying thread owns its backoff. *)
+
+type t
+
+val create : ?base_ms:float -> ?cap_ms:float -> seed:int -> unit -> t
+(** [base_ms] defaults to 25 ms, [cap_ms] to 2000 ms.
+    @raise Invalid_argument if [base_ms <= 0] or [cap_ms < base_ms]. *)
+
+val next_delay_ms : t -> float
+(** Draw the next delay and advance the attempt counter. *)
+
+val attempt : t -> int
+(** Attempts drawn since creation or the last {!reset}. *)
+
+val reset : t -> unit
+(** Back to attempt 0 — call after a successful recovery so the next
+    failure starts fast again. *)

@@ -3,6 +3,7 @@ type 'a t = {
   queue : 'a Queue.t;
   lock : Mutex.t;
   not_empty : Condition.t;
+  not_full : Condition.t;
   mutable closed : bool;
 }
 
@@ -13,6 +14,7 @@ let create ~capacity =
     queue = Queue.create ();
     lock = Mutex.create ();
     not_empty = Condition.create ();
+    not_full = Condition.create ();
     closed = false;
   }
 
@@ -33,17 +35,43 @@ let try_push t x =
         true
       end)
 
+(* Blocking admission. The close contract: a producer blocked here is
+   woken by [close] and returns [false] with its element NOT enqueued
+   — the element is never silently dropped into a closed queue, and
+   the caller knows to shed it. A [true] return means the element was
+   enqueued before the close and will be observed by the drain ([pop]
+   keeps returning queued elements after close). *)
+let push t x =
+  with_lock t (fun () ->
+      while (not t.closed) && Queue.length t.queue >= t.capacity do
+        Condition.wait t.not_full t.lock
+      done;
+      if t.closed then false
+      else begin
+        Queue.add x t.queue;
+        Condition.signal t.not_empty;
+        true
+      end)
+
 let pop t =
   with_lock t (fun () ->
       while Queue.is_empty t.queue && not t.closed do
         Condition.wait t.not_empty t.lock
       done;
-      Queue.take_opt t.queue)
+      match Queue.take_opt t.queue with
+      | Some _ as taken ->
+        (* a slot opened; wake one blocked producer *)
+        Condition.signal t.not_full;
+        taken
+      | None -> None)
 
 let close t =
   with_lock t (fun () ->
       t.closed <- true;
-      (* wake every blocked consumer so it can observe the close *)
-      Condition.broadcast t.not_empty)
+      (* wake every blocked consumer AND producer so each can observe
+         the close: consumers drain and exit on None, producers return
+         false without enqueueing *)
+      Condition.broadcast t.not_empty;
+      Condition.broadcast t.not_full)
 
 let is_closed t = with_lock t (fun () -> t.closed)

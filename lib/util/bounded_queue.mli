@@ -1,12 +1,26 @@
 (** Thread-safe bounded FIFO queue — the admission valve between a
     server's connection readers and its single dispatch thread.
 
-    Producers never block: {!try_push} either admits the element or
-    reports the queue full, so the caller can shed load with a
-    structured rejection instead of queueing unboundedly. The consumer
-    blocks in {!pop} until an element arrives or the queue is closed
-    and drained, which is exactly a graceful shutdown: close, keep
-    popping, exit on [None]. *)
+    Two producer disciplines:
+    {ul
+    {- {!try_push} never blocks: it either admits the element or
+       reports the queue full, so a transport can shed load with a
+       structured rejection instead of queueing unboundedly.}
+    {- {!push} blocks while the queue is full and open — the
+       discipline for in-process pipelines that prefer backpressure
+       over shedding.}}
+
+    The consumer blocks in {!pop} until an element arrives or the
+    queue is closed and drained, which is exactly a graceful shutdown:
+    close, keep popping, exit on [None].
+
+    Close semantics (load-bearing, stress-tested): {!close} wakes
+    every blocked producer and consumer. A producer blocked in {!push}
+    returns [false] with its element {e not} enqueued; any push that
+    returned [true] — before or during the close — left its element in
+    the queue, where the post-close drain will observe it. So elements
+    are never lost (accepted implies popped) and never fabricated
+    (rejected implies absent), with no deadlock in either direction. *)
 
 type 'a t
 
@@ -23,6 +37,11 @@ val try_push : 'a t -> 'a -> bool
 (** Admit the element; [false] when the queue holds [capacity]
     elements (backpressure) or has been {!close}d. Never blocks. *)
 
+val push : 'a t -> 'a -> bool
+(** Admit the element, blocking while the queue is full and open.
+    [false] — element not enqueued — once the queue is {!close}d,
+    including when the close lands while blocked. *)
+
 val pop : 'a t -> 'a option
 (** Next element in FIFO order, blocking while the queue is empty and
     open. [None] once the queue is closed and every queued element has
@@ -30,6 +49,6 @@ val pop : 'a t -> 'a option
 
 val close : 'a t -> unit
 (** Reject all further pushes; queued elements remain poppable.
-    Idempotent. *)
+    Wakes every blocked producer and consumer. Idempotent. *)
 
 val is_closed : 'a t -> bool

@@ -1,0 +1,19 @@
+(* Helper process for the two-process cache race test: store a fixed
+   set of content-addressed entries into a shared cache directory,
+   then exit. The test launches two concurrent instances so their
+   atomic writes race for every slot. Keep the key set in sync with
+   test_serve.ml's test_cache_multiprocess_race. *)
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; dir ] ->
+    let cache = Msoc_serve.Cache.create ~memory_capacity:4 ~dir () in
+    List.iter
+      (fun key ->
+        Msoc_serve.Cache.store cache ~key
+          (Msoc_testplan.Export.Object
+             [ ("key", Msoc_testplan.Export.String key) ]))
+      (List.init 16 (fun i -> Printf.sprintf "ab%04x" i))
+  | _ ->
+    prerr_endline "usage: cache_racer CACHE_DIR";
+    exit 1

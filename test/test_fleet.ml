@@ -1,0 +1,501 @@
+(* Tests for the fleet subsystem (PR 8): the consistent-hash ring
+   (stability, balance, minimal disruption, failover order), jittered
+   backoff, routing-key canonicalization, the worker link against a
+   live TCP daemon, the router end-to-end (hashed routing, worker
+   stamps, router-answered stats, honest unavailable, shutdown drain),
+   and the supervisor restarting a SIGKILLed real worker process. *)
+
+module Export = Msoc_testplan.Export
+module Protocol = Msoc_serve.Protocol
+module Service = Msoc_serve.Service
+module Server = Msoc_serve.Server
+module Backoff = Msoc_util.Backoff
+module Hash_ring = Msoc_fleet.Hash_ring
+module Router = Msoc_fleet.Router
+module Worker_client = Msoc_fleet.Worker_client
+module Supervisor = Msoc_fleet.Supervisor
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let keys n = List.init n (fun i -> Printf.sprintf "key-%d" i)
+
+(* --- hash ring --- *)
+
+let test_ring_stable_and_total () =
+  let ids = [ "w0"; "w1"; "w2"; "w3" ] in
+  let ring = Hash_ring.create ids in
+  let ring' = Hash_ring.create ids in
+  checkb "workers preserved in creation order" true
+    (Hash_ring.workers ring = ids);
+  List.iter
+    (fun k ->
+      let w = Hash_ring.lookup ring k in
+      checkb "owner is a member" true (List.mem w ids);
+      checks "same ring, same owner" w (Hash_ring.lookup ring k);
+      checks "equal rings agree" w (Hash_ring.lookup ring' k))
+    (keys 200)
+
+let test_ring_balance () =
+  let ids = [ "w0"; "w1"; "w2"; "w3" ] in
+  let ring = Hash_ring.create ids in
+  let counts = Hashtbl.create 4 in
+  List.iter
+    (fun k ->
+      let w = Hash_ring.lookup ring k in
+      Hashtbl.replace counts w
+        (1 + Option.value (Hashtbl.find_opt counts w) ~default:0))
+    (keys 1000);
+  List.iter
+    (fun id ->
+      let n = Option.value (Hashtbl.find_opt counts id) ~default:0 in
+      (* perfectly even would be 250; 64 virtual points per worker
+         keep every share within a loose 2x band *)
+      checkb (id ^ " owns a fair share") true (n > 100 && n < 450))
+    ids
+
+let test_ring_minimal_disruption () =
+  let before = Hash_ring.create [ "w0"; "w1"; "w2"; "w3" ] in
+  let after = Hash_ring.create [ "w0"; "w1"; "w2"; "w3"; "w4" ] in
+  let ks = keys 1000 in
+  let moved =
+    List.length
+      (List.filter
+         (fun k ->
+           let was = Hash_ring.lookup before k in
+           let is = Hash_ring.lookup after k in
+           checkb "a key only moves to the new worker" true
+             (was = is || is = "w4");
+           was <> is)
+         ks)
+  in
+  (* adding 1 of 5 workers should claim roughly 1/5 of the keys *)
+  checkb "adding a worker moves only its own share" true
+    (moved > 80 && moved < 350)
+
+let test_ring_successors () =
+  let ids = [ "w0"; "w1"; "w2"; "w3" ] in
+  let ring = Hash_ring.create ids in
+  List.iter
+    (fun k ->
+      let ss = Hash_ring.successors ring k in
+      checki "every worker appears once" (List.length ids)
+        (List.length (List.sort_uniq compare ss));
+      checks "head is the owner" (Hash_ring.lookup ring k) (List.hd ss))
+    (keys 50)
+
+(* --- backoff --- *)
+
+let test_backoff_deterministic_and_bounded () =
+  let a = Backoff.create ~base_ms:10.0 ~cap_ms:100.0 ~seed:5 () in
+  let b = Backoff.create ~base_ms:10.0 ~cap_ms:100.0 ~seed:5 () in
+  checki "fresh backoff at attempt 0" 0 (Backoff.attempt a);
+  for k = 1 to 20 do
+    let da = Backoff.next_delay_ms a in
+    let db = Backoff.next_delay_ms b in
+    checkb "same seed, same draw" true (da = db);
+    checkb "within [0, cap]" true (da >= 0.0 && da <= 100.0);
+    checki "attempt counter advances" k (Backoff.attempt a)
+  done;
+  Backoff.reset a;
+  checki "reset returns to attempt 0" 0 (Backoff.attempt a);
+  let early = Backoff.next_delay_ms a in
+  checkb "first draw after reset is under base" true (early <= 10.0)
+
+(* --- routing keys --- *)
+
+let test_routing_key_canonical () =
+  let req fields =
+    Protocol.request ~id:"x" ~params:(Export.Object fields) Protocol.Plan
+  in
+  let a =
+    req [ ("width", Export.Int 16); ("weight_time", Export.Float 0.5) ]
+  in
+  let b =
+    req [ ("weight_time", Export.Float 0.5); ("width", Export.Int 16) ]
+  in
+  let c =
+    req [ ("width", Export.Int 24); ("weight_time", Export.Float 0.5) ]
+  in
+  checks "field order does not change the key" (Router.routing_key a)
+    (Router.routing_key b);
+  checkb "different params, different key" true
+    (Router.routing_key a <> Router.routing_key c);
+  checkb "op is part of the key" true
+    (Router.routing_key a
+    <> Router.routing_key
+         { a with Protocol.op = Protocol.Optimize })
+
+(* --- live endpoints: helpers --- *)
+
+let small_soc_text =
+  lazy
+    (Msoc_itc02.Soc_file.to_string
+       (Msoc_itc02.Synthetic.generate ~seed:42 ~name:"fleet_t"
+          {
+            Msoc_itc02.Synthetic.n_cores = 6;
+            target_area = 1_000_000;
+            max_chains = 8;
+            bottleneck = false;
+          }))
+
+let plan_req ?(width = 16) ~id () =
+  Protocol.request ~id
+    ~params:
+      (Export.Object
+         [
+           ("soc_text", Export.String (Lazy.force small_soc_text));
+           ("width", Export.Int width);
+         ])
+    Protocol.Plan
+
+(* serve_tcp on an OS-assigned port, in a thread; returns the port *)
+let start_worker service =
+  let port = Atomic.make 0 in
+  let th =
+    Thread.create
+      (fun () ->
+        Server.serve_tcp ~queue_capacity:8
+          ~ready:(fun p -> Atomic.set port p)
+          ~port:0 service)
+      ()
+  in
+  let rec wait tries =
+    if Atomic.get port <> 0 then Atomic.get port
+    else if tries = 0 then Alcotest.fail "worker port never bound"
+    else begin
+      Thread.delay 0.02;
+      wait (tries - 1)
+    end
+  in
+  (wait 250, th)
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let send_req oc req =
+  output_string oc (Protocol.request_to_line req);
+  output_char oc '\n';
+  flush oc
+
+let recv_resp ic =
+  match Protocol.response_of_line (input_line ic) with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "malformed response: %s" e
+
+(* a [shutdown] envelope is the only thing that makes the daemon's
+   accept loop exit (the dispatcher observes the service flag while
+   handling it), so joining the server thread needs a live exchange *)
+let stop_worker service port th =
+  (match connect port with
+  | exception Unix.Unix_error _ -> Service.request_shutdown service
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        try
+          send_req oc (Protocol.request ~id:"stop" Protocol.Shutdown);
+          ignore (input_line ic)
+        with End_of_file | Sys_error _ -> ()));
+  Thread.join th;
+  Service.shutdown service
+
+(* --- worker link --- *)
+
+let test_worker_client_link () =
+  let service = Service.create ~worker:"w" ~jobs:1 () in
+  let port, th = start_worker service in
+  let got = Atomic.make None in
+  let link =
+    Worker_client.create ~id:"w" ~host:"127.0.0.1" ~port ~seed:3
+      ~on_response:(fun r -> Atomic.set got (Some r))
+      ~on_state:(fun ~up:_ -> ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Worker_client.stop link;
+      stop_worker service port th)
+    (fun () ->
+      checks "link knows its worker id" "w" (Worker_client.id link);
+      let rec wait_up tries =
+        if Worker_client.is_up link then ()
+        else if tries = 0 then Alcotest.fail "link never came up"
+        else begin
+          Thread.delay 0.02;
+          wait_up (tries - 1)
+        end
+      in
+      wait_up 250;
+      checkb "send on a live link" true
+        (Worker_client.send_line link
+           (Protocol.request_to_line
+              (Protocol.request ~id:"x1" Protocol.Stats)));
+      let rec wait_resp tries =
+        match Atomic.get got with
+        | Some r -> r
+        | None ->
+          if tries = 0 then Alcotest.fail "no response on the link"
+          else begin
+            Thread.delay 0.02;
+            wait_resp (tries - 1)
+          end
+      in
+      let r = wait_resp 250 in
+      checks "response id" "x1" r.Protocol.id;
+      checkb "worker stamp" true (r.Protocol.worker = Some "w"))
+
+(* --- router end-to-end --- *)
+
+let test_router_end_to_end () =
+  let sa = Service.create ~worker:"a" ~jobs:1 () in
+  let sb = Service.create ~worker:"b" ~jobs:1 () in
+  let pa, ta = start_worker sa in
+  let pb, tb = start_worker sb in
+  let stop = Atomic.make false in
+  let router_port = Atomic.make 0 in
+  let router =
+    Thread.create
+      (fun () ->
+        Router.run
+          ~ready:(fun p -> Atomic.set router_port p)
+          ~listen:(`Tcp ("127.0.0.1", 0))
+          ~stop
+          (Router.config ~window:4 ~retry_rounds:1 ~seed:9
+             [
+               { Router.id = "a"; host = "127.0.0.1"; port = pa };
+               { Router.id = "b"; host = "127.0.0.1"; port = pb };
+             ]))
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Thread.join router;
+      stop_worker sa pa ta;
+      stop_worker sb pb tb)
+    (fun () ->
+      let rec wait tries =
+        if Atomic.get router_port <> 0 then Atomic.get router_port
+        else if tries = 0 then Alcotest.fail "router port never bound"
+        else begin
+          Thread.delay 0.02;
+          wait (tries - 1)
+        end
+      in
+      let port = wait 250 in
+      let fd = connect port in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      send_req oc (plan_req ~id:"r1" ());
+      let r1 = recv_resp ic in
+      checks "routed response keeps the client id" "r1" r1.Protocol.id;
+      checkb "plan ok through the router" true
+        (r1.Protocol.status = Protocol.Success);
+      let w1 =
+        match r1.Protocol.worker with
+        | Some w -> w
+        | None -> Alcotest.fail "response lost its worker stamp"
+      in
+      checkb "stamped by a real worker" true (w1 = "a" || w1 = "b");
+      (* same fingerprint, field order flipped: same worker, warm *)
+      send_req oc
+        { (plan_req ~id:"r2" ()) with
+          Protocol.params =
+            Export.Object
+              [
+                ("width", Export.Int 16);
+                ("soc_text", Export.String (Lazy.force small_soc_text));
+              ] };
+      let r2 = recv_resp ic in
+      checkb "repeat is a cache hit" true (r2.Protocol.cached <> None);
+      checkb "repeat lands on the same worker" true
+        (r2.Protocol.worker = Some w1);
+      checks "identical payloads"
+        (Export.to_string r1.Protocol.result)
+        (Export.to_string r2.Protocol.result);
+      (* stats are answered by the router itself *)
+      send_req oc (Protocol.request ~id:"r3" Protocol.Stats);
+      let r3 = recv_resp ic in
+      checkb "stats stamped by the router" true
+        (r3.Protocol.worker = Some "router");
+      checkb "stats carry the fleet section" true
+        (Export.member "fleet" r3.Protocol.result <> None);
+      checkb "stats carry the protocol version" true
+        (Export.member "protocol_version" r3.Protocol.result
+        = Some (Export.Int Protocol.version));
+      (* shutdown drains the fleet *)
+      send_req oc (Protocol.request ~id:"r4" Protocol.Shutdown);
+      let r4 = recv_resp ic in
+      checkb "shutdown acknowledged" true
+        (r4.Protocol.status = Protocol.Success);
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Thread.join router;
+      checkb "router stopped on the shutdown envelope" true (Atomic.get stop))
+
+let test_router_all_workers_down () =
+  (* nothing listens on the target port: the router must answer with
+     an honest [unavailable] envelope, never hang or drop *)
+  let dead_port =
+    (* bind-then-close guarantees a port with no listener *)
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    let p =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> 0
+    in
+    Unix.close fd;
+    p
+  in
+  let stop = Atomic.make false in
+  let router_port = Atomic.make 0 in
+  let router =
+    Thread.create
+      (fun () ->
+        Router.run
+          ~ready:(fun p -> Atomic.set router_port p)
+          ~listen:(`Tcp ("127.0.0.1", 0))
+          ~stop
+          (Router.config ~retry_rounds:1 ~seed:4
+             [ { Router.id = "gone"; host = "127.0.0.1"; port = dead_port } ]))
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Thread.join router)
+    (fun () ->
+      let rec wait tries =
+        if Atomic.get router_port <> 0 then Atomic.get router_port
+        else if tries = 0 then Alcotest.fail "router port never bound"
+        else begin
+          Thread.delay 0.02;
+          wait (tries - 1)
+        end
+      in
+      let fd = connect (wait 250) in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      send_req oc (plan_req ~id:"n1" ());
+      let r = recv_resp ic in
+      checks "request id preserved" "n1" r.Protocol.id;
+      checkb "honest unavailable" true
+        (r.Protocol.status = Protocol.Unavailable);
+      checkb "stamped by the router" true (r.Protocol.worker = Some "router");
+      try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* --- supervisor over a real worker process --- *)
+
+let test_supervisor_restarts_killed_worker () =
+  let port = 7930 + (Unix.getpid () mod 37) in
+  let restarts = Atomic.make 0 in
+  (* resolve the worker binary relative to this test binary, so the
+     path holds under both [dune runtest] and [dune exec] *)
+  let exe =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      (Filename.concat ".." (Filename.concat "bin" "msoc_plan.exe"))
+  in
+  let spec =
+    {
+      Supervisor.id = "w0";
+      argv =
+        [| exe; "serve"; "--tcp"; string_of_int port; "--worker-id"; "w0" |];
+      port;
+    }
+  in
+  let sup =
+    Supervisor.create ~ping_interval_s:0.3 ~ping_timeout_s:0.5 ~seed:13
+      ~on_restart:(fun _ -> Atomic.incr restarts)
+      [ spec ]
+  in
+  Fun.protect
+    ~finally:(fun () -> Supervisor.stop sup)
+    (fun () ->
+      let answer () =
+        match connect port with
+        | exception Unix.Unix_error _ -> None
+        | fd ->
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              let ic = Unix.in_channel_of_descr fd in
+              let oc = Unix.out_channel_of_descr fd in
+              try
+                send_req oc (Protocol.request ~id:"hb" Protocol.Stats);
+                Some (recv_resp ic)
+              with End_of_file | Sys_error _ -> None)
+      in
+      let rec wait_answer tries =
+        match answer () with
+        | Some r -> r
+        | None ->
+          if tries = 0 then Alcotest.fail "worker never answered"
+          else begin
+            Thread.delay 0.1;
+            wait_answer (tries - 1)
+          end
+      in
+      let first = wait_answer 150 in
+      checkb "worker stamps its envelope" true
+        (first.Protocol.worker = Some "w0");
+      let pid0 =
+        match Supervisor.pids sup with
+        | [ (_, p) ] -> p
+        | other -> Alcotest.failf "expected one pid, got %d" (List.length other)
+      in
+      Unix.kill pid0 Sys.sigkill;
+      let rec wait_restart tries =
+        match Supervisor.pids sup with
+        | [ (_, p) ] when p <> pid0 -> p
+        | _ ->
+          if tries = 0 then Alcotest.fail "supervisor never restarted the worker"
+          else begin
+            Thread.delay 0.1;
+            wait_restart (tries - 1)
+          end
+      in
+      let pid1 = wait_restart 200 in
+      checkb "a fresh process" true (pid1 <> pid0);
+      checki "restart hook fired once" 1 (Atomic.get restarts);
+      ignore (wait_answer 150));
+  (* after stop, the worker process must be gone *)
+  checki "no pids after stop" 0 (List.length (Supervisor.pids sup))
+
+let suites =
+  [
+    ( "fleet-ring",
+      [
+        Alcotest.test_case "stable and total" `Quick test_ring_stable_and_total;
+        Alcotest.test_case "balanced shares" `Quick test_ring_balance;
+        Alcotest.test_case "minimal disruption" `Quick
+          test_ring_minimal_disruption;
+        Alcotest.test_case "failover order" `Quick test_ring_successors;
+      ] );
+    ( "fleet-backoff",
+      [
+        Alcotest.test_case "deterministic and bounded" `Quick
+          test_backoff_deterministic_and_bounded;
+      ] );
+    ( "fleet-router",
+      [
+        Alcotest.test_case "routing key canonicalization" `Quick
+          test_routing_key_canonical;
+        Alcotest.test_case "worker link" `Quick test_worker_client_link;
+        Alcotest.test_case "end-to-end over TCP" `Quick test_router_end_to_end;
+        Alcotest.test_case "all workers down" `Quick
+          test_router_all_workers_down;
+      ] );
+    ( "fleet-supervisor",
+      [
+        Alcotest.test_case "restarts a killed worker" `Quick
+          test_supervisor_restarts_killed_worker;
+      ] );
+  ]

@@ -357,6 +357,117 @@ let test_cache_corrupt_disk_entry () =
       checkb "corrupt entry is a miss" true (Cache.find c ~key = None);
       checkb "corrupt entry removed" false (Sys.file_exists path))
 
+let test_cache_dedup_across_instances () =
+  with_temp_dir (fun dir ->
+      (* two cache instances (two fleet workers) sharing one directory:
+         the second writer of a content-addressed key skips the write *)
+      let doc = Export.Object [ ("x", Export.Int 1) ] in
+      let a = Cache.create ~memory_capacity:4 ~dir () in
+      let b = Cache.create ~memory_capacity:4 ~dir () in
+      Cache.store a ~key:"feed03" doc;
+      checki "first writer writes" 1 (Cache.stats a).Cache.disk_writes;
+      Cache.store b ~key:"feed03" doc;
+      let sb = Cache.stats b in
+      checki "second writer dedups" 1 sb.Cache.dedup_skips;
+      checki "second writer skips the write" 0 sb.Cache.disk_writes;
+      (* the deduped store still lands in b's memory tier *)
+      checkb "deduped store served from memory" true
+        (match Cache.find b ~key:"feed03" with
+        | Some (_, Cache.Memory) -> true
+        | _ -> false))
+
+let test_cache_gc_sweep () =
+  with_temp_dir (fun dir ->
+      (* every 32nd write sweeps oldest-first until the tier fits the
+         cap; 64 ~220-byte entries against a 2000-byte cap must shed *)
+      let cap = 2_000 in
+      let c = Cache.create ~memory_capacity:4 ~dir ~max_disk_bytes:cap () in
+      let big = Export.Object [ ("pad", Export.String (String.make 200 'x')) ] in
+      for i = 1 to 64 do
+        Cache.store c ~key:(Printf.sprintf "f%05x" i) big
+      done;
+      checkb "sweep removed entries" true ((Cache.stats c).Cache.gc_removed > 0);
+      let size =
+        Array.fold_left
+          (fun acc name ->
+            if Filename.check_suffix name ".json" then
+              acc + (Unix.stat (Filename.concat dir name)).Unix.st_size
+            else acc)
+          0 (Sys.readdir dir)
+      in
+      checkb "disk tier within the cap after the sweep" true (size <= cap);
+      (* the newest entry survives (removal is oldest-first) *)
+      checkb "newest entry survives" true
+        (Sys.file_exists (Filename.concat dir "f00040.json")))
+
+let test_cache_multiprocess_race () =
+  with_temp_dir (fun dir ->
+      (* two real processes race identical content-addressed writes
+         into one directory, with a truncated entry injected up front:
+         every read afterwards must be clean, the torn entry must be
+         quarantined (not served, not deleted) and re-healed by the
+         next store *)
+      let value_of key = Export.Object [ ("key", Export.String key) ] in
+      let keys = List.init 16 (fun i -> Printf.sprintf "ab%04x" i) in
+      let corrupt_key = "dead00" in
+      let corrupt_path = Filename.concat dir (corrupt_key ^ ".json") in
+      let oc = open_out corrupt_path in
+      output_string oc "{\"torn";
+      close_out oc;
+      (* two separate writer processes (fork is off-limits once any
+         domain has run, so spawn a real helper binary twice) *)
+      let racer =
+        Filename.concat
+          (Filename.dirname Sys.executable_name)
+          "cache_racer.exe"
+      in
+      let spawn () =
+        Unix.create_process racer [| racer; dir |] Unix.stdin Unix.stdout
+          Unix.stderr
+      in
+      let p1 = spawn () in
+      let p2 = spawn () in
+      List.iter
+        (fun pid ->
+          let _, status = Unix.waitpid [] pid in
+          checkb "writer process exited cleanly" true
+            (status = Unix.WEXITED 0))
+        [ p1; p2 ];
+      (* a fresh reader sees every raced entry intact *)
+      let reader = Cache.create ~memory_capacity:4 ~dir () in
+      List.iter
+        (fun key ->
+          match Cache.find reader ~key with
+          | Some (json, Cache.Disk) ->
+            checks ("clean read of " ^ key)
+              (Export.to_string (value_of key))
+              (Export.to_string json)
+          | _ -> Alcotest.failf "expected a disk hit for %s" key)
+        keys;
+      (* the torn entry: miss, slot vacated, evidence kept *)
+      checkb "torn entry is a miss" true
+        (Cache.find reader ~key:corrupt_key = None);
+      checki "one quarantined entry" 1 (Cache.stats reader).Cache.quarantined;
+      checkb "torn slot vacated" false (Sys.file_exists corrupt_path);
+      let qdir = Filename.concat dir "quarantine" in
+      checkb "quarantine holds the evidence" true
+        (Sys.file_exists qdir && Array.length (Sys.readdir qdir) > 0);
+      (* the next store re-heals the slot for everyone *)
+      Cache.store reader ~key:corrupt_key (value_of corrupt_key);
+      let reader2 = Cache.create ~memory_capacity:4 ~dir () in
+      (match Cache.find reader2 ~key:corrupt_key with
+      | Some (json, Cache.Disk) ->
+        checks "re-healed payload"
+          (Export.to_string (value_of corrupt_key))
+          (Export.to_string json)
+      | _ -> Alcotest.fail "slot not re-healed");
+      (* leave the temp dir removable for with_temp_dir's cleanup *)
+      Array.iter
+        (fun name ->
+          try Sys.remove (Filename.concat qdir name) with Sys_error _ -> ())
+        (try Sys.readdir qdir with Sys_error _ -> [||]);
+      try Unix.rmdir qdir with Unix.Unix_error _ -> ())
+
 (* --- Protocol --- *)
 
 let test_protocol_request_roundtrip () =
@@ -410,6 +521,46 @@ let test_protocol_rejects_bad_envelopes () =
   bad {|{"v":1,"op":"plan"}|} (* missing id *);
   bad {|{"v":1,"id":"x","op":"frobnicate"}|} (* unknown op *);
   bad {|[1,2,3]|}
+
+let test_protocol_fleet_fields () =
+  (* the fields the fleet router relies on: worker attribution, the
+     protocol version stamped on the wire, and the unavailable status *)
+  let resp = Protocol.ok ~worker:"w3" ~cached:"disk" ~id:"f1" (Export.Int 1) in
+  (match Protocol.response_of_line (Protocol.response_to_line resp) with
+  | Ok back ->
+    checkb "worker stamp round-trips" true (back.Protocol.worker = Some "w3");
+    checkb "cached tier round-trips" true (back.Protocol.cached = Some "disk")
+  | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  (match Export.parse (Protocol.response_to_line resp) with
+  | Ok j ->
+    checkb "version stamped on the wire" true
+      (Export.member "v" j = Some (Export.Int Protocol.version));
+    checkb "worker field on the wire" true
+      (Export.member "worker" j = Some (Export.String "w3"))
+  | Error e -> Alcotest.failf "unparseable wire line: %s" e);
+  let rej =
+    Protocol.reject ~worker:"router" ~id:"f2" Protocol.Unavailable
+      "no worker reachable"
+  in
+  (match Protocol.response_of_line (Protocol.response_to_line rej) with
+  | Ok back ->
+    checkb "unavailable round-trips" true
+      (back.Protocol.status = Protocol.Unavailable);
+    checkb "router stamp" true (back.Protocol.worker = Some "router");
+    checkb "error text" true (back.Protocol.error = Some "no worker reachable")
+  | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  (* the whole status vocabulary round-trips by name *)
+  List.iter
+    (fun s ->
+      checkb (Protocol.status_name s) true
+        (Protocol.status_of_name (Protocol.status_name s) = Some s))
+    [
+      Protocol.Success; Protocol.Bad_request; Protocol.Server_error;
+      Protocol.Overloaded; Protocol.Deadline_exceeded; Protocol.Shutting_down;
+      Protocol.Unavailable;
+    ];
+  checkb "unknown status name rejected" true
+    (Protocol.status_of_name "nope" = None)
 
 (* --- Service --- *)
 
@@ -723,6 +874,87 @@ let test_serve_unix_end_to_end () =
       Thread.join server;
       checkb "socket removed after drain" false (Sys.file_exists socket_path))
 
+let test_serve_tcp_end_to_end () =
+  let service = Service.create ~worker:"t0" ~jobs:1 () in
+  let bound = Atomic.make 0 in
+  let server =
+    Thread.create
+      (fun () ->
+        Server.serve_tcp ~queue_capacity:8 ~max_line:4096
+          ~ready:(fun p -> Atomic.set bound p)
+          ~port:0 service)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.request_shutdown service;
+      Thread.join server;
+      Service.shutdown service)
+    (fun () ->
+      let rec wait_for_port tries =
+        if Atomic.get bound <> 0 then Atomic.get bound
+        else if tries = 0 then Alcotest.fail "daemon port never bound"
+        else begin
+          Thread.delay 0.05;
+          wait_for_port (tries - 1)
+        end
+      in
+      let port = wait_for_port 100 in
+      let connect () =
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        fd
+      in
+      let fd = connect () in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let send req =
+        output_string oc (Protocol.request_to_line req);
+        output_char oc '\n';
+        flush oc
+      in
+      let recv () =
+        match Protocol.response_of_line (input_line ic) with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "malformed response: %s" e
+      in
+      send (Protocol.request ~params:(plan_params ()) ~id:"t1" Protocol.Plan);
+      send (Protocol.request ~params:(plan_params ()) ~id:"t2" Protocol.Plan);
+      let r1 = recv () and r2 = recv () in
+      checks "first id" "t1" r1.Protocol.id;
+      checkb "first ok" true (r1.Protocol.status = Protocol.Success);
+      checkb "worker stamp on the envelope" true
+        (r1.Protocol.worker = Some "t0");
+      checkb "second is a cache hit" true (r2.Protocol.cached = Some "memory");
+      checks "identical payloads"
+        (Export.to_string r1.Protocol.result)
+        (Export.to_string r2.Protocol.result);
+      (* an oversize line on a second connection: one bad_request
+         envelope, then the connection closes (no resync point) *)
+      let fd2 = connect () in
+      let ic2 = Unix.in_channel_of_descr fd2 in
+      let oc2 = Unix.out_channel_of_descr fd2 in
+      output_string oc2 (String.make 8000 'x');
+      output_char oc2 '\n';
+      flush oc2;
+      let r_big =
+        match Protocol.response_of_line (input_line ic2) with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "malformed oversize reply: %s" e
+      in
+      checkb "oversize line rejected" true
+        (r_big.Protocol.status = Protocol.Bad_request);
+      (match input_line ic2 with
+      | exception End_of_file -> ()
+      | _ -> Alcotest.fail "connection stayed open after an oversize line");
+      (try Unix.close fd2 with Unix.Unix_error _ -> ());
+      (* shutdown envelope drains the daemon; serve_tcp returns *)
+      send (Protocol.request ~id:"t3" Protocol.Shutdown);
+      let r3 = recv () in
+      checkb "shutdown acknowledged" true (r3.Protocol.status = Protocol.Success);
+      Unix.close fd;
+      Thread.join server)
+
 let qcheck_tests =
   [ test_roundtrip_property ] |> List.map (fun t -> QCheck_alcotest.to_alcotest t)
 
@@ -764,6 +996,11 @@ let suites =
         Alcotest.test_case "disk tier + promotion" `Quick test_cache_disk_tier;
         Alcotest.test_case "corrupt disk entry" `Quick
           test_cache_corrupt_disk_entry;
+        Alcotest.test_case "cross-instance dedup" `Quick
+          test_cache_dedup_across_instances;
+        Alcotest.test_case "size-capped gc sweep" `Quick test_cache_gc_sweep;
+        Alcotest.test_case "two-process write race" `Quick
+          test_cache_multiprocess_race;
       ] );
     ( "serve-protocol",
       [
@@ -773,6 +1010,7 @@ let suites =
           test_protocol_response_roundtrip;
         Alcotest.test_case "bad envelopes rejected" `Quick
           test_protocol_rejects_bad_envelopes;
+        Alcotest.test_case "fleet fields" `Quick test_protocol_fleet_fields;
       ] );
     ( "serve-service",
       [
@@ -791,5 +1029,7 @@ let suites =
         Alcotest.test_case "stdio batch" `Quick test_serve_channels_batch;
         Alcotest.test_case "unix socket end-to-end" `Quick
           test_serve_unix_end_to_end;
+        Alcotest.test_case "tcp end-to-end + line cap" `Quick
+          test_serve_tcp_end_to_end;
       ] );
   ]
