@@ -138,8 +138,16 @@ let pending_count st =
 
 (* Register, then send. Registration first: the worker's reply can
    race back on the link thread the instant the line is flushed. On a
-   failed send the entry is withdrawn and the slot released — the
-   caller moves on to the next candidate. *)
+   failed send the entry is withdrawn and the slot released — but only
+   when the table still carries {e this} registration for {e this}
+   worker. Between the register and the failed send, [on_worker_down]
+   may have collected the entry as an orphan (releasing this worker's
+   slot itself) and re-registered it on a replacement; blindly
+   removing would erase the replacement's registration (its reply
+   would find no entry, so the client never gets an envelope) and
+   double-release this worker's slot. In that case the request is the
+   redispatcher's now — report success so the caller doesn't dispatch
+   it a second time. *)
 let forward st p worker_id =
   Mutex.lock st.pending_lock;
   p.assigned <- worker_id;
@@ -155,10 +163,24 @@ let forward st p worker_id =
   end
   else begin
     Mutex.lock st.pending_lock;
-    Hashtbl.remove st.pending p.internal;
-    Mutex.unlock st.pending_lock;
-    release_slot st worker_id;
-    false
+    let still_ours =
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock st.pending_lock)
+        (fun () ->
+          match Hashtbl.find_opt st.pending p.internal with
+          | Some q when q == p && p.assigned = worker_id ->
+            Hashtbl.remove st.pending p.internal;
+            true
+          | Some _ | None -> false)
+    in
+    if still_ours then begin
+      release_slot st worker_id;
+      false
+    end
+    else
+      (* [on_worker_down] redispatched (or answered) it concurrently;
+         it owns the envelope now. *)
+      true
   end
 
 type dispatch_outcome = Dispatched | Window_full of string | No_worker
@@ -312,10 +334,14 @@ let on_response st (resp : Protocol.response) =
 
 (* A dead worker orphans its in-flight requests. Each orphan is taken
    out of the pending table (skipping any the reply path already
-   answered), its slot released, and re-forwarded to the next live
+   answered), its slot released, and re-forwarded to the first live
    worker in its key's ring order — the ops are pure computations, so
-   a resend is safe even when the worker died mid-compute. With no
-   live replacement the client gets an honest [unavailable]. *)
+   a resend is safe even when the worker died mid-compute. Redispatch
+   follows [try_dispatch]'s policy exactly: the first live candidate
+   either takes the orphan or, when its window is full, sheds it as
+   [overloaded] — never spilling onto cache-cold replicas while the
+   fleet is saturated. With no live replacement at all the client
+   gets an honest [unavailable]. *)
 let on_worker_down st worker_id =
   Mutex.lock st.pending_lock;
   let orphans =
@@ -343,18 +369,18 @@ let on_worker_down st worker_id =
                (Printf.sprintf "worker %s died and no replacement is reachable"
                   worker_id))
         | w :: rest ->
-          if
-            w <> worker_id
-            && Worker_client.is_up (link st w)
-            && acquire_slot st w
-          then begin
-            if forward st p w then
-              Fleet_metrics.incr_failover st.metrics worker_id
-            else begin
-              release_slot st w;
-              go rest
-            end
+          if w = worker_id || not (Worker_client.is_up (link st w)) then
+            go rest
+          else if not (acquire_slot st w) then begin
+            Fleet_metrics.incr_shed_overloaded st.metrics w;
+            send_client p.p_client
+              (router_reject ~id:p.orig_id Protocol.Overloaded
+                 (Printf.sprintf
+                    "worker %s died; replacement %s window full (%d in flight)"
+                    worker_id w st.cfg.window))
           end
+          else if forward st p w then
+            Fleet_metrics.incr_failover st.metrics worker_id
           else go rest
       in
       go (Hash_ring.successors st.ring p.key))
@@ -477,7 +503,22 @@ let run ?ready ?metrics ~listen ~stop cfg =
               Server.Line_reader.create ?idle_timeout_s:cfg.idle_timeout_s
                 ~max_line:cfg.max_line fd
             in
-            ignore (Thread.create (client_reader st client lr) ())
+            (* Mirror serve_loop's detach: when the reader exits (eof,
+               idle timeout, oversized line) the client leaves the
+               list and its fd/channel close — otherwise every
+               disconnect leaks a descriptor for the router's
+               lifetime. *)
+            let detach () =
+              Mutex.lock clients_lock;
+              clients := List.filter (fun c -> c != client) !clients;
+              Mutex.unlock clients_lock;
+              close_client client
+            in
+            ignore
+              (Thread.create
+                 (fun () ->
+                   Fun.protect ~finally:detach (client_reader st client lr))
+                 ())
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
         | _ -> ()
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()

@@ -58,6 +58,13 @@ module Lru = struct
         Hashtbl.remove t.table e.key
     done
 
+  let remove t key =
+    match Hashtbl.find_opt t.table key with
+    | None -> ()
+    | Some e ->
+      unlink t e;
+      Hashtbl.remove t.table key
+
   let length t = Hashtbl.length t.table
 end
 
@@ -177,9 +184,12 @@ let entry_files dir =
              | exception Unix.Unix_error _ -> None)
 
 (* Size-capped GC: once the store exceeds the cap, the oldest entries
-   (by mtime) leave first until it fits again. Concurrent sweepers
-   race removals harmlessly — a vanished file means another process
-   freed the space, which counts toward this sweeper's goal too. *)
+   (by mtime) leave first until it fits again. Freed bytes are only
+   credited after the removal succeeds — a file that won't delete
+   (permissions, etc.) has freed nothing, and crediting it anyway
+   would stop the sweep early and leave the store over cap. A file
+   another sweeper removed first just means this sweeper deletes one
+   more entry than strictly needed, which is harmless. *)
 let gc_sweep t dir cap =
   let files = entry_files dir in
   let total = List.fold_left (fun acc (_, size, _) -> acc + size) 0 files in
@@ -187,12 +197,12 @@ let gc_sweep t dir cap =
     let excess = ref (total - cap) in
     List.iter
       (fun (path, size, _) ->
-        if !excess > 0 then begin
-          excess := !excess - size;
+        if !excess > 0 then
           match Sys.remove path with
-          | () -> t.gc_removed <- t.gc_removed + 1
-          | exception Sys_error _ -> ()
-        end)
+          | () ->
+            excess := !excess - size;
+            t.gc_removed <- t.gc_removed + 1
+          | exception Sys_error _ -> ())
       (List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b) files)
   end
 
@@ -233,16 +243,7 @@ let find t ~key =
   if not (valid_key key) then None
   else
     locked t @@ fun () ->
-    match Lru.find t.memory key with
-    | Some text -> (
-      match Export.parse text with
-      | Ok json ->
-        t.memory_hits <- t.memory_hits + 1;
-        Some (json, Memory)
-      | Error _ ->
-        (* unreachable for entries we rendered; fall back to disk *)
-        None)
-    | None -> (
+    let from_disk () =
       match disk_find t key with
       | Some (text, json) ->
         t.disk_hits <- t.disk_hits + 1;
@@ -250,7 +251,21 @@ let find t ~key =
         Some (json, Disk)
       | None ->
         t.misses <- t.misses + 1;
-        None)
+        None
+    in
+    match Lru.find t.memory key with
+    | Some text -> (
+      match Export.parse text with
+      | Ok json ->
+        t.memory_hits <- t.memory_hits + 1;
+        Some (json, Memory)
+      | Error _ ->
+        (* unreachable for entries we rendered; evict the poisoned
+           entry so it can't keep short-circuiting the disk tier, and
+           fall back to disk *)
+        Lru.remove t.memory key;
+        from_disk ())
+    | None -> from_disk ()
 
 let store t ~key json =
   if valid_key key then begin
