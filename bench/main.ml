@@ -6,7 +6,7 @@
    Sections: table1 table2 table3 table4 fig2 fig4 fig5 ablation-delta
    ablation-serial ablation-placement ablation-selftest ablation-fixed
    ablation-power ablation-engine scaling search-scaling packer-matrix
-   serve-throughput fleet analyze timings
+   serve-throughput fleet cosim analyze timings
    (default: all). *)
 
 let sections =
@@ -34,6 +34,7 @@ let sections =
     ("packer-matrix", Packer_matrix.run);
     ("serve-throughput", Serve.run);
     ("fleet", Fleet.run);
+    ("cosim", Cosim.run);
     ("analyze", Analysis.run);
     ("timings", Timings.run);
   ]

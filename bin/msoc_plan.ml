@@ -12,6 +12,8 @@
      soc-info  - describe a .soc file (cores, staircases, volumes)
      sharing   - list wrapper-sharing combinations with C_A and T_LB
      generate  - emit a synthetic .soc benchmark file
+     bist      - converter self-test and Monte-Carlo yield
+     cosim     - event-driven co-simulation of wrapped spec tests
 
    Exit codes: 0 clean; 1 when `check` or `--verify` finds an
    error-severity diagnostic (or `replay` sees a failure); cmdliner's
@@ -1759,6 +1761,215 @@ let bist_cmd =
   let trials = Arg.(value & opt int 50 & info [ "trials" ] ~docv:"T" ~doc:"Monte-Carlo dies.") in
   Cmd.v (Cmd.info "bist" ~doc) Term.(const run_bist $ bits $ mismatch $ trials)
 
+(* --- cosim --- *)
+
+let run_cosim spec_name trials seed jobs bits samples tolerance ideal as_json
+    calibrate system_clock_mhz width weight_time soc_file analog_labels =
+  let module Testbench = Msoc_cosim.Testbench in
+  let module Monte_carlo = Msoc_cosim.Monte_carlo in
+  let module Calibrate = Msoc_cosim.Calibrate in
+  let module Variation = Msoc_mixedsig.Variation in
+  let module Export = Msoc_testplan.Export in
+  let specs =
+    if String.lowercase_ascii spec_name = "all" then Testbench.specs
+    else
+      match Testbench.spec_of_name spec_name with
+      | Some s -> [ s ]
+      | None ->
+        Fmt.failwith "unknown spec %S (expected 'all' or one of: %s)"
+          spec_name
+          (String.concat ", " Testbench.spec_names)
+  in
+  if bits < 4 || bits > 16 || bits mod 2 <> 0 then
+    Fmt.failwith "--bits must be an even resolution in 4..16, got %d" bits;
+  if samples < 16 then Fmt.failwith "--samples must be >= 16, got %d" samples;
+  if trials < 0 then Fmt.failwith "--trials must be >= 0, got %d" trials;
+  let base = if ideal then Testbench.ideal else Testbench.default in
+  let config =
+    {
+      base with
+      Testbench.variation = { base.Testbench.variation with Variation.bits };
+      samples;
+    }
+  in
+  let results =
+    List.map (fun s -> Testbench.run ?tolerance_pct:tolerance ~config s) specs
+  in
+  let sweeps =
+    if trials = 0 then []
+    else
+      Msoc_util.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
+          List.map
+            (fun s ->
+              Monte_carlo.run ~config ?tolerance_pct:tolerance ~pool ~trials
+                ~seed s)
+            specs)
+  in
+  let calibration =
+    if not calibrate then None
+    else begin
+      let soc = load_soc soc_file in
+      let analog_cores = parse_analog analog_labels in
+      let problem, reports =
+        Calibrate.calibrated_problem ~config
+          ~system_clock_hz:(system_clock_mhz *. 1.0e6) ~soc ~analog_cores
+          ~tam_width:width ~weight_time ()
+      in
+      let plan =
+        Msoc_util.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
+            Plan.run ~search:(Plan.Heuristic { delta = 0.0 }) ~pool problem)
+      in
+      Some (reports, plan)
+    end
+  in
+  if as_json then begin
+    let fields =
+      [ ("results", Export.List (List.map Testbench.result_json results)) ]
+      @ (match sweeps with
+        | [] -> []
+        | _ ->
+          [
+            ( "monte_carlo",
+              Export.List
+                (List.map
+                   (fun (trials, summary) ->
+                     match Monte_carlo.summary_json summary with
+                     | Export.Object fields ->
+                       Export.Object
+                         (fields
+                         @ [ ("trial_results", Monte_carlo.trials_json trials) ])
+                     | other -> other)
+                   sweeps) );
+          ])
+      @
+      match calibration with
+      | None -> []
+      | Some (reports, plan) ->
+        [
+          ("calibration", Calibrate.calibration_json reports);
+          ("calibrated_plan", Msoc_testplan.Export.plan_json plan);
+        ]
+    in
+    print_string (Export.pretty (Export.Object fields));
+    print_newline ()
+  end
+  else begin
+    Fmt.pr "Co-simulation: %d-bit wrapper, %d samples at %.3g MS/s%s@." bits
+      samples
+      (config.Testbench.fs /. 1.0e6)
+      (if ideal then " (ideal converters)" else "");
+    List.iter (fun r -> Fmt.pr "  %a@." Testbench.pp_result r) results;
+    List.iter
+      (fun (_, (s : Monte_carlo.summary)) ->
+        Fmt.pr
+          "  %-7s Monte-Carlo: %d trials seed %d -> yield %.1f%% (95%% CI \
+           %.1f-%.1f%%), measured %.5g +/- %.3g, worst err %.2f%% [%.0f \
+           trials/s]@."
+          (Testbench.spec_name s.Monte_carlo.spec)
+          s.Monte_carlo.trials s.Monte_carlo.seed
+          (100.0 *. s.Monte_carlo.yield_frac)
+          (100.0 *. s.Monte_carlo.ci_low)
+          (100.0 *. s.Monte_carlo.ci_high)
+          s.Monte_carlo.measured_mean s.Monte_carlo.measured_stddev
+          s.Monte_carlo.error_pct_max s.Monte_carlo.trials_per_s)
+      sweeps;
+    match calibration with
+    | None -> ()
+    | Some (reports, plan) ->
+      Fmt.pr "@.Calibrated test times (measured TAM cycles vs catalog):@.";
+      List.iter
+        (List.iter (fun (m : Calibrate.measured) ->
+             Fmt.pr "  %-10s via %-6s nominal %8d -> measured %8d cycles \
+                     (err %5.2f%%)@."
+               m.Calibrate.test.Msoc_analog.Spec.name
+               (Testbench.spec_name m.Calibrate.spec)
+               m.Calibrate.test.Msoc_analog.Spec.cycles
+               m.Calibrate.measured_cycles m.Calibrate.error_pct))
+        reports;
+      Fmt.pr "@.Plan over calibrated times:@.";
+      print_string (Report.summary plan)
+  end;
+  match calibration with
+  | None -> ()
+  | Some (_, plan) ->
+    report_verification ~context:"cosim --calibrate"
+      (Msoc_check.Verify.plan plan)
+
+let cosim_cmd =
+  let doc =
+    "co-simulate a wrapped analog specification test (event-driven DAC -> \
+     core -> ADC loop, Fig. 5) with optional Monte-Carlo yield sweep and \
+     plan-time calibration"
+  in
+  let spec_arg =
+    Arg.(
+      value & opt string "fc"
+      & info [ "spec" ] ~docv:"SPEC"
+          ~doc:
+            "Specification test to co-simulate: gain, fc, thd, iip3, offset, \
+             slew, dr, or 'all'.")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "trials" ] ~docv:"N"
+          ~doc:
+            "Monte-Carlo trials across process variation (0 = single \
+             nominal run).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Master seed; each trial's die is a pure function of (seed, \
+             trial), so sweeps are bit-identical at any $(b,--jobs).")
+  in
+  let bits_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "bits" ] ~docv:"B" ~doc:"Wrapper converter resolution (even).")
+  in
+  let samples_arg =
+    Arg.(
+      value & opt int 4551
+      & info [ "samples" ] ~docv:"N" ~doc:"Stimulus record length.")
+  in
+  let tolerance_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:"Pass threshold on wrapped-vs-direct error (default per spec).")
+  in
+  let ideal_flag =
+    Arg.(
+      value & flag
+      & info [ "ideal" ]
+          ~doc:"Ideal converters: no mismatch, no comparator noise.")
+  in
+  let calibrate_flag =
+    Arg.(
+      value & flag
+      & info [ "calibrate" ]
+          ~doc:
+            "Re-derive every catalog test's TAM-cycle length from the \
+             co-simulation and re-plan the SOC over the measured times \
+             (verified through $(b,Msoc_check)).")
+  in
+  let clock_arg =
+    Arg.(
+      value & opt float 78.0
+      & info [ "system-clock" ] ~docv:"MHZ"
+          ~doc:"SOC TAM clock for $(b,--calibrate) divide ratios.")
+  in
+  Cmd.v (Cmd.info "cosim" ~doc)
+    Term.(
+      const run_cosim $ spec_arg $ trials_arg $ seed_arg $ jobs_arg $ bits_arg
+      $ samples_arg $ tolerance_arg $ ideal_flag $ json_flag $ calibrate_flag
+      $ clock_arg $ width_arg $ weight_time_arg $ soc_file_arg
+      $ analog_labels_arg)
+
 (* --- main --- *)
 
 let () =
@@ -1780,4 +1991,5 @@ let () =
             sharing_cmd;
             generate_cmd;
             bist_cmd;
+            cosim_cmd;
           ]))

@@ -1,0 +1,83 @@
+module Wrapper = Msoc_mixedsig.Wrapper
+module Adc = Msoc_mixedsig.Adc
+module Dac = Msoc_mixedsig.Dac
+
+type trace = {
+  samples : int;
+  tam_cycles : int;
+  dac_events : int;
+  adc_events : int;
+  analog_advances : int;
+  scheduler : Scheduler.stats;
+  response : int array;
+}
+
+let run ~wrapper ~dut ~stimulus_codes =
+  let cfg = Wrapper.config wrapper in
+  (match cfg.Wrapper.mode with
+  | Wrapper.Core_test -> ()
+  | Wrapper.Normal | Wrapper.Self_test ->
+    invalid_arg "Engine.run: wrapper not in core-test mode");
+  let n = Array.length stimulus_codes in
+  if n = 0 then invalid_arg "Engine.run: empty stimulus";
+  let code_limit = 1 lsl Wrapper.bits wrapper in
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= code_limit then
+        invalid_arg "Engine.run: stimulus code out of range")
+    stimulus_codes;
+  let period = cfg.Wrapper.serial_to_parallel * cfg.Wrapper.divide_ratio in
+  let dac = Wrapper.dac wrapper and adc = Wrapper.adc wrapper in
+  let solver = Dut.stream dut in
+  (* Boundary state: the analog voltage in flight between converter
+     events. One cell per index keeps the pipeline honest — an ADC
+     event can only read a voltage its Analog_advance produced. *)
+  let analog_in = Array.make n 0.0 in
+  let analog_out = Array.make n Float.nan in
+  let response = Array.make n (-1) in
+  let dac_events = ref 0 and adc_events = ref 0 and advances = ref 0 in
+  let last_capture = ref 0 in
+  let sched = Scheduler.create () in
+  let handler sched (ev : Event.t) =
+    match ev.Event.payload with
+    | Event.Tam_word { index; code } ->
+      (* The word is assembled; conversion fires within the same
+         sample period. *)
+      Scheduler.post sched ~time:ev.Event.time (Event.Dac_convert { index; code })
+    | Event.Dac_convert { index; code } ->
+      incr dac_events;
+      analog_in.(index) <- Dac.convert dac code;
+      Scheduler.post sched ~time:ev.Event.time (Event.Analog_advance { index })
+    | Event.Analog_advance { index } ->
+      incr advances;
+      analog_out.(index) <- solver analog_in.(index);
+      (* Pipelined capture: the ADC samples one period after the
+         stimulus word entered — scan-in and scan-out overlap. *)
+      Scheduler.post sched
+        ~time:(ev.Event.time + period)
+        (Event.Adc_convert { index })
+    | Event.Adc_convert { index } ->
+      incr adc_events;
+      if Float.is_nan analog_out.(index) then
+        invalid_arg "Engine.run: ADC fired before the analog solver";
+      response.(index) <- Adc.convert adc analog_out.(index);
+      Scheduler.post sched ~time:ev.Event.time (Event.Tam_capture { index })
+    | Event.Tam_capture { index } ->
+      if ev.Event.time > !last_capture then last_capture := ev.Event.time;
+      if index = n - 1 then Scheduler.post sched ~time:ev.Event.time Event.Extract
+    | Event.Extract -> ()
+  in
+  Array.iteri
+    (fun index code ->
+      Scheduler.post sched ~time:(index * period) (Event.Tam_word { index; code }))
+    stimulus_codes;
+  Scheduler.run sched ~handler;
+  {
+    samples = n;
+    tam_cycles = !last_capture;
+    dac_events = !dac_events;
+    adc_events = !adc_events;
+    analog_advances = !advances;
+    scheduler = Scheduler.stats sched;
+    response;
+  }

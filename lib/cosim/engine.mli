@@ -1,0 +1,35 @@
+(** The event-driven co-simulation loop (the paper's Fig. 5 path).
+
+    Drives one core test through a wrapper as discrete events on the
+    TAM clock: every sample period ([serial_to_parallel ·
+    divide_ratio] TAM cycles) a stimulus word crosses the TAM
+    ([Tam_word]), is converted ([Dac_convert]), advances the analog
+    solver by one sample ([Analog_advance] — the streaming DUT), and
+    one period later the ADC captures the response ([Adc_convert],
+    [Tam_capture]) — the converters pipeline, so scan-in and scan-out
+    overlap exactly as {!Msoc_mixedsig.Wrapper.test_cycles} accounts.
+    A final [Extract] event closes the record.
+
+    The digitized response is bit-identical to the batch
+    {!Msoc_mixedsig.Wrapper.apply_core_test} path over {!Dut.batch}
+    (same converter arithmetic, same DUT arithmetic) — asserted in the
+    test suite — so the event engine adds observability (timestamps,
+    event counts, cycle accounting), never numerical drift. *)
+
+type trace = {
+  samples : int;
+  tam_cycles : int;
+      (** timestamp of the last capture = wrapper test time; equals
+          {!Msoc_mixedsig.Wrapper.test_cycles} for the record *)
+  dac_events : int;
+  adc_events : int;
+  analog_advances : int;
+  scheduler : Scheduler.stats;
+  response : int array;  (** digitized response codes, in order *)
+}
+
+val run :
+  wrapper:Msoc_mixedsig.Wrapper.t -> dut:Dut.t -> stimulus_codes:int array ->
+  trace
+(** @raise Invalid_argument if the wrapper is not in [Core_test] mode,
+    a stimulus code is out of range, or the record is empty. *)

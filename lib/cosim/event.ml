@@ -1,0 +1,22 @@
+type payload =
+  | Tam_word of { index : int; code : int }
+  | Dac_convert of { index : int; code : int }
+  | Analog_advance of { index : int }
+  | Adc_convert of { index : int }
+  | Tam_capture of { index : int }
+  | Extract
+
+type t = { time : int; seq : int; payload : payload }
+
+let compare a b =
+  match Int.compare a.time b.time with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+let describe = function
+  | Tam_word _ -> "tam_word"
+  | Dac_convert _ -> "dac_convert"
+  | Analog_advance _ -> "analog_advance"
+  | Adc_convert _ -> "adc_convert"
+  | Tam_capture _ -> "tam_capture"
+  | Extract -> "extract"

@@ -1,0 +1,38 @@
+(** Timestamped events crossing the analog/digital boundary.
+
+    The co-simulation engine treats every boundary crossing of the
+    paper's Fig. 1 wrapper as an explicit event on a shared timeline
+    measured in TAM clock cycles: a stimulus word arriving over the
+    TAM, the DAC conversion it triggers, the analog solver advancing
+    the device under test, the ADC capturing the response, and the
+    captured word leaving over the TAM. The final [Extract] event
+    hands the digitized record to the DSP readout. *)
+
+type payload =
+  | Tam_word of { index : int; code : int }
+      (** stimulus word group [index] scanned in over the TAM *)
+  | Dac_convert of { index : int; code : int }
+      (** code → voltage at the wrapper's DAC *)
+  | Analog_advance of { index : int }
+      (** the analog solver consumes input sample [index] and produces
+          the DUT's response sample *)
+  | Adc_convert of { index : int }
+      (** voltage → code at the wrapper's ADC (pipelined: one sample
+          period after the stimulus that caused it) *)
+  | Tam_capture of { index : int }
+      (** response word group [index] scanned out over the TAM *)
+  | Extract  (** record complete: run the DSP extraction *)
+
+type t = {
+  time : int;  (** TAM clock cycles since test start *)
+  seq : int;  (** tie-break: post order within one timestamp *)
+  payload : payload;
+}
+
+val compare : t -> t -> int
+(** Ascending [time], then ascending [seq] — the scheduler's total
+    order. *)
+
+val describe : payload -> string
+(** Short human-readable tag ("dac_convert", ...) for traces and
+    error messages. *)

@@ -1,0 +1,57 @@
+(** Monte-Carlo sweeps of a co-simulated specification test.
+
+    Re-runs one {!Testbench} program across many simulated dies —
+    converter resolution, mismatch, noise and DUT process variation
+    drawn per trial by the shared {!Msoc_mixedsig.Variation} sampler —
+    and summarizes pass yield (Wilson interval) plus the measured
+    value's distribution. Trials parallelize on {!Msoc_util.Pool};
+    because each trial's draw is a pure function of [(seed, index)]
+    and {!Msoc_util.Pool.map} preserves input order, a sweep is
+    bit-identical at any job count (the PR 1 discipline). *)
+
+type trial = {
+  index : int;  (** 1-based trial number *)
+  variation : Msoc_mixedsig.Variation.t;
+  measured : float;
+  direct : float;
+  error_pct : float;
+  pass : bool;
+}
+
+type summary = {
+  spec : Testbench.spec;
+  seed : int;
+  trials : int;
+  passes : int;
+  yield_frac : float;
+  ci_low : float;  (** 95 % Wilson interval, via {!Msoc_mixedsig.Yield} *)
+  ci_high : float;
+  measured_mean : float;
+  measured_stddev : float;
+  measured_min : float;
+  measured_max : float;
+  error_pct_mean : float;
+  error_pct_max : float;
+  elapsed_s : float;  (** wall clock — excluded from determinism claims *)
+  trials_per_s : float;
+}
+
+val run :
+  ?ranges:Msoc_mixedsig.Variation.ranges ->
+  ?config:Testbench.config ->
+  ?tolerance_pct:float ->
+  ?pool:Msoc_util.Pool.t ->
+  trials:int ->
+  seed:int ->
+  Testbench.spec ->
+  trial list * summary
+(** Trials 1..[trials] in order. [config] (default
+    {!Testbench.default}) supplies everything the per-trial variation
+    does not override. @raise Invalid_argument if [trials < 1]. *)
+
+val summary_json : summary -> Msoc_testplan.Export.json
+(** Deterministic fields only — the wall-clock rates are reported
+    under a separate ["timing"] key so cached and recomputed results
+    compare equal elsewhere. *)
+
+val trials_json : trial list -> Msoc_testplan.Export.json

@@ -1,0 +1,34 @@
+(** Discrete-event scheduler: a time-ordered queue of {!Event.t}.
+
+    The classic event-wheel loop: handlers pop the earliest event and
+    may post further events at the current or a later timestamp.
+    Events sharing a timestamp run in post order (their sequence
+    number), so a DAC conversion posted by a TAM-word handler runs
+    before the next sample period — deterministic without fractional
+    timestamps. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Timestamp of the event currently being processed (0 before the
+    first event). *)
+
+val post : t -> time:int -> Event.payload -> unit
+(** Enqueue an event. @raise Invalid_argument if [time] is negative or
+    in the past ([time < now t]) — a discrete-event simulation cannot
+    rewrite history. *)
+
+val run : t -> handler:(t -> Event.t -> unit) -> unit
+(** Drain the queue: repeatedly pop the minimum (time, seq) event,
+    advance the clock to it and call [handler]. Returns when the queue
+    is empty. Not reentrant. *)
+
+type stats = {
+  processed : int;  (** events handled across all [run] calls *)
+  peak_queue : int;  (** high-water mark of pending events *)
+  horizon : int;  (** largest timestamp processed *)
+}
+
+val stats : t -> stats

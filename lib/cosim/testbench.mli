@@ -1,0 +1,78 @@
+(** Table-2 specification tests as reusable co-simulation programs.
+
+    Each spec builds a digital stimulus, runs it through the
+    event-driven engine against a behavioral DUT (the wrapped path —
+    what a digital ATE measures through the paper's wrapper), runs the
+    same stimulus through the bare analog model (the direct path — a
+    bench instrument probing the core), applies the same DSP
+    extraction to both, and reports the pair with their relative
+    error. The [Fc] program with the default configuration is the
+    Fig. 5 closed loop: a 61 kHz second-order Butterworth core
+    measured through an 8-bit wrapper with realistic converter
+    mismatch lands within the paper's ~5 % of the direct measurement. *)
+
+type spec = Gain | Fc | Thd | Iip3 | Dc_offset | Slew | Dr
+
+val specs : spec list
+(** All seven, in declaration order. *)
+
+val spec_names : string list
+(** ["gain"; "fc"; "thd"; "iip3"; "offset"; "slew"; "dr"] — the CLI
+    and protocol vocabulary. *)
+
+val spec_name : spec -> string
+
+val spec_of_name : string -> spec option
+(** Case-insensitive. *)
+
+val default_tolerance_pct : spec -> float
+(** Per-spec pass tolerance on the wrapped-vs-direct relative error:
+    5 % for [Gain]/[Fc] (the paper's Fig. 5 agreement), wider for the
+    specs whose readout sits closer to the converter noise floor. *)
+
+type config = {
+  variation : Msoc_mixedsig.Variation.t;
+      (** converter resolution/mismatch and DUT process variation *)
+  fs : float;  (** wrapper sampling rate for the test *)
+  samples : int;  (** record length *)
+  bias : float;  (** operating point *)
+  fc_nominal : float;  (** the DUT's design cut-off (Fig. 5: 61 kHz) *)
+  gain_nominal : float;  (** the DUT's design pass-band gain *)
+}
+
+val default : config
+(** The Fig. 5 regime: 8-bit wrapper with untrimmed-converter
+    mismatch (2 % resistors, 0.5 LSB comparators), fs = 1.7 MHz,
+    4551 samples, 2 V bias, 61 kHz / unit-gain core, no process
+    variation. *)
+
+val ideal : config
+(** {!default} with ideal converters — isolates pure quantization. *)
+
+val with_variation : Msoc_mixedsig.Variation.t -> config -> config
+(** Replace the variation (one Monte-Carlo trial's config). *)
+
+val dut_for : config -> spec -> Dut.t
+(** The behavioral core each spec probes (gain + low-pass for the
+    frequency tests, third-order polynomial for THD/IIP3, rate
+    limiter for SR, ...), with the config's process variation and
+    noise applied. *)
+
+type result = {
+  spec : spec;
+  measured : float;  (** wrapped-path value, via the event engine *)
+  direct : float;  (** direct analog measurement of the same DUT *)
+  unit_label : string;  (** "kHz", "V/V", "ratio", "V", "V/us", "dB" *)
+  error_pct : float;  (** 100·|measured − direct| / |direct| *)
+  tolerance_pct : float;
+  pass : bool;  (** [error_pct <= tolerance_pct] *)
+  trace : Engine.trace;
+}
+
+val run : ?tolerance_pct:float -> ?config:config -> spec -> result
+(** Execute the spec's program. [tolerance_pct] defaults to
+    {!default_tolerance_pct}. *)
+
+val result_json : result -> Msoc_testplan.Export.json
+
+val pp_result : Format.formatter -> result -> unit

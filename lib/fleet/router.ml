@@ -255,7 +255,7 @@ let admit st backoff client (req : Protocol.request) =
     send_client client
       (Protocol.ok ~worker:"router" ~id
          (Export.Object [ ("draining", Export.Bool true) ]))
-  | Protocol.Plan | Protocol.Explore | Protocol.Optimize ->
+  | Protocol.Plan | Protocol.Explore | Protocol.Optimize | Protocol.Cosim ->
     let key = routing_key req in
     let primary = Hash_ring.lookup st.ring key in
     let p =

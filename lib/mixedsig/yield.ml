@@ -1,11 +1,16 @@
+(* One deterministic RNG path for every Monte-Carlo consumer: die
+   construction is delegated to the shared Variation sampler.
+   [Variation.wrapper] keeps the historical ADC seed offset, so
+   per-seed results are bit-identical across the port. *)
 let wrapper_for_die ?(bits = 8) ?(dac_mismatch_sigma = 0.01)
     ?(adc_threshold_sigma_lsb = 0.3) ~seed () =
-  let dac = Dac.create ~mismatch_sigma:dac_mismatch_sigma ~seed Dac.Modular ~bits in
-  let adc =
-    Adc.create ~threshold_sigma_lsb:adc_threshold_sigma_lsb ~seed:(seed + 1_000_003)
-      Adc.Modular_pipeline ~bits
-  in
-  Wrapper.create ~adc ~dac ~bits ()
+  Variation.wrapper
+    {
+      (Variation.nominal ~bits ()) with
+      Variation.dac_mismatch_sigma;
+      adc_threshold_sigma_lsb;
+      converter_seed = seed;
+    }
 
 type result = {
   trials : int;

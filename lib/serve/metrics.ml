@@ -1,6 +1,6 @@
 module Export = Msoc_testplan.Export
 
-let ops = Protocol.[ Plan; Explore; Optimize; Stats; Shutdown ]
+let ops = Protocol.[ Plan; Explore; Optimize; Cosim; Stats; Shutdown ]
 
 let statuses =
   Protocol.

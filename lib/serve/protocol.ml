@@ -2,12 +2,13 @@ module Export = Msoc_testplan.Export
 
 let version = 1
 
-type op = Plan | Explore | Optimize | Stats | Shutdown
+type op = Plan | Explore | Optimize | Cosim | Stats | Shutdown
 
 let op_name = function
   | Plan -> "plan"
   | Explore -> "explore"
   | Optimize -> "optimize"
+  | Cosim -> "cosim"
   | Stats -> "stats"
   | Shutdown -> "shutdown"
 
@@ -15,6 +16,7 @@ let op_of_name = function
   | "plan" -> Some Plan
   | "explore" -> Some Explore
   | "optimize" -> Some Optimize
+  | "cosim" -> Some Cosim
   | "stats" -> Some Stats
   | "shutdown" -> Some Shutdown
   | _ -> None

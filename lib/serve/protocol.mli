@@ -21,6 +21,13 @@
     non-default variants are re-verified through [Msoc_check] before
     the result is served.
 
+    The [cosim] op runs a co-simulated specification test
+    ([Msoc_cosim]) — params name the spec ([gain], [fc], [thd],
+    [iip3], [offset], [slew], [dr]), the Monte-Carlo trial count and
+    master seed — and caches like any plan: the result is a pure
+    function of the params, so it shares the two-level cache and
+    fingerprint discipline.
+
     Malformed lines never kill a connection: they produce a
     [bad_request] response with an empty [id]. *)
 
@@ -30,7 +37,7 @@ val version : int
     at a different version surfaces the skew as a structured error
     instead of silently mixing schemas. *)
 
-type op = Plan | Explore | Optimize | Stats | Shutdown
+type op = Plan | Explore | Optimize | Cosim | Stats | Shutdown
 
 val op_name : op -> string
 

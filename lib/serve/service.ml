@@ -11,6 +11,10 @@ module Pool = Msoc_util.Pool
 module Strategy = Msoc_search.Strategy
 module Budget = Msoc_search.Budget
 module Registry = Msoc_tam.Packer_registry
+module Variation = Msoc_mixedsig.Variation
+module Testbench = Msoc_cosim.Testbench
+module Monte_carlo = Msoc_cosim.Monte_carlo
+module Calibrate = Msoc_cosim.Calibrate
 
 (* Small LRU of prepared structures: key = Fingerprint.structure_hex.
    8 resident SOC structures cover any realistic sweep workload while
@@ -319,6 +323,130 @@ let stats_result t =
           ] );
     ]
 
+(* --- cosim --- *)
+
+type cosim_params = {
+  spec : Testbench.spec;
+  trials : int;  (* 0 = single deterministic run, no Monte-Carlo *)
+  seed : int;
+  bits : int;
+  samples : int;
+  tolerance_pct : float option;
+  calibrate : bool;
+  system_clock_hz : float;
+}
+
+let cosim_of_params params =
+  let spec_name = Option.value (string_param "spec" params) ~default:"fc" in
+  let spec =
+    match Testbench.spec_of_name spec_name with
+    | Some s -> s
+    | None ->
+      badf "unknown spec %S (expected one of: %s)" spec_name
+        (String.concat ", " Testbench.spec_names)
+  in
+  let trials = int_param ~default:0 "trials" params in
+  if trials < 0 then badf "param \"trials\" must be >= 0";
+  let seed = int_param ~default:42 "seed" params in
+  let bits = int_param ~default:8 "bits" params in
+  if bits < 4 || bits > 16 || bits mod 2 <> 0 then
+    badf "param \"bits\" must be an even resolution in 4..16";
+  let samples =
+    int_param ~default:Testbench.default.Testbench.samples "samples" params
+  in
+  if samples < 16 then badf "param \"samples\" must be >= 16";
+  let tolerance_pct =
+    match field "tolerance_pct" params with
+    | None -> None
+    | Some (Export.Float f) when f > 0.0 -> Some f
+    | Some (Export.Int i) when i > 0 -> Some (float_of_int i)
+    | Some _ -> badf "param \"tolerance_pct\" must be a positive number"
+  in
+  let calibrate =
+    match field "calibrate" params with
+    | None -> false
+    | Some (Export.Bool b) -> b
+    | Some _ -> badf "param \"calibrate\" must be a boolean"
+  in
+  let system_clock_hz = float_param ~default:78.0e6 "system_clock_hz" params in
+  if system_clock_hz <= 0.0 then
+    badf "param \"system_clock_hz\" must be positive";
+  { spec; trials; seed; bits; samples; tolerance_pct; calibrate;
+    system_clock_hz }
+
+let cosim_extra (p : cosim_params) =
+  Export.Object
+    ([
+       ("spec", Export.String (Testbench.spec_name p.spec));
+       ("trials", Export.Int p.trials);
+       ("seed", Export.Int p.seed);
+       ("bits", Export.Int p.bits);
+       ("samples", Export.Int p.samples);
+     ]
+    @ (match p.tolerance_pct with
+      | Some f -> [ ("tolerance_pct", Export.Float f) ]
+      | None -> [])
+    @
+    if p.calibrate then
+      [
+        ("calibrate", Export.Bool true);
+        ("system_clock_hz", Export.Float p.system_clock_hz);
+      ]
+    else [])
+
+(* The cache stores only the deterministic payload; wall-clock rates
+   would make a cached replay differ from its first computation. *)
+let strip_timing = function
+  | Export.Object fields ->
+    Export.Object (List.filter (fun (k, _) -> k <> "timing") fields)
+  | json -> json
+
+let cosim_config (p : cosim_params) =
+  {
+    Testbench.default with
+    Testbench.variation =
+      { Testbench.default.Testbench.variation with Variation.bits = p.bits };
+    samples = p.samples;
+  }
+
+let compute_cosim t (p : cosim_params) problem =
+  let config = cosim_config p in
+  let result = Testbench.run ?tolerance_pct:p.tolerance_pct ~config p.spec in
+  let fields = [ ("result", Testbench.result_json result) ] in
+  let fields =
+    if p.trials = 0 then fields
+    else begin
+      let _trials, summary =
+        Monte_carlo.run ~config ?tolerance_pct:p.tolerance_pct ~pool:t.pool
+          ~trials:p.trials ~seed:p.seed p.spec
+      in
+      fields
+      @ [ ("monte_carlo", strip_timing (Monte_carlo.summary_json summary)) ]
+    end
+  in
+  let fields =
+    if not p.calibrate then fields
+    else begin
+      (* Re-plan the request's own problem over co-sim-measured test
+         times instead of the catalog's nominal cycles. *)
+      let calibrated, reports =
+        Calibrate.calibrated_problem ~config
+          ~policy:problem.Problem.policy
+          ~system_clock_hz:p.system_clock_hz ~soc:problem.Problem.soc
+          ~analog_cores:problem.Problem.analog_cores
+          ~tam_width:problem.Problem.tam_width
+          ~weight_time:problem.Problem.weight_time ()
+      in
+      let search = Plan.Heuristic { delta = 0.0 } in
+      fields
+      @ [
+          ("calibration", Calibrate.calibration_json reports);
+          ("calibrated_plan", compute_plan t ~search calibrated);
+        ]
+    end
+  in
+  Export.Object fields
+
 (* --- dispatch --- *)
 
 let cached_compute ?extra t ~op_name ~search ~compute problem =
@@ -445,6 +573,16 @@ let handle ?admitted_at t (req : Protocol.request) =
           let search = search_of_params req.Protocol.params in
           let packer = packer_of_params req.Protocol.params in
           (compute_explore t ~search ?packer req.Protocol.params, None)
+        | Protocol.Cosim ->
+          let p = cosim_of_params req.Protocol.params in
+          let problem = problem_of_params req.Protocol.params in
+          (* The co-sim result is a pure function of (problem, cosim
+             params): it shares the plan cache under the same
+             fingerprint discipline, with the cosim knobs as the
+             request-distinguishing extra. *)
+          cached_compute ~extra:(cosim_extra p) t ~op_name:"cosim"
+            ~search:(Plan.Heuristic { delta = 0.0 })
+            ~compute:(compute_cosim t p) problem
       with
       | result, cached ->
         if expired () then

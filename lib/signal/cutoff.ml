@@ -55,6 +55,18 @@ let fit ?(order = 2) gains =
   Float.exp (golden_section ~f:objective ~lo:(!best -. span) ~hi:(!best +. span) ~iterations:60)
 
 let from_spectra ?order ~input ~output tones =
+  (* A tone at or above Nyquist has already folded back into the first
+     zone: its "gain" belongs to the alias, and fitting it produces a
+     confidently wrong cut-off. Refuse instead. *)
+  let nyquist = input.Spectrum.fs /. 2.0 in
+  List.iter
+    (fun f ->
+      if f >= nyquist then
+        invalid_arg
+          (Printf.sprintf
+             "Cutoff.from_spectra: tone %g Hz at or above Nyquist (%g Hz)" f
+             nyquist))
+    tones;
   let gains =
     List.map
       (fun f ->

@@ -19,4 +19,7 @@ val fit : ?order:int -> (float * float) list -> float
 val from_spectra :
   ?order:int -> input:Spectrum.t -> output:Spectrum.t -> float list -> float
 (** [from_spectra ~input ~output tones]: per-tone gain = output
-    amplitude / input amplitude at each tone frequency, then {!fit}. *)
+    amplitude / input amplitude at each tone frequency, then {!fit}.
+    @raise Invalid_argument if a tone sits at or above the input
+    spectrum's Nyquist frequency — such a tone has aliased and its
+    measured gain would fit to a wrong cut-off. *)

@@ -1,0 +1,602 @@
+(* Msoc_cosim: event scheduler, streaming DUT vs batch models, the
+   engine vs the batch wrapper path, the Fig. 5 testbench, Monte-Carlo
+   determinism, plan-time calibration, and the serve [cosim] op. *)
+
+module Event = Msoc_cosim.Event
+module Scheduler = Msoc_cosim.Scheduler
+module Dut = Msoc_cosim.Dut
+module Engine = Msoc_cosim.Engine
+module Testbench = Msoc_cosim.Testbench
+module Monte_carlo = Msoc_cosim.Monte_carlo
+module Calibrate = Msoc_cosim.Calibrate
+module Variation = Msoc_mixedsig.Variation
+module Wrapper = Msoc_mixedsig.Wrapper
+module Yield = Msoc_mixedsig.Yield
+module Adc = Msoc_mixedsig.Adc
+module Dac = Msoc_mixedsig.Dac
+module Spec = Msoc_analog.Spec
+module Catalog = Msoc_analog.Catalog
+module Pool = Msoc_util.Pool
+module Rng = Msoc_util.Rng
+module Export = Msoc_testplan.Export
+module Plan = Msoc_testplan.Plan
+module Protocol = Msoc_serve.Protocol
+module Service = Msoc_serve.Service
+module Cache = Msoc_serve.Cache
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+(* --- scheduler --- *)
+
+let test_scheduler_ordering () =
+  let s = Scheduler.create () in
+  let seen = ref [] in
+  (* post out of time order; ties must run in post order *)
+  Scheduler.post s ~time:5 (Event.Analog_advance { index = 50 });
+  Scheduler.post s ~time:1 (Event.Analog_advance { index = 10 });
+  Scheduler.post s ~time:5 (Event.Analog_advance { index = 51 });
+  Scheduler.post s ~time:3 (Event.Analog_advance { index = 30 });
+  Scheduler.run s ~handler:(fun s ev ->
+      (match ev.Event.payload with
+      | Event.Analog_advance { index } -> seen := index :: !seen
+      | _ -> Alcotest.fail "unexpected payload");
+      (* a handler may chain events at the current time *)
+      if ev.Event.payload = Event.Analog_advance { index = 30 } then
+        Scheduler.post s ~time:(Scheduler.now s)
+          (Event.Analog_advance { index = 31 }));
+  checkb "time then post order" true (List.rev !seen = [ 10; 30; 31; 50; 51 ]);
+  let stats = Scheduler.stats s in
+  checki "processed" 5 stats.Scheduler.processed;
+  checki "horizon" 5 stats.Scheduler.horizon;
+  checkb "peak queue sane" true (stats.Scheduler.peak_queue >= 3)
+
+let test_scheduler_rejects_past () =
+  let s = Scheduler.create () in
+  Scheduler.post s ~time:4 Event.Extract;
+  (match Scheduler.post s ~time:(-1) Event.Extract with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative time accepted");
+  Scheduler.run s ~handler:(fun s ev ->
+      checki "clock follows event" 4 (Scheduler.now s);
+      checkb "payload" true (ev.Event.payload = Event.Extract);
+      match Scheduler.post s ~time:2 Event.Extract with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "past post accepted")
+
+let test_scheduler_grows () =
+  (* push past the initial 64-slot heap *)
+  let s = Scheduler.create () in
+  let n = 1000 in
+  for i = n downto 1 do
+    Scheduler.post s ~time:i (Event.Analog_advance { index = i })
+  done;
+  let last = ref 0 in
+  Scheduler.run s ~handler:(fun _ ev ->
+      checki "monotone drain" (!last + 1) ev.Event.time;
+      last := ev.Event.time);
+  checki "all processed" n (Scheduler.stats s).Scheduler.processed
+
+(* --- streaming DUT vs batch models --- *)
+
+let random_stages rng =
+  let pick () =
+    match Rng.int_in rng ~lo:0 ~hi:5 with
+    | 0 -> Dut.Gain (Rng.float_in rng ~lo:0.5 ~hi:2.0)
+    | 1 -> Dut.Dc_offset (Rng.float_in rng ~lo:(-0.2) ~hi:0.2)
+    | 2 ->
+      Dut.Lowpass
+        {
+          order = Rng.int_in rng ~lo:1 ~hi:4;
+          fc = Rng.float_in rng ~lo:10_000.0 ~hi:200_000.0;
+        }
+    | 3 ->
+      Dut.Polynomial
+        {
+          a1 = Rng.float_in rng ~lo:0.8 ~hi:1.2;
+          a2 = Rng.float_in rng ~lo:(-0.02) ~hi:0.02;
+          a3 = Rng.float_in rng ~lo:(-0.02) ~hi:0.02;
+        }
+    | 4 ->
+      Dut.Slew_limited
+        { max_slew_v_per_s = Rng.float_in rng ~lo:1.0e5 ~hi:2.0e6 }
+    | _ ->
+      Dut.Noise
+        { sigma = Rng.float_in rng ~lo:0.001 ~hi:0.01;
+          seed = Rng.int_in rng ~lo:1 ~hi:10_000 }
+  in
+  List.init (Rng.int_in rng ~lo:1 ~hi:4) (fun _ -> pick ())
+
+let test_dut_stream_equals_batch () =
+  (* the streaming instantiation must be bit-identical to the batch
+     combinators — across random pipelines, including noise stages *)
+  for seed = 1 to 25 do
+    let rng = Rng.create ~seed in
+    let dut = Dut.make ~fs:1.7e6 (random_stages rng) in
+    let n = 64 + Rng.int_in rng ~lo:0 ~hi:192 in
+    let x =
+      Array.init n (fun _ -> Rng.float_in rng ~lo:1.0 ~hi:3.0)
+    in
+    let streamed = Dut.run_stream dut x in
+    let batched = Dut.batch dut x in
+    checkb
+      (Printf.sprintf "seed %d bit-identical" seed)
+      true (streamed = batched)
+  done
+
+let test_dut_validation () =
+  match Dut.make ~fs:0.0 [ Dut.Gain 1.0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-positive fs accepted"
+
+(* --- engine vs the batch wrapper path --- *)
+
+let fig5_wrapper () =
+  Wrapper.set_mode
+    (Variation.wrapper
+       {
+         (Variation.nominal ~bits:8 ()) with
+         Variation.dac_mismatch_sigma = 0.02;
+         adc_threshold_sigma_lsb = 0.5;
+         converter_seed = 20;
+       })
+    Wrapper.Core_test
+
+let test_engine_matches_batch_wrapper () =
+  let wrapper = fig5_wrapper () in
+  let dut =
+    Dut.make ~fs:1.7e6
+      [ Dut.Gain 1.0; Dut.Lowpass { order = 2; fc = 61_000.0 } ]
+  in
+  let rng = Rng.create ~seed:9 in
+  let codes = Array.init 257 (fun _ -> Rng.int_in rng ~lo:0 ~hi:255) in
+  let trace = Engine.run ~wrapper ~dut ~stimulus_codes:codes in
+  (* The batch path: same wrapper, same DUT arithmetic, no events.
+     Fresh wrapper instance so converter state cannot leak. *)
+  let batch_response =
+    Wrapper.apply_core_test (fig5_wrapper ())
+      ~core:(Dut.batch dut) ~stimulus:codes
+  in
+  checkb "response bit-identical to apply_core_test" true
+    (trace.Engine.response = batch_response);
+  checki "samples" 257 trace.Engine.samples;
+  checki "one DAC event per sample" 257 trace.Engine.dac_events;
+  checki "one ADC event per sample" 257 trace.Engine.adc_events;
+  checki "one solver advance per sample" 257 trace.Engine.analog_advances;
+  checki "tam_cycles = Wrapper.test_cycles"
+    (Wrapper.test_cycles wrapper ~samples:257)
+    trace.Engine.tam_cycles
+
+let test_engine_mode_and_range_guards () =
+  let dut = Dut.make ~fs:1.7e6 [ Dut.Gain 1.0 ] in
+  (match
+     Engine.run
+       ~wrapper:(Variation.wrapper (Variation.nominal ()))
+       ~dut ~stimulus_codes:[| 1 |]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Normal mode accepted");
+  (match Engine.run ~wrapper:(fig5_wrapper ()) ~dut ~stimulus_codes:[| 999 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range code accepted");
+  match Engine.run ~wrapper:(fig5_wrapper ()) ~dut ~stimulus_codes:[||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty record accepted"
+
+(* --- testbench: the Fig. 5 closed loop --- *)
+
+let test_fig5_closed_loop () =
+  let r = Testbench.run Testbench.Fc in
+  (* the wrapped measurement agrees with the direct one within the
+     paper's ~5 %, and both sit at the 61 kHz design regime *)
+  checkb
+    (Printf.sprintf "error %.2f%% within 5%%" r.Testbench.error_pct)
+    true
+    (r.Testbench.error_pct <= 5.0);
+  checkb "passes its own tolerance" true r.Testbench.pass;
+  checkb
+    (Printf.sprintf "wrapped fc %.0f near 61 kHz" r.Testbench.measured)
+    true
+    (Float.abs (r.Testbench.measured -. 61_000.0) /. 61_000.0 < 0.05);
+  checkb
+    (Printf.sprintf "direct fc %.0f near 61 kHz" r.Testbench.direct)
+    true
+    (Float.abs (r.Testbench.direct -. 61_000.0) /. 61_000.0 < 0.05);
+  checki "tam cycles accounted" 4551 r.Testbench.trace.Engine.tam_cycles
+
+let test_all_specs_pass_default () =
+  List.iter
+    (fun spec ->
+      let r = Testbench.run spec in
+      checkb
+        (Printf.sprintf "%s err %.2f%% within %g%%"
+           (Testbench.spec_name spec) r.Testbench.error_pct
+           r.Testbench.tolerance_pct)
+        true r.Testbench.pass;
+      checkb "default tolerance applied" true
+        (r.Testbench.tolerance_pct = Testbench.default_tolerance_pct spec);
+      (* the spec's DUT runs at the config's rate and bias *)
+      let dut = Testbench.dut_for Testbench.default spec in
+      checkb "dut at config rate" true
+        (dut.Dut.fs = Testbench.default.Testbench.fs
+        && dut.Dut.bias = Testbench.default.Testbench.bias))
+    Testbench.specs
+
+let test_testbench_deterministic () =
+  let a = Testbench.run Testbench.Fc and b = Testbench.run Testbench.Fc in
+  checkb "bit-identical reruns" true
+    (a.Testbench.measured = b.Testbench.measured
+    && a.Testbench.trace.Engine.response = b.Testbench.trace.Engine.response)
+
+let test_spec_names_roundtrip () =
+  List.iter
+    (fun s ->
+      checkb (Testbench.spec_name s) true
+        (Testbench.spec_of_name (Testbench.spec_name s) = Some s))
+    Testbench.specs;
+  checkb "case-insensitive" true (Testbench.spec_of_name " FC " = Some Testbench.Fc);
+  checkb "unknown rejected" true (Testbench.spec_of_name "q-factor" = None)
+
+(* --- variation sampler --- *)
+
+let test_variation_deterministic () =
+  checkb "trial_seed pure" true
+    (Variation.trial_seed ~master:7 ~trial:3
+    = Variation.trial_seed ~master:7 ~trial:3);
+  checkb "trial_seed spreads" true
+    (Variation.trial_seed ~master:7 ~trial:3
+    <> Variation.trial_seed ~master:7 ~trial:4);
+  let a = Variation.sample ~master:7 ~trial:3 () in
+  let b = Variation.sample ~master:7 ~trial:3 () in
+  checkb "same (master, trial) same draw" true (a = b);
+  let c = Variation.sample ~master:7 ~trial:4 () in
+  checkb "different trial differs" true (a <> c);
+  let d = Variation.sample ~master:8 ~trial:3 () in
+  checkb "different master differs" true (a <> d)
+
+let test_variation_in_ranges () =
+  let r = Variation.default_ranges in
+  for trial = 1 to 50 do
+    let v = Variation.sample ~master:99 ~trial () in
+    checkb "bits from choices" true
+      (List.mem v.Variation.bits r.Variation.bits_choices);
+    checkb "mismatch in range" true
+      (v.Variation.dac_mismatch_sigma >= 0.0
+      && v.Variation.dac_mismatch_sigma <= r.Variation.dac_mismatch_sigma_max);
+    checkb "fc shift symmetric" true
+      (Float.abs v.Variation.fc_shift_pct <= r.Variation.fc_shift_pct_max);
+    checkb "seeds positive" true
+      (v.Variation.converter_seed > 0 && v.Variation.noise_seed > 0)
+  done
+
+let test_variation_ranges_validation () =
+  (match Variation.ranges ~bits_choices:[] () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty bits accepted");
+  (match Variation.ranges ~bits_choices:[ 7 ] () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "odd bits accepted");
+  match Variation.ranges ~dac_mismatch_sigma_max:(-0.1) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative bound accepted"
+
+let test_yield_port_compat () =
+  (* Yield.wrapper_for_die now rides Variation.wrapper; the historical
+     construction (DAC seeded s, ADC seeded s + 1_000_003) must be
+     preserved die for die. *)
+  let seed = 17 in
+  let legacy =
+    Wrapper.create
+      ~dac:(Dac.create ~mismatch_sigma:0.01 ~seed Dac.Modular ~bits:8)
+      ~adc:
+        (Adc.create ~threshold_sigma_lsb:0.3 ~seed:(seed + 1_000_003)
+           Adc.Modular_pipeline ~bits:8)
+      ~bits:8 ()
+  in
+  let ported = Yield.wrapper_for_die ~seed () in
+  let probe w =
+    let w = Wrapper.set_mode w Wrapper.Core_test in
+    Array.to_list
+      (Wrapper.apply_core_test w ~core:(fun x -> x)
+         ~stimulus:(Array.init 256 (fun i -> i)))
+  in
+  checkb "bit-identical die" true (probe legacy = probe ported)
+
+(* --- Monte-Carlo --- *)
+
+let mc_config = { Testbench.default with Testbench.samples = 512 }
+
+let trial_key (t : Monte_carlo.trial) =
+  (t.Monte_carlo.index, t.Monte_carlo.variation, t.Monte_carlo.measured,
+   t.Monte_carlo.error_pct, t.Monte_carlo.pass)
+
+let test_monte_carlo_pool_identical () =
+  let trials = 12 and seed = 5 in
+  let serial, s_sum =
+    Monte_carlo.run ~config:mc_config ~trials ~seed Testbench.Fc
+  in
+  let pooled, p_sum =
+    Pool.with_pool ~jobs:3 (fun pool ->
+        Monte_carlo.run ~config:mc_config ~pool ~trials ~seed Testbench.Fc)
+  in
+  checkb "trials bit-identical serial vs 3 domains" true
+    (List.map trial_key serial = List.map trial_key pooled);
+  checkb "summaries agree" true
+    (s_sum.Monte_carlo.passes = p_sum.Monte_carlo.passes
+    && s_sum.Monte_carlo.measured_mean = p_sum.Monte_carlo.measured_mean
+    && s_sum.Monte_carlo.measured_stddev = p_sum.Monte_carlo.measured_stddev)
+
+let test_monte_carlo_seed_sensitivity () =
+  let a, _ = Monte_carlo.run ~config:mc_config ~trials:6 ~seed:1 Testbench.Fc in
+  let b, _ = Monte_carlo.run ~config:mc_config ~trials:6 ~seed:2 Testbench.Fc in
+  checkb "different seeds explore different dies" true
+    (List.map trial_key a <> List.map trial_key b)
+
+let test_monte_carlo_summary () =
+  let trials, summary =
+    Monte_carlo.run ~config:mc_config ~trials:10 ~seed:3 Testbench.Gain
+  in
+  checki "trial count" 10 (List.length trials);
+  checki "indices 1..n" 55
+    (List.fold_left (fun a t -> a + t.Monte_carlo.index) 0 trials);
+  checkb "yield consistent" true
+    (summary.Monte_carlo.passes
+     = List.length (List.filter (fun t -> t.Monte_carlo.pass) trials));
+  checkb "wilson CI brackets yield" true
+    (summary.Monte_carlo.ci_low -. 1e-9 <= summary.Monte_carlo.yield_frac
+    && summary.Monte_carlo.yield_frac <= summary.Monte_carlo.ci_high +. 1e-9);
+  checkb "min <= mean <= max" true
+    (summary.Monte_carlo.measured_min <= summary.Monte_carlo.measured_mean
+    && summary.Monte_carlo.measured_mean <= summary.Monte_carlo.measured_max);
+  (match Monte_carlo.run ~trials:0 ~seed:1 Testbench.Fc with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero trials accepted");
+  (* deterministic payload vs wall-clock separation in the JSON *)
+  match Monte_carlo.summary_json summary with
+  | Export.Object fields ->
+    checkb "timing segregated" true (List.mem_assoc "timing" fields);
+    checkb "no toplevel elapsed" true (not (List.mem_assoc "elapsed_s" fields))
+  | _ -> Alcotest.fail "summary_json not an object"
+
+(* --- calibration --- *)
+
+let test_spec_for_test_mapping () =
+  let expect name spec =
+    let test =
+      Spec.test ~name ~f_low_hz:0.0 ~f_high_hz:1.0e4 ~f_sample_hz:1.0e6
+        ~cycles:100 ~tam_width:1 ~resolution_bits:8
+    in
+    checkb name true (Calibrate.spec_for_test test = spec)
+  in
+  expect "f_c" Testbench.Fc;
+  expect "THD" Testbench.Thd;
+  expect "IIP3" Testbench.Iip3;
+  expect "DC_offset" Testbench.Dc_offset;
+  expect "SR" Testbench.Slew;
+  expect "DR" Testbench.Dr;
+  expect "g_pb" Testbench.Gain;
+  expect "ph_off" Testbench.Gain
+
+let test_calibrated_core_cycles () =
+  let core = Catalog.find ~label:"A" in
+  let config = { Testbench.default with Testbench.samples = 256 } in
+  let calibrated, reports =
+    Calibrate.calibrated_core ~config ~system_clock_hz:78.0e6 core
+  in
+  checki "test count preserved" (List.length core.Spec.tests)
+    (List.length calibrated.Spec.tests);
+  List.iter2
+    (fun (t : Spec.test) (m : Calibrate.measured) ->
+      checkb "cycles = samples * s2p * divide" true
+        (t.Spec.cycles = m.Calibrate.measured_cycles
+        && m.Calibrate.measured_cycles >= 256))
+    calibrated.Spec.tests reports;
+  (* measure_core is the report half of calibrated_core *)
+  let direct = Calibrate.measure_core ~config ~system_clock_hz:78.0e6 core in
+  checkb "measure_core agrees" true
+    (List.map (fun m -> m.Calibrate.measured_cycles) direct
+    = List.map (fun m -> m.Calibrate.measured_cycles) reports)
+
+let test_calibrated_plan_verifies () =
+  let config = { Testbench.default with Testbench.samples = 256 } in
+  let problem, reports =
+    Calibrate.calibrated_problem ~config ~system_clock_hz:78.0e6
+      ~soc:(Msoc_itc02.Synthetic.p93791s ())
+      ~analog_cores:[ Catalog.find ~label:"A"; Catalog.find ~label:"C" ]
+      ~tam_width:24 ~weight_time:0.5 ()
+  in
+  checki "one report per core" 2 (List.length reports);
+  let plan = Plan.run ~search:(Plan.Heuristic { delta = 0.0 }) problem in
+  let diags = Msoc_check.Verify.plan plan in
+  checkb "calibrated plan verifies clean" false
+    (Msoc_check.Diagnostic.has_errors diags)
+
+(* --- serve: the cosim op --- *)
+
+let with_service ?cache f =
+  let service = Service.create ?cache ~jobs:1 () in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) (fun () -> f service)
+
+let cosim_params ?(samples = 256) ?(trials = 0) () =
+  Export.Object
+    ([
+       ("spec", Export.String "fc");
+       ("samples", Export.Int samples);
+       ("width", Export.Int 24);
+     ]
+    @ if trials > 0 then [ ("trials", Export.Int trials) ] else [])
+
+let test_protocol_cosim_roundtrip () =
+  checkb "op name" true (Protocol.op_name Protocol.Cosim = "cosim");
+  checkb "op parse" true (Protocol.op_of_name "cosim" = Some Protocol.Cosim);
+  let req =
+    Protocol.request ~params:(cosim_params ()) ~id:"c1" Protocol.Cosim
+  in
+  match Protocol.request_of_line (Protocol.request_to_line req) with
+  | Ok back ->
+    checkb "envelope round-trips" true
+      (back.Protocol.op = Protocol.Cosim
+      && back.Protocol.id = "c1"
+      && Export.to_string back.Protocol.params
+         = Export.to_string req.Protocol.params)
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+
+let test_service_cosim_ok () =
+  with_service (fun service ->
+      let resp =
+        Service.handle service
+          (Protocol.request
+             ~params:(cosim_params ~trials:3 ())
+             ~id:"c" Protocol.Cosim)
+      in
+      checkb "ok" true (resp.Protocol.status = Protocol.Success);
+      let result = resp.Protocol.result in
+      (match Export.member "result" result with
+      | Some r -> (
+        checkb "spec echoed" true
+          (Export.member "spec" r = Some (Export.String "fc"));
+        match Export.member "pass" r with
+        | Some (Export.Bool true) -> ()
+        | _ -> Alcotest.fail "fc did not pass")
+      | None -> Alcotest.fail "missing result");
+      match Export.member "monte_carlo" result with
+      | Some mc ->
+        checkb "mc trials" true
+          (Export.member "trials" mc = Some (Export.Int 3));
+        checkb "timing stripped from cached payload" true
+          (Export.member "timing" mc = None)
+      | None -> Alcotest.fail "missing monte_carlo")
+
+let test_service_cosim_bad_requests () =
+  with_service (fun service ->
+      let bad params =
+        let resp =
+          Service.handle service
+            (Protocol.request ~params ~id:"b" Protocol.Cosim)
+        in
+        checkb "bad_request" true
+          (resp.Protocol.status = Protocol.Bad_request);
+        checkb "has error text" true (resp.Protocol.error <> None)
+      in
+      bad (Export.Object [ ("spec", Export.String "q-factor") ]);
+      bad (Export.Object [ ("bits", Export.Int 7) ]);
+      bad (Export.Object [ ("trials", Export.Int (-1)) ]);
+      bad (Export.Object [ ("samples", Export.Int 2) ]);
+      bad (Export.Object [ ("calibrate", Export.String "yes") ]))
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "msoc-cosim-cache" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun name ->
+          try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let test_service_cosim_cache_tiers () =
+  with_temp_dir (fun dir ->
+      let req id =
+        Protocol.request ~params:(cosim_params ()) ~id Protocol.Cosim
+      in
+      let cache = Cache.create ~memory_capacity:8 ~dir () in
+      let first =
+        with_service ~cache (fun service ->
+            let cold = Service.handle service (req "c1") in
+            checkb "first compute not cached" true
+              (cold.Protocol.cached = None);
+            let warm = Service.handle service (req "c2") in
+            checkb "second is a memory hit" true
+              (warm.Protocol.cached = Some "memory");
+            checks "warm payload identical"
+              (Export.to_string cold.Protocol.result)
+              (Export.to_string warm.Protocol.result);
+            Export.to_string cold.Protocol.result)
+      in
+      (* restart on the same directory: fresh memory, warm disk *)
+      let cache2 = Cache.create ~memory_capacity:8 ~dir () in
+      with_service ~cache:cache2 (fun service ->
+          let resp = Service.handle service (req "c3") in
+          checkb "disk hit across restart" true
+            (resp.Protocol.cached = Some "disk");
+          checks "disk payload identical" first
+            (Export.to_string resp.Protocol.result)))
+
+let test_service_cosim_distinct_keys () =
+  with_service (fun service ->
+      let handle params id =
+        Service.handle service (Protocol.request ~params ~id Protocol.Cosim)
+      in
+      let a = handle (cosim_params ()) "a" in
+      let b = handle (cosim_params ~samples:512 ()) "b" in
+      checkb "different samples, different cache entry" true
+        (b.Protocol.cached = None);
+      checkb "payloads differ" true
+        (Export.to_string a.Protocol.result
+        <> Export.to_string b.Protocol.result))
+
+let suites =
+  [
+    ( "cosim.scheduler",
+      [
+        Alcotest.test_case "ordering" `Quick test_scheduler_ordering;
+        Alcotest.test_case "rejects past" `Quick test_scheduler_rejects_past;
+        Alcotest.test_case "heap growth" `Quick test_scheduler_grows;
+      ] );
+    ( "cosim.dut",
+      [
+        Alcotest.test_case "stream = batch" `Quick test_dut_stream_equals_batch;
+        Alcotest.test_case "validation" `Quick test_dut_validation;
+      ] );
+    ( "cosim.engine",
+      [
+        Alcotest.test_case "matches batch wrapper" `Quick
+          test_engine_matches_batch_wrapper;
+        Alcotest.test_case "guards" `Quick test_engine_mode_and_range_guards;
+      ] );
+    ( "cosim.testbench",
+      [
+        Alcotest.test_case "fig5 closed loop" `Quick test_fig5_closed_loop;
+        Alcotest.test_case "all specs pass" `Quick test_all_specs_pass_default;
+        Alcotest.test_case "deterministic" `Quick test_testbench_deterministic;
+        Alcotest.test_case "spec names" `Quick test_spec_names_roundtrip;
+      ] );
+    ( "cosim.variation",
+      [
+        Alcotest.test_case "deterministic" `Quick test_variation_deterministic;
+        Alcotest.test_case "in ranges" `Quick test_variation_in_ranges;
+        Alcotest.test_case "ranges validation" `Quick
+          test_variation_ranges_validation;
+        Alcotest.test_case "yield port compat" `Quick test_yield_port_compat;
+      ] );
+    ( "cosim.monte_carlo",
+      [
+        Alcotest.test_case "pool bit-identical" `Quick
+          test_monte_carlo_pool_identical;
+        Alcotest.test_case "seed sensitivity" `Quick
+          test_monte_carlo_seed_sensitivity;
+        Alcotest.test_case "summary" `Quick test_monte_carlo_summary;
+      ] );
+    ( "cosim.calibrate",
+      [
+        Alcotest.test_case "spec mapping" `Quick test_spec_for_test_mapping;
+        Alcotest.test_case "measured cycles" `Quick test_calibrated_core_cycles;
+        Alcotest.test_case "plan verifies clean" `Quick
+          test_calibrated_plan_verifies;
+      ] );
+    ( "cosim.serve",
+      [
+        Alcotest.test_case "protocol roundtrip" `Quick
+          test_protocol_cosim_roundtrip;
+        Alcotest.test_case "ok envelope" `Quick test_service_cosim_ok;
+        Alcotest.test_case "bad requests" `Quick
+          test_service_cosim_bad_requests;
+        Alcotest.test_case "cache tiers" `Quick test_service_cosim_cache_tiers;
+        Alcotest.test_case "distinct keys" `Quick
+          test_service_cosim_distinct_keys;
+      ] );
+  ]

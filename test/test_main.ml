@@ -8,5 +8,6 @@ let () =
    @ Test_packers.suites
    @ Test_testplan.suites @ Test_integration.suites @ Test_engine.suites
    @ Test_check.suites @ Test_serve.suites @ Test_fleet.suites
+   @ Test_cosim.suites
    @ Test_search.suites
    @ Test_analysis.suites @ Test_semantic.suites @ Test_stress.suites)

@@ -321,6 +321,28 @@ let test_cutoff_fit_validation () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "negative gain accepted"
 
+let test_from_spectra_rejects_aliased_tone () =
+  (* A tone at or above Nyquist has aliased: its measured gain would
+     pull the fit to a wrong cut-off, so the reader must refuse it. *)
+  let fs = 1.0e6 in
+  let silence = Array.make 256 0.0 in
+  let s = Spectrum.analyze ~fs ~pad_to:256 silence in
+  let expect_reject tones =
+    match Cutoff.from_spectra ~order:2 ~input:s ~output:s tones with
+    | exception Invalid_argument m ->
+      checkb "mentions Nyquist" true
+        (String.length m > 0
+        && (let has sub =
+              let n = String.length m and k = String.length sub in
+              let rec go i = i + k <= n && (String.sub m i k = sub || go (i + 1)) in
+              go 0
+            in
+            has "Nyquist"))
+    | _ -> Alcotest.failf "aliased tone accepted"
+  in
+  expect_reject [ 100_000.0; 500_000.0 ] (* exactly Nyquist *);
+  expect_reject [ 100_000.0; 620_000.0 ] (* above Nyquist *)
+
 let qcheck_tests =
   let open QCheck in
   [
@@ -350,6 +372,26 @@ let qcheck_tests =
       (pair (float_range 1e3 1e6) (int_range 1 4))
       (fun (fc, order) ->
         Cutoff.model_gain ~order ~fc (fc /. 2.0) > Cutoff.model_gain ~order ~fc (fc *. 2.0));
+    Test.make ~name:"cutoff fit recovers fc on random tone grids" ~count:100
+      (quad (int_range 1 4) (float_range 5e3 2e5) (int_range 0 10_000)
+         (pair (int_range 3 8) (float_range 0.5 5.0)))
+      (fun (order, fc, seed, (n_tones, g0)) ->
+        (* random tone placements spanning both sides of a random fc,
+           with a random overall gain the fit must factor out *)
+        let rng = Msoc_util.Rng.create ~seed in
+        let tones =
+          List.init n_tones (fun i ->
+              let lo = fc /. 6.0 and hi = fc *. 6.0 in
+              let nominal =
+                lo *. ((hi /. lo) ** (float_of_int i /. float_of_int (n_tones - 1)))
+              in
+              nominal *. (1.0 +. (0.08 *. Msoc_util.Rng.float_in rng ~lo:(-1.0) ~hi:1.0)))
+        in
+        let gains =
+          List.map (fun f -> (f, g0 *. Cutoff.model_gain ~order ~fc f)) tones
+        in
+        let fit = Cutoff.fit ~order gains in
+        Float.abs (fit -. fc) /. fc < 0.02);
   ]
   |> List.map (fun t -> QCheck_alcotest.to_alcotest t)
 
@@ -402,6 +444,7 @@ let suites =
         Alcotest.test_case "fit with gain offset" `Quick test_cutoff_fit_with_gain_offset;
         Alcotest.test_case "from filter measurement" `Quick test_cutoff_from_filter_measurement;
         Alcotest.test_case "fit validation" `Quick test_cutoff_fit_validation;
+        Alcotest.test_case "rejects aliased tones" `Quick test_from_spectra_rejects_aliased_tone;
       ] );
     ("signal.properties", qcheck_tests);
   ]
