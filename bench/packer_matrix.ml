@@ -279,8 +279,9 @@ let run () =
   in
   let path = "BENCH_packer_matrix.json" in
   let oc = open_out path in
-  output_string oc (Export.pretty doc);
-  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Export.pretty doc));
   Printf.printf
     "\nEvery schedule above was re-verified by Msoc_check.Schedule_check \
      before it counted. Wrote %s.\n"

@@ -202,8 +202,9 @@ let run () =
   in
   let path = "BENCH_search_scaling.json" in
   let oc = open_out path in
-  output_string oc (Export.pretty doc);
-  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Export.pretty doc));
   Printf.printf
     "\nEvery plan above was re-verified by Msoc_check before being returned \
      (Strategy.run fails loudly otherwise). Wrote %s.\n"

@@ -233,7 +233,7 @@ let check_cmd =
 (* --- analyze --- *)
 
 let run_analyze root allowlist_file semantic baseline_file write_baseline
-    list_rules as_json =
+    list_rules jobs as_json =
   let module A = Msoc_analysis in
   if list_rules then begin
     List.iter
@@ -246,8 +246,9 @@ let run_analyze root allowlist_file semantic baseline_file write_baseline
     exit 0
   end;
   let config = { A.Rules.default_config with A.Rules.semantic } in
+  let jobs = resolve_jobs jobs in
   let report =
-    try A.Engine.run ~config ?allowlist_file ~root ()
+    try A.Engine.run ~config ?allowlist_file ~jobs ~root ()
     with Sys_error m -> Fmt.failwith "analyze: %s" m
   in
   (match write_baseline with
@@ -359,7 +360,8 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(
       const run_analyze $ root_arg $ allowlist_arg $ semantic_arg
-      $ baseline_arg $ write_baseline_arg $ list_rules_arg $ json_flag)
+      $ baseline_arg $ write_baseline_arg $ list_rules_arg $ jobs_arg
+      $ json_flag)
 
 (* --- explore --- *)
 

@@ -268,7 +268,36 @@ let find t key = Hashtbl.find_opt t.by_key key
 
 let callees t key = Option.value (Hashtbl.find_opt t.calls key) ~default:[]
 
-(* [resolve_ref] is used by the semantic rules to chase a single
-   reference from a known definition site; rebuilding a resolver per
-   query would be wasteful, so the graph exposes only what the rules
-   need: the callee keys computed at build time. *)
+(* Chasing one reference from a known definition site: the value name
+   must match a callee; a module hint (last qualifier) narrows
+   multiple candidates. Over-matching is accepted — the interprocedural
+   rules prefer a false edge over a missed one. Rebuilding a resolver
+   per query would be wasteful, so resolution happens against the
+   callee keys computed at build time. *)
+let resolve_call t (d : def) lid =
+  let comps = Ast.ident_path lid in
+  match List.rev comps with
+  | [] -> []
+  | value :: quals_rev -> (
+    let candidates =
+      callees t d.key
+      |> List.filter_map (fun key -> find t key)
+      |> List.filter (fun (c : def) ->
+             let last =
+               match String.rindex_opt c.name '.' with
+               | Some i ->
+                 String.sub c.name (i + 1) (String.length c.name - i - 1)
+               | None -> c.name
+             in
+             last = value)
+    in
+    match quals_rev with
+    | [] -> candidates
+    | m :: _ ->
+      let narrowed =
+        List.filter
+          (fun (c : def) ->
+            c.module_name = m || c.name = m ^ "." ^ value)
+          candidates
+      in
+      if narrowed <> [] then narrowed else candidates)

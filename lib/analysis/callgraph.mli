@@ -33,3 +33,10 @@ val find : t -> string -> def option
 val callees : t -> string -> string list
 (** Callee def keys of a definition, deduplicated; [[]] for unknown
     keys. *)
+
+val resolve_call : t -> def -> Longident.t -> def list
+(** Candidate defs a reference inside [d] may name, resolved against
+    [d]'s callees: the value name must match; a module qualifier
+    narrows multiple candidates. Over-matching is accepted — the
+    interprocedural rules (MSOC-S501/S504/S6xx) prefer a false edge
+    over a missed one. *)

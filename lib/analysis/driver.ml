@@ -1,0 +1,99 @@
+(* The analyzer driver: discover the tree, run every rule family,
+   apply the allowlist, sort — optionally fanning the pure per-item
+   stages across a Msoc_util.Pool.
+
+   Parallel structure. Parsing stays serial: compiler-libs keeps
+   global lexer state, so the driver pre-warms the content-addressed
+   Ast cache with one serial pass over every module before any worker
+   starts. Everything downstream of the cache is a pure Parsetree or
+   token walk — per-definition Flow/Resource summaries, the S6xx path
+   walks — and those run through Pool.map, which preserves input
+   order. Findings are therefore produced in the same order whatever
+   the job count, and the final Diagnostic.sort makes the report
+   byte-identical to a serial run (asserted by the test suite and the
+   bench gate). *)
+
+module Diagnostic = Msoc_check.Diagnostic
+module Pool = Msoc_util.Pool
+
+type report = {
+  diagnostics : Diagnostic.t list;
+  suppressed : int;
+  files_scanned : int;
+  parse_failures : int;
+  elapsed_s : float;
+  allowlist_path : string option;
+  jobs : int;
+}
+
+let default_allowlist_file = "analysis.allow"
+
+let resolve_allowlist ~root = function
+  | Some path -> Allowlist.load ~root path
+  | None ->
+    if Sys.file_exists (Filename.concat root default_allowlist_file) then
+      Allowlist.load ~root default_allowlist_file
+    else Allowlist.empty
+
+(* Memoized raw-line reader for @hash allowlist anchors. Project
+   sources are served from memory; anything else the allowlist names
+   (a .mli, a dune file) is read from disk once. *)
+let make_file_lines ~root (project : Project.t) =
+  let cache = Hashtbl.create 16 in
+  List.iter
+    (fun (m : Project.module_info) ->
+      Hashtbl.replace cache m.Project.ml_path
+        (Some (Source.raw m.Project.source)))
+    project.Project.modules;
+  fun rel ->
+    match Hashtbl.find_opt cache rel with
+    | Some lines -> lines
+    | None ->
+      let lines =
+        match Source.load ~root rel with
+        | src -> Some (Source.raw src)
+        | exception Sys_error _ -> None
+      in
+      Hashtbl.replace cache rel lines;
+      lines
+
+(* One serial parse per module so no worker ever misses the Ast cache:
+   the OCaml lexer's global state must never run on two domains. *)
+let prewarm_parses (project : Project.t) =
+  List.iter
+    (fun (m : Project.module_info) ->
+      ignore
+        (Ast.parse_impl ~path:m.Project.ml_path
+           (String.concat "\n" (Array.to_list (Source.raw m.Project.source)))))
+    project.Project.modules
+
+let run ?(config = Rules.default_config) ?allowlist_file ?(jobs = 1) ~root () =
+  let t0 = Unix.gettimeofday () in
+  let project = Project.load ~root in
+  let allowlist = resolve_allowlist ~root allowlist_file in
+  if jobs > 1 && config.Rules.semantic then prewarm_parses project;
+  let raw =
+    if jobs <= 1 then Rules.run config project
+    else
+      Pool.with_pool ~jobs (fun pool ->
+          let par =
+            { Semantic.pmap = (fun f xs -> Pool.map pool f xs) }
+          in
+          Rules.run ~par config project)
+  in
+  let file_lines = make_file_lines ~root project in
+  let applied = Allowlist.apply ~file_lines allowlist raw in
+  {
+    diagnostics = Diagnostic.sort (applied.Allowlist.kept @ applied.Allowlist.meta);
+    suppressed = applied.Allowlist.suppressed;
+    files_scanned =
+      List.length project.Project.modules
+      + List.length project.Project.dune_files;
+    parse_failures =
+      (if config.Rules.semantic then Semantic.parse_failures project else 0);
+    elapsed_s = Unix.gettimeofday () -. t0;
+    allowlist_path = allowlist.Allowlist.path;
+    jobs;
+  }
+
+let exit_code report = Diagnostic.exit_code report.diagnostics

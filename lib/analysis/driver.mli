@@ -1,0 +1,37 @@
+(** The analyzer driver: discovery, rule execution (optionally across
+    a {!Msoc_util.Pool}), allowlist application, deterministic sort.
+
+    Parsing is pre-warmed serially (the OCaml lexer keeps global
+    state); the pure per-definition stages — Flow/Resource summaries
+    and the S6xx walks — fan out over the pool. [Pool.map] preserves
+    input order, so the report is byte-identical for every job count
+    (DESIGN.md §16). {!Engine} re-exports this module's surface and is
+    the name the CLI and tests use. *)
+
+type report = {
+  diagnostics : Msoc_check.Diagnostic.t list;
+      (** Sorted; allowlist-suppressed findings removed, allowlist
+          audit diagnostics (S401-S404) included. *)
+  suppressed : int;
+  files_scanned : int;
+  parse_failures : int;
+      (** modules the semantic tier could not parse — each also
+          surfaces as an MSOC-S406 info diagnostic *)
+  elapsed_s : float;
+  allowlist_path : string option;
+  jobs : int;  (** worker count the run actually used *)
+}
+
+val default_allowlist_file : string
+
+val run :
+  ?config:Rules.config ->
+  ?allowlist_file:string ->
+  ?jobs:int ->
+  root:string ->
+  unit ->
+  report
+(** [run ~root ()] analyzes the tree under [root]. [jobs] defaults to
+    1 (fully serial); any value produces identical diagnostics. *)
+
+val exit_code : report -> int

@@ -1,12 +1,13 @@
-(** The analyzer driver: discover the tree, run every rule, apply the
-    allowlist, sort.
+(** The analyzer entry point: discover the tree, run every rule, apply
+    the allowlist, sort. A thin stable facade over {!Driver}, which
+    owns the orchestration and the parallel fan-out.
 
     The exit contract matches [msoc_plan check]: 0 when no
     error-severity finding survives the allowlist, 1 otherwise —
-    warnings (including the S401/S402 allowlist audit) never fail a
-    run. *)
+    warnings and infos (including the S401/S402 allowlist audit and
+    the S406 parse-skip notices) never fail a run. *)
 
-type report = {
+type report = Driver.report = {
   diagnostics : Msoc_check.Diagnostic.t list;
       (** Sorted; allowlist-suppressed findings removed, allowlist
           audit diagnostics (S401-S404) included. *)
@@ -14,9 +15,11 @@ type report = {
   files_scanned : int;  (** modules plus dune files *)
   parse_failures : int;
       (** modules the semantic tier could not parse (token rules kept
-          as their fallback); 0 when the tier is off *)
+          as their fallback, MSOC-S406 emitted); 0 when the tier is
+          off *)
   elapsed_s : float;  (** wall time of the whole run *)
   allowlist_path : string option;
+  jobs : int;  (** worker count the run used (1 = serial) *)
 }
 
 val default_allowlist_file : string
@@ -24,9 +27,16 @@ val default_allowlist_file : string
     allowlist is given. *)
 
 val run :
-  ?config:Rules.config -> ?allowlist_file:string -> root:string -> unit -> report
+  ?config:Rules.config ->
+  ?allowlist_file:string ->
+  ?jobs:int ->
+  root:string ->
+  unit ->
+  report
 (** [run ~root ()] analyzes the tree under [root].
     [allowlist_file] is root-relative; when absent,
-    {!default_allowlist_file} is used if it exists. *)
+    {!default_allowlist_file} is used if it exists. [jobs] (default 1)
+    fans the pure per-definition stages across a domain pool; the
+    diagnostics are byte-identical for every value. *)
 
 val exit_code : report -> int

@@ -4,14 +4,18 @@
    need: every Mutex acquisition (with whether the critical section is
    released on all exception paths), every call made while locks are
    held, every directly-nested acquisition pair, and the Atomic
-   get/set/read-modify-write footprint.
+   get/set/read-modify-write footprint — plus the resource summary
+   (acquire/release pairs, forwarded parameters) the S6xx tier's
+   interprocedural fixpoint consumes.
 
    Locks are identified syntactically: an ident or a field chain
    rooted in an ident ([m], [t.lock], [state.cache.lock]) renders to a
    stable string; anything else (array reads, function results) is
    opaque and excluded from cross-function reasoning. That keeps the
    analysis sound against renamings it can see and silent about
-   aliases it cannot. *)
+   aliases it cannot. The purely syntactic helpers (application
+   normalization, chain rendering, may_raise) live in Syntax, shared
+   with Resource and Typestate. *)
 
 open Parsetree
 
@@ -40,6 +44,8 @@ type summary = {
       (* atomics with Atomic.get before Atomic.set and no RMW *)
   blocking_sites : (string * int) list;
       (* calls to blocking primitives anywhere in the body *)
+  resources : Resource.summary;
+      (* acquire/release/forwarding footprint for the S6xx fixpoint *)
 }
 
 (* Primitives that can block the calling thread: process-external I/O,
@@ -71,134 +77,17 @@ let is_blocking_path path =
      && String.sub path 0 5 = "Unix."
      && not (List.mem path unix_nonblocking)
 
-(* --- syntactic helpers --- *)
+(* Re-exported views on the shared syntactic helpers (the callgraph
+   and the tests reach them through Flow). *)
+let lock_expr = Syntax.ident_chain
+let may_raise = Syntax.may_raise
 
-let head_path e =
-  match e.pexp_desc with
-  | Pexp_ident { txt; _ } -> Some txt
-  | _ -> None
-
-let rec lock_expr e =
-  match e.pexp_desc with
-  | Pexp_ident { txt; _ } -> Some (Ast.path_string txt)
-  | Pexp_field (inner, { txt; _ }) ->
-    Option.map (fun p -> p ^ "." ^ Ast.path_string txt) (lock_expr inner)
-  | Pexp_constraint (inner, _) -> lock_expr inner
-  | _ -> None
-
-let line_of e = Ast.line_of e.pexp_loc
-
-(* Normalize [f @@ x] and [x |> f] into a direct application so the
-   head path and argument positions read through the operators. *)
-let normalize_apply e =
-  match e.pexp_desc with
-  | Pexp_apply (head, args) -> (
-    match (head_path head, args) with
-    | Some (Longident.Lident "@@"), [ (_, f); (_, x) ] -> (
-      match f.pexp_desc with
-      | Pexp_apply (f_head, f_args) -> Some (f_head, f_args @ [ (Asttypes.Nolabel, x) ])
-      | _ -> Some (f, [ (Asttypes.Nolabel, x) ]))
-    | Some (Longident.Lident "|>"), [ (_, x); (_, f) ] -> (
-      match f.pexp_desc with
-      | Pexp_apply (f_head, f_args) -> Some (f_head, f_args @ [ (Asttypes.Nolabel, x) ])
-      | _ -> Some (f, [ (Asttypes.Nolabel, x) ]))
-    | _ -> Some (head, args))
-  | _ -> None
-
-let apply_path e =
-  match normalize_apply e with
-  | Some (head, args) -> (
-    match head_path head with
-    | Some lid -> Some (Ast.path_string lid, lid, args)
-    | None -> None)
-  | None -> None
-
-(* The body a higher-order combinator runs: through [fun () -> e] and
-   [function] with one catch-all case; anything else is itself. *)
-let rec thunk_body e =
-  match e.pexp_desc with
-  | Pexp_fun (_, _, _, body) -> thunk_body body
-  | _ -> e
-
-let labelled name args =
-  List.find_map
-    (function
-      | Asttypes.Labelled l, e when l = name -> Some e
-      | _ -> None)
-    args
-
-let positional args =
-  List.filter_map
-    (function Asttypes.Nolabel, e -> Some e | _ -> None)
-    args
-
-(* --- may_raise: conservative syntactic exception-freedom --- *)
-
-(* Calls that cannot raise (on the values this codebase passes them):
-   pure stdlib accessors, container inserts, Atomic ops, unlock and
-   condition signalling. Everything not listed — including any
-   project-defined function — is assumed to raise. *)
-let safe_calls =
-  [
-    "Mutex.unlock"; "Mutex.lock"; "Mutex.try_lock"; "Condition.signal";
-    "Condition.broadcast"; "Hashtbl.replace"; "Hashtbl.remove";
-    "Hashtbl.find_opt"; "Hashtbl.mem"; "Hashtbl.length"; "Hashtbl.reset";
-    "Hashtbl.clear"; "Hashtbl.add"; "Queue.push"; "Queue.add";
-    "Queue.length"; "Queue.is_empty"; "Queue.clear"; "Queue.take_opt";
-    "Queue.peek_opt"; "Buffer.add_string"; "Buffer.add_char";
-    "Buffer.contents"; "Buffer.length"; "Buffer.clear"; "Buffer.reset";
-    "Atomic.get"; "Atomic.set"; "Atomic.incr"; "Atomic.decr";
-    "Atomic.exchange"; "Atomic.compare_and_set"; "Atomic.fetch_and_add";
-    "Atomic.make"; "ignore"; "not"; "ref"; "incr"; "decr"; "fst"; "snd";
-    "min"; "max"; "abs"; "succ"; "pred"; "float_of_int"; "truncate";
-    "string_of_int"; "string_of_float"; "string_of_bool"; "int_of_float";
-    "String.length"; "String.trim"; "String.concat"; "String.equal";
-    "Array.length"; "List.length"; "List.rev"; "List.mem"; "List.filter";
-    "List.exists"; "Option.is_some"; "Option.is_none"; "Option.value";
-    "Option.map"; "compare"; "Unix.gettimeofday"; "Sys.time";
-  ]
-
-let safe_operators =
-  [
-    "+"; "-"; "*"; "+."; "-."; "*."; "/."; "="; "<>"; "<"; ">"; "<="; ">=";
-    "=="; "!="; "&&"; "||"; "^"; "@"; ":="; "!"; "land"; "lor"; "lxor";
-    "lsl"; "lsr"; "asr"; "~-"; "~-."; "~+"; "not";
-  ]
-
-let rec may_raise e =
-  match e.pexp_desc with
-  | Pexp_constant _ | Pexp_ident _ | Pexp_fun _ | Pexp_function _
-  | Pexp_unreachable ->
-    false
-  | Pexp_construct (_, arg) | Pexp_variant (_, arg) ->
-    (match arg with Some a -> may_raise a | None -> false)
-  | Pexp_tuple es | Pexp_array es -> List.exists may_raise es
-  | Pexp_record (fields, base) ->
-    List.exists (fun (_, v) -> may_raise v) fields
-    || (match base with Some b -> may_raise b | None -> false)
-  | Pexp_field (inner, _) | Pexp_constraint (inner, _) | Pexp_lazy inner
-  | Pexp_newtype (_, inner) | Pexp_open (_, inner) ->
-    may_raise inner
-  | Pexp_setfield (r, _, v) -> may_raise r || may_raise v
-  | Pexp_sequence (a, b) -> may_raise a || may_raise b
-  | Pexp_ifthenelse (c, t, f) ->
-    may_raise c || may_raise t
-    || (match f with Some f -> may_raise f | None -> false)
-  | Pexp_let (_, vbs, body) ->
-    List.exists (fun vb -> may_raise vb.pvb_expr) vbs || may_raise body
-  | Pexp_apply _ -> (
-    match apply_path e with
-    | Some (path, _, args) ->
-      let name =
-        match String.rindex_opt path '.' with
-        | Some i -> String.sub path (i + 1) (String.length path - i - 1)
-        | None -> path
-      in
-      if List.mem path safe_calls || List.mem name safe_operators then
-        List.exists (fun (_, a) -> may_raise a) args
-      else true
-    | None -> true)
-  | _ -> true
+let line_of = Syntax.line_of
+let normalize_apply = Syntax.normalize_apply
+let apply_path = Syntax.apply_path
+let thunk_body = Syntax.thunk_body
+let labelled = Syntax.labelled
+let positional = Syntax.positional
 
 (* --- the traversal --- *)
 
@@ -219,7 +108,7 @@ let record_acq st ~held ~line ~released lock =
 let rec walk st ~held e =
   match e.pexp_desc with
   | Pexp_sequence _ | Pexp_let _ ->
-    walk_seq st ~held (linearize e)
+    walk_seq st ~held (Syntax.linearize e)
   | Pexp_apply _ -> walk_apply st ~held e ~continuation:[]
   | Pexp_ifthenelse (c, t, f) ->
     walk st ~held c;
@@ -257,16 +146,6 @@ let rec walk st ~held e =
     if held <> [] then
       st.calls <- { held; callee = txt; call_line = line_of e } :: st.calls
   | _ -> ()
-
-(* Linearize nested sequences and let-chains into a statement list.
-   A [let x = e in rest] contributes [e] as a statement (its value
-   effectful or not) followed by the rest. *)
-and linearize e =
-  match e.pexp_desc with
-  | Pexp_sequence (a, b) -> a :: linearize b
-  | Pexp_let (_, vbs, body) ->
-    List.map (fun vb -> vb.pvb_expr) vbs @ linearize body
-  | _ -> [ e ]
 
 and walk_seq st ~held = function
   | [] -> ()
@@ -447,4 +326,5 @@ let summarize e =
     nested = List.rev st.pairs;
     check_then_act = List.sort compare (atomic_footprint e);
     blocking_sites = blocking_footprint e;
+    resources = Resource.summarize e;
   }

@@ -41,6 +41,9 @@ type summary = {
       (** references to blocking primitives ([Unix] syscalls, channel
           I/O, joins/delays) anywhere in the body; [Condition.wait] is
           deliberately not one — it releases its mutex while waiting *)
+  resources : Resource.summary;
+      (** acquire/release/forwarding footprint consumed by the S6xx
+          interprocedural fixpoint ({!Resource.run}) *)
 }
 
 val summarize : Parsetree.expression -> summary

@@ -318,11 +318,11 @@ let rule_stdout_in_lib p =
 
 (* --- all rules --- *)
 
-let run config p =
+let run ?par config p =
   let skip m = config.semantic && Semantic.parse_ok m in
   rule_concurrent_state config p
   @ rule_lock_pairing ~skip p
-  @ (if config.semantic then Semantic.run p else [])
+  @ (if config.semantic then Semantic.run ?par p else [])
   @ rule_catch_all p
   @ rule_assert_false p
   @ rule_lib_exit p

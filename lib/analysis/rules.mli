@@ -25,7 +25,9 @@ val default_config : config
     concurrent subsystems from PRs 1-4. Required flags: the PR 2
     warnings-as-errors set. Semantic tier on. *)
 
-val run : config -> Project.t -> Msoc_check.Diagnostic.t list
+val run : ?par:Semantic.par -> config -> Project.t -> Msoc_check.Diagnostic.t list
 (** Every rule over the whole project — token families and, when
-    [config.semantic], the S5xx tier — unfiltered (the engine applies
-    the allowlist) and unsorted. *)
+    [config.semantic], the S5xx/S6xx tiers — unfiltered (the engine
+    applies the allowlist) and unsorted. [par] fans the pure
+    per-definition semantic stages over a pool ({!Driver} supplies
+    it); output is identical with or without it. *)

@@ -1,5 +1,5 @@
-(* The S5xx semantic rule family: AST-level checks over the parsed
-   project, where the lexical token rules cannot see.
+(* The S5xx/S6xx semantic rule families: AST-level checks over the
+   parsed project, where the lexical token rules cannot see.
 
    S501 builds the Mutex acquisition graph across the call graph and
    reports cycles (two call paths taking the same locks in opposite
@@ -9,10 +9,13 @@
    path. S503 flags Atomic check-then-act. S504 flags blocking calls
    (I/O, joins, delays) made while any lock is held, directly or
    through project calls. S505 reports .mli-exported values no other
-   module references.
+   module references. The S6xx tier (Resource, Typestate) runs from
+   the same context: resource lifecycle over the per-def summaries and
+   reply/counter obligations over the call graph.
 
    Files that fail to parse are skipped here; the engine keeps the
-   token rules as their substrate (graceful degradation). *)
+   token rules as their substrate and S406 records the skip as an
+   info-level diagnostic (graceful but never silent degradation). *)
 
 module Diagnostic = Msoc_check.Diagnostic
 module Codes = Msoc_check.Codes
@@ -35,6 +38,45 @@ let parse_ok (m : Project.module_info) =
 let parse_failures (p : Project.t) =
   List.length (List.filter (fun m -> not (parse_ok m)) p.Project.modules)
 
+(* S406: one info diagnostic per unparsable module, anchored at the
+   syntax-error line. The Ast error string reads "path:LINE: …" — the
+   line is recovered from there (0 when the format surprises us). *)
+let skip_line_of_error ~path err =
+  let prefix = path ^ ":" in
+  let plen = String.length prefix in
+  if String.length err > plen && String.sub err 0 plen = prefix then begin
+    let i = ref plen in
+    let n = String.length err in
+    let stop = ref false in
+    let acc = ref 0 in
+    let seen = ref false in
+    while (not !stop) && !i < n do
+      match err.[!i] with
+      | '0' .. '9' as c ->
+        acc := (!acc * 10) + (Char.code c - Char.code '0');
+        seen := true;
+        incr i
+      | _ -> stop := true
+    done;
+    if !seen then !acc else 0
+  end
+  else 0
+
+let rule_parse_skips (p : Project.t) =
+  List.filter_map
+    (fun (m : Project.module_info) ->
+      match
+        Ast.parse_impl ~path:m.Project.ml_path (source_text m.Project.source)
+      with
+      | Ok _ -> None
+      | Error err ->
+        let line = skip_line_of_error ~path:m.Project.ml_path err in
+        Some
+          (diag ~file:m.Project.ml_path ~line Codes.s406
+             "semantic tier skipped: %s — token rules still cover this file"
+             err))
+    p.Project.modules
+
 (* --- shared per-run context --- *)
 
 module StringSet = Set.Make (String)
@@ -45,14 +87,26 @@ type ctx = {
   summaries : (string, Flow.summary) Hashtbl.t;  (* def key -> summary *)
 }
 
-let make_ctx project =
+(* [par], when given, runs pure per-item functions across a worker
+   pool (order-preserving map — {!Msoc_util.Pool.map} qualifies);
+   summarization and the S6xx walks are pure Parsetree traversals, so
+   they are the natural parallel stages. The field is polymorphic
+   because the stages return different types. *)
+type par = { pmap : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
+
+let make_ctx ?par project =
   let graph = Callgraph.build project in
+  let defs = Callgraph.defs graph in
   let summaries = Hashtbl.create 512 in
-  List.iter
-    (fun (d : Callgraph.def) ->
-      Hashtbl.replace summaries d.Callgraph.key
-        (Flow.summarize d.Callgraph.body))
-    (Callgraph.defs graph);
+  let map =
+    match par with Some p -> p.pmap | None -> fun f xs -> List.map f xs
+  in
+  let computed =
+    map (fun (d : Callgraph.def) -> Flow.summarize d.Callgraph.body) defs
+  in
+  List.iter2
+    (fun (d : Callgraph.def) s -> Hashtbl.replace summaries d.Callgraph.key s)
+    defs computed;
   { project; graph; summaries }
 
 let summary ctx key =
@@ -65,6 +119,7 @@ let summary ctx key =
       nested = [];
       check_then_act = [];
       blocking_sites = [];
+      resources = Resource.empty;
     }
 
 (* A lock rendered module-qualified, so [t.lock] in Cache and [t.lock]
@@ -73,39 +128,10 @@ let qualify (d : Callgraph.def) lock =
   if lock = "<opaque>" then None
   else Some (d.Callgraph.module_name ^ ":" ^ lock)
 
-(* Resolve a held-call Longident against the def's known callees: the
-   value name must match; a module hint (last qualifier) narrows
-   multiple candidates. Over-matching is accepted — lock and blocking
-   propagation prefer a false edge over a missed one. *)
+(* Resolving a held-call Longident against the def's known callees
+   lives on the graph itself now — Resource and Typestate share it. *)
 let resolve_call ctx (d : Callgraph.def) lid =
-  let comps = Ast.ident_path lid in
-  match List.rev comps with
-  | [] -> []
-  | value :: quals_rev -> (
-    let candidates =
-      Callgraph.callees ctx.graph d.Callgraph.key
-      |> List.filter_map (fun key -> Callgraph.find ctx.graph key)
-      |> List.filter (fun (c : Callgraph.def) ->
-             let last =
-               match String.rindex_opt c.Callgraph.name '.' with
-               | Some i ->
-                 String.sub c.Callgraph.name (i + 1)
-                   (String.length c.Callgraph.name - i - 1)
-               | None -> c.Callgraph.name
-             in
-             last = value)
-    in
-    match quals_rev with
-    | [] -> candidates
-    | m :: _ ->
-      let narrowed =
-        List.filter
-          (fun (c : Callgraph.def) ->
-            c.Callgraph.module_name = m
-            || c.Callgraph.name = m ^ "." ^ value)
-          candidates
-      in
-      if narrowed <> [] then narrowed else candidates)
+  Callgraph.resolve_call ctx.graph d lid
 
 (* Fixpoint of a per-def set property over the call graph. *)
 let fixpoint ctx (own : Callgraph.def -> StringSet.t) =
@@ -541,10 +567,17 @@ let rule_dead_api ctx =
 
 (* --- entry point --- *)
 
-let run (p : Project.t) =
-  let ctx = make_ctx p in
+let run ?par (p : Project.t) =
+  let ctx = make_ctx ?par p in
+  let lookup key = (summary ctx key).Flow.resources in
+  let pmap =
+    Option.map (fun pr -> fun f xs -> pr.pmap f xs) par
+  in
   rule_lock_order ctx
   @ rule_lock_release ctx
   @ rule_check_then_act ctx
   @ rule_blocking_under_lock ctx
   @ rule_dead_api ctx
+  @ Resource.run ?pmap ctx.graph lookup
+  @ Typestate.run ?pmap ctx.graph
+  @ rule_parse_skips p

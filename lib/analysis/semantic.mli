@@ -1,5 +1,5 @@
-(** The S5xx semantic rule family: AST-level analysis over the parsed
-    project (DESIGN.md §13).
+(** The S5xx/S6xx semantic rule families: AST-level analysis over the
+    parsed project (DESIGN.md §13, §16).
 
     Where the token rules see lines, these rules see structure:
     MSOC-S501 walks the Mutex acquisition graph across the
@@ -7,14 +7,23 @@
     every critical section's exception paths; MSOC-S503 catches
     [Atomic] check-then-act races; MSOC-S504 flags blocking calls made
     while a lock is held (directly or transitively); MSOC-S505 reports
-    [.mli]-exported values no other module references.
+    [.mli]-exported values no other module references. The S6xx tier
+    runs from the same context: {!Resource} (S601–S603 lifecycle) and
+    {!Typestate} (S604 reply obligation, S605 counter balance).
 
     Modules that fail to parse contribute nothing here — the engine
-    falls back to the token rules for them (graceful degradation). *)
+    falls back to the token rules for them, and MSOC-S406 records each
+    skip as an info diagnostic (degradation is never silent). *)
 
-val run : Project.t -> Msoc_check.Diagnostic.t list
-(** All S5xx findings over the project, unsorted and unfiltered (the
-    engine applies the allowlist and sorting). *)
+type par = { pmap : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
+(** An order-preserving (possibly parallel) map the pure per-item
+    stages run through — {!Msoc_util.Pool.map} wrapped by the driver.
+    Absent, everything runs serially with identical output. *)
+
+val run : ?par:par -> Project.t -> Msoc_check.Diagnostic.t list
+(** All S5xx/S6xx findings plus S406 skip notices over the project,
+    unsorted and unfiltered (the engine applies the allowlist and
+    sorting). *)
 
 val parse_ok : Project.module_info -> bool
 (** Whether the module's [.ml] parses — the engine keeps token rule

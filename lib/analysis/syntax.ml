@@ -1,0 +1,178 @@
+(* Shared syntactic helpers over Parsetree expressions.
+
+   Flow (locks), Resource (acquire/release pairs) and Typestate
+   (reply/counter obligations) all walk the same surface syntax: they
+   normalize pipe applications, render ident/field chains to stable
+   strings, linearize sequencing, and ask whether an expression can
+   raise. Those helpers live here so the three walks agree on what a
+   "call to Unix.close t.fd" looks like and none depends on another. *)
+
+open Parsetree
+
+let head_path e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some txt
+  | _ -> None
+
+(* An ident or a field chain rooted in an ident ([m], [t.lock],
+   [state.cache.lock]) renders to a stable string; anything else
+   (array reads, function results) is opaque. *)
+let rec ident_chain e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (Ast.path_string txt)
+  | Pexp_field (inner, { txt; _ }) ->
+    Option.map (fun p -> p ^ "." ^ Ast.path_string txt) (ident_chain inner)
+  | Pexp_constraint (inner, _) -> ident_chain inner
+  | _ -> None
+
+let line_of e = Ast.line_of e.pexp_loc
+
+(* Normalize [f @@ x] and [x |> f] into a direct application so the
+   head path and argument positions read through the operators. *)
+let normalize_apply e =
+  match e.pexp_desc with
+  | Pexp_apply (head, args) -> (
+    match (head_path head, args) with
+    | Some (Longident.Lident "@@"), [ (_, f); (_, x) ] -> (
+      match f.pexp_desc with
+      | Pexp_apply (f_head, f_args) -> Some (f_head, f_args @ [ (Asttypes.Nolabel, x) ])
+      | _ -> Some (f, [ (Asttypes.Nolabel, x) ]))
+    | Some (Longident.Lident "|>"), [ (_, x); (_, f) ] -> (
+      match f.pexp_desc with
+      | Pexp_apply (f_head, f_args) -> Some (f_head, f_args @ [ (Asttypes.Nolabel, x) ])
+      | _ -> Some (f, [ (Asttypes.Nolabel, x) ]))
+    | _ -> Some (head, args))
+  | _ -> None
+
+let apply_path e =
+  match normalize_apply e with
+  | Some (head, args) -> (
+    match head_path head with
+    | Some lid -> Some (Ast.path_string lid, lid, args)
+    | None -> None)
+  | None -> None
+
+(* Like [apply_path] but the head may also be a field chain
+   ([job.reply x], [conn.send env]) — the rendered chain stands in for
+   the dotted path. Used where protocol obligations hide behind record
+   fields holding closures. *)
+let apply_chain e =
+  match normalize_apply e with
+  | Some (head, args) -> (
+    match ident_chain head with
+    | Some path -> Some (path, args)
+    | None -> None)
+  | None -> None
+
+(* Last dotted component: ["Unix.close"] -> ["close"]. *)
+let last_component path =
+  match String.rindex_opt path '.' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+(* The body a higher-order combinator runs: through [fun () -> e];
+   anything else is itself. *)
+let rec thunk_body e =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, _, body) -> thunk_body body
+  | _ -> e
+
+let labelled name args =
+  List.find_map
+    (function
+      | Asttypes.Labelled l, e when l = name -> Some e
+      | _ -> None)
+    args
+
+let positional args =
+  List.filter_map
+    (function Asttypes.Nolabel, e -> Some e | _ -> None)
+    args
+
+(* Linearize nested sequences and let-chains into a statement list.
+   A [let x = e in rest] contributes [e] as a statement (its value
+   effectful or not) followed by the rest. *)
+let rec linearize e =
+  match e.pexp_desc with
+  | Pexp_sequence (a, b) -> a :: linearize b
+  | Pexp_let (_, vbs, body) ->
+    List.map (fun vb -> vb.pvb_expr) vbs @ linearize body
+  | _ -> [ e ]
+
+(* --- may_raise: conservative syntactic exception-freedom --- *)
+
+(* Calls that cannot raise (on the values this codebase passes them):
+   pure stdlib accessors, container inserts, Atomic ops, unlock and
+   condition signalling. Everything not listed — including any
+   project-defined function — is assumed to raise. *)
+let safe_calls =
+  [
+    "Mutex.unlock"; "Mutex.lock"; "Mutex.try_lock"; "Condition.signal";
+    "Condition.broadcast"; "Hashtbl.replace"; "Hashtbl.remove";
+    "Hashtbl.find_opt"; "Hashtbl.mem"; "Hashtbl.length"; "Hashtbl.reset";
+    "Hashtbl.clear"; "Hashtbl.add"; "Queue.push"; "Queue.add";
+    "Queue.length"; "Queue.is_empty"; "Queue.clear"; "Queue.take_opt";
+    "Queue.peek_opt"; "Buffer.add_string"; "Buffer.add_char";
+    "Buffer.contents"; "Buffer.length"; "Buffer.clear"; "Buffer.reset";
+    "Atomic.get"; "Atomic.set"; "Atomic.incr"; "Atomic.decr";
+    "Atomic.exchange"; "Atomic.compare_and_set"; "Atomic.fetch_and_add";
+    "Atomic.make"; "ignore"; "not"; "ref"; "incr"; "decr"; "fst"; "snd";
+    "min"; "max"; "abs"; "succ"; "pred"; "float_of_int"; "truncate";
+    "string_of_int"; "string_of_float"; "string_of_bool"; "int_of_float";
+    "String.length"; "String.trim"; "String.concat"; "String.equal";
+    "Array.length"; "List.length"; "List.rev"; "List.mem"; "List.filter";
+    "List.exists"; "Option.is_some"; "Option.is_none"; "Option.value";
+    "Option.map"; "compare"; "Unix.gettimeofday"; "Sys.time";
+  ]
+
+let safe_operators =
+  [
+    "+"; "-"; "*"; "+."; "-."; "*."; "/."; "="; "<>"; "<"; ">"; "<="; ">=";
+    "=="; "!="; "&&"; "||"; "^"; "@"; ":="; "!"; "land"; "lor"; "lxor";
+    "lsl"; "lsr"; "asr"; "~-"; "~-."; "~+"; "not";
+  ]
+
+let rec may_raise e =
+  match e.pexp_desc with
+  | Pexp_constant _ | Pexp_ident _ | Pexp_fun _ | Pexp_function _
+  | Pexp_unreachable ->
+    false
+  | Pexp_construct (_, arg) | Pexp_variant (_, arg) ->
+    (match arg with Some a -> may_raise a | None -> false)
+  | Pexp_tuple es | Pexp_array es -> List.exists may_raise es
+  | Pexp_record (fields, base) ->
+    List.exists (fun (_, v) -> may_raise v) fields
+    || (match base with Some b -> may_raise b | None -> false)
+  | Pexp_field (inner, _) | Pexp_constraint (inner, _) | Pexp_lazy inner
+  | Pexp_newtype (_, inner) | Pexp_open (_, inner) ->
+    may_raise inner
+  | Pexp_setfield (r, _, v) -> may_raise r || may_raise v
+  | Pexp_sequence (a, b) -> may_raise a || may_raise b
+  | Pexp_ifthenelse (c, t, f) ->
+    may_raise c || may_raise t
+    || (match f with Some f -> may_raise f | None -> false)
+  | Pexp_let (_, vbs, body) ->
+    List.exists (fun vb -> may_raise vb.pvb_expr) vbs || may_raise body
+  | Pexp_apply _ -> (
+    match apply_path e with
+    | Some (path, _, args) ->
+      let name = last_component path in
+      if List.mem path safe_calls || List.mem name safe_operators then
+        List.exists (fun (_, a) -> may_raise a) args
+      else true
+    | None -> true)
+  | _ -> true
+
+(* Every expression in tail (return) position of [e], reading through
+   lets, sequences and branches. The resource tier uses this to
+   recognize wrapper functions whose result is a fresh acquisition. *)
+let rec tails e =
+  match e.pexp_desc with
+  | Pexp_sequence (_, b) -> tails b
+  | Pexp_let (_, _, body) -> tails body
+  | Pexp_ifthenelse (_, t, f) -> (
+    tails t @ (match f with Some f -> tails f | None -> []))
+  | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+    List.concat_map (fun c -> tails c.pc_rhs) cases
+  | Pexp_constraint (inner, _) | Pexp_open (_, inner) -> tails inner
+  | _ -> [ e ]

@@ -1,0 +1,61 @@
+(** Shared syntactic helpers over Parsetree expressions — the common
+    vocabulary of {!Flow}, {!Resource} and {!Typestate}.
+
+    Nothing here consults the call graph or allocates analysis state:
+    these are pure views on the syntax (application normalization
+    through [@@]/[|>], ident/field-chain rendering, statement
+    linearization, conservative exception-freedom). *)
+
+val ident_chain : Parsetree.expression -> string option
+(** Stable rendering of an ident or field chain rooted in an ident:
+    [Some "t.lock"], [Some "st.metrics"]; [None] for anything opaque
+    (array reads, call results). *)
+
+val line_of : Parsetree.expression -> int
+
+val normalize_apply :
+  Parsetree.expression ->
+  (Parsetree.expression * (Asttypes.arg_label * Parsetree.expression) list)
+  option
+(** [f @@ x] and [x |> f] read as the direct application [f x]. *)
+
+val apply_path :
+  Parsetree.expression ->
+  (string * Longident.t * (Asttypes.arg_label * Parsetree.expression) list)
+  option
+(** Dotted path, raw ident and arguments of an application whose head
+    is an ident ([Some ("Unix.close", _, args)]). *)
+
+val apply_chain :
+  Parsetree.expression ->
+  (string * (Asttypes.arg_label * Parsetree.expression) list) option
+(** Like {!apply_path} but the head may be a field chain
+    ([job.reply x] renders as ["job.reply"]) — for protocol
+    obligations hidden behind record fields holding closures. *)
+
+val last_component : string -> string
+(** ["Unix.close"] -> ["close"]. *)
+
+val thunk_body : Parsetree.expression -> Parsetree.expression
+(** The body a combinator runs: reads through [fun _ -> e]. *)
+
+val labelled :
+  string ->
+  (Asttypes.arg_label * Parsetree.expression) list ->
+  Parsetree.expression option
+
+val positional :
+  (Asttypes.arg_label * Parsetree.expression) list ->
+  Parsetree.expression list
+
+val linearize : Parsetree.expression -> Parsetree.expression list
+(** Nested sequences and let-chains as a statement list; a
+    [let x = e in rest] contributes [e] then the rest. *)
+
+val may_raise : Parsetree.expression -> bool
+(** Conservative: [false] only for expressions built from constants,
+    idents, constructors, field reads/writes and {!safe_calls}. *)
+
+val tails : Parsetree.expression -> Parsetree.expression list
+(** Every expression in tail (return) position, through lets,
+    sequences and branches. *)

@@ -1,0 +1,30 @@
+(** Protocol-state (typestate) analysis — the MSOC-S604/S605 family.
+
+    S604 checks the one-reply obligation of request-dispatch matches
+    (every non-exception case of a [match … request_of_line …] must be
+    able to answer or hand off exactly once — never zero envelopes,
+    never two on a straight path). S605 checks that paired counters
+    ({!Resource.counter_pairs}) net the same delta on every branch of
+    any region that uses both halves of a pair; sibling branches with
+    different nets are reported with both witness lines. *)
+
+val request_paths : string list
+(** Call names (last component) whose matched result marks a
+    request-dispatch point. *)
+
+val reply_paths : string list
+(** Reply primitives — sending an envelope discharges the obligation. *)
+
+val transfer_paths : string list
+(** Hand-offs that move the obligation to another thread (queue push,
+    router forward). *)
+
+val run :
+  ?pmap:((Callgraph.def -> Msoc_check.Diagnostic.t list) ->
+        Callgraph.def list ->
+        Msoc_check.Diagnostic.t list list) ->
+  Callgraph.t ->
+  Msoc_check.Diagnostic.t list
+(** May-reply callgraph fixpoint, then both rules over every
+    definition. [pmap] as in {!Resource.run}: order-preserving
+    parallel map. *)

@@ -44,17 +44,25 @@ let s401 = "MSOC-S401"
 let s402 = "MSOC-S402"
 let s403 = "MSOC-S403"
 let s404 = "MSOC-S404"
+let s406 = "MSOC-S406"
 let s501 = "MSOC-S501"
 let s502 = "MSOC-S502"
 let s503 = "MSOC-S503"
 let s504 = "MSOC-S504"
 let s505 = "MSOC-S505"
+let s601 = "MSOC-S601"
+let s602 = "MSOC-S602"
+let s603 = "MSOC-S603"
+let s604 = "MSOC-S604"
+let s605 = "MSOC-S605"
 
 type info = { code : string; severity : Diagnostic.severity; title : string }
 
 let error code title = { code; severity = Diagnostic.Error; title }
 
 let warning code title = { code; severity = Diagnostic.Warning; title }
+
+let info code title = { code; severity = Diagnostic.Info; title }
 
 let all =
   [
@@ -106,11 +114,17 @@ let all =
     warning s402 "allowlist entry carries no justification";
     error s403 "malformed allowlist line";
     warning s404 "allowlist anchor hash no longer matches the code";
+    info s406 "semantic tier skipped: file does not parse";
     error s501 "lock-order cycle across the call graph (potential deadlock)";
     error s502 "lock not released on all exception paths";
     error s503 "atomic check-then-act without compare_and_set";
     warning s504 "blocking call while a lock is held";
     warning s505 "exported value never referenced outside its module";
+    error s601 "resource acquired but not released on all paths";
+    error s602 "resource released twice on one path";
+    error s603 "release does not match the resource's acquire pair";
+    error s604 "request-handling path breaks the one-reply obligation";
+    error s605 "paired counter not balanced on all branches";
   ]
 
 let describe code = List.find_opt (fun i -> i.code = code) all

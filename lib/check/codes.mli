@@ -4,11 +4,12 @@
     the mutation tests assert them, so once published a code keeps its
     meaning forever (retired codes are never reused). Numbering:
     E1xx/W1xx schedule checks, E2xx/W2xx cost cross-checks,
-    E3xx/W3xx [.soc] input lint, S1xx-S5xx source-level static
+    E3xx/W3xx [.soc] input lint, S1xx-S6xx source-level static
     analysis ({!Msoc_analysis}: S1xx concurrency, S2xx exception
-    safety, S3xx API hygiene, S4xx allowlist meta, S5xx semantic
-    AST-level checks). The tables in DESIGN.md §8, §11 and §13 are
-    generated from {!all}. *)
+    safety, S3xx API hygiene, S4xx allowlist/coverage meta, S5xx
+    semantic AST-level checks, S6xx interprocedural resource-lifecycle
+    and protocol-state checks). The tables in DESIGN.md §8, §11, §13
+    and §16 are generated from {!all}. *)
 
 (* schedule checks *)
 
@@ -115,6 +116,11 @@ val s404 : string
 (** allowlist entry carries a [@hash] content anchor that no longer
     matches any line of the target file — the code under audit changed *)
 
+val s406 : string
+(** info: a file the semantic tier could not parse — AST-level rules
+    (S5xx/S6xx) were skipped for it and the token rules are its only
+    coverage; emitted so the gap is visible, never silent *)
+
 (* semantic (AST-level) analysis, Msoc_analysis S5xx *)
 
 val s501 : string
@@ -138,6 +144,31 @@ val s504 : string
 val s505 : string
 (** a value exported by a [.mli] is never referenced outside its own
     module (dead exported API) *)
+
+(* interprocedural resource-lifecycle and protocol-state analysis,
+   Msoc_analysis S6xx *)
+
+val s601 : string
+(** a resource (fd/socket, channel, temp file, window slot) acquired
+    on some path and not released on all paths — including the
+    exception paths between acquire and release *)
+
+val s602 : string
+(** the same resource released twice along one path *)
+
+val s603 : string
+(** a release applied to a resource acquired under a different pair
+    (e.g. [close_in] on an out-channel) or never acquired at all *)
+
+val s604 : string
+(** a request-dispatch branch that can complete with zero replies, or
+    a path that sends two — every request-handling path must send
+    exactly one envelope (or hand the obligation to a queue/window) *)
+
+val s605 : string
+(** a paired counter ([Atomic.incr]/[decr], slot or in-flight
+    accounting) whose net delta differs between sibling branches of
+    one function — the witness branches are reported *)
 
 type info = { code : string; severity : Diagnostic.severity; title : string }
 

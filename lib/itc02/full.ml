@@ -225,15 +225,18 @@ let to_string t =
 
 let load path =
   let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
   of_string text
 
 let save path t =
   let oc = open_out path in
-  output_string oc (to_string t);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string t))
 
 (* --- flat view --- *)
 

@@ -222,11 +222,19 @@ let disk_store t key text =
         t.dedup_skips <- t.dedup_skips + 1
       else begin
         let tmp = Filename.temp_file ~temp_dir:dir ".serve" ".tmp" in
-        let oc = open_out_bin tmp in
+        (* the rename consumes tmp on success; the conditional remove
+           covers the open/write failure paths so an aborted write
+           never strands a .tmp in the cache dir (MSOC-S601) *)
         Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () -> output_string oc text);
-        Sys.rename tmp path;
+          ~finally:(fun () ->
+            if Sys.file_exists tmp then
+              try Sys.remove tmp with Sys_error _ -> ())
+          (fun () ->
+            let oc = open_out_bin tmp in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () -> output_string oc text);
+            Sys.rename tmp path);
         t.disk_writes <- t.disk_writes + 1;
         match t.max_disk_bytes with
         | None -> ()

@@ -115,9 +115,11 @@ let test_file_errors () =
 let test_file_error_names_file () =
   let path = Filename.temp_file "msoc" ".soc" in
   let oc = open_out path in
-  output_string oc
-    "SocName x\nModule 1 Name a Inputs z Outputs 1 Bidirs 0 Patterns 5 ScanChains 0\n";
-  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc
+        "SocName x\nModule 1 Name a Inputs z Outputs 1 Bidirs 0 Patterns 5 ScanChains 0\n");
   (match Soc_file.load path with
   | _ -> Alcotest.fail "malformed file accepted"
   | exception Soc_file.Parse_error { file; line; message } ->

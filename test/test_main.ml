@@ -10,4 +10,5 @@ let () =
    @ Test_check.suites @ Test_serve.suites @ Test_fleet.suites
    @ Test_cosim.suites
    @ Test_search.suites
-   @ Test_analysis.suites @ Test_semantic.suites @ Test_stress.suites)
+   @ Test_analysis.suites @ Test_semantic.suites @ Test_resource.suites
+   @ Test_stress.suites)

@@ -351,8 +351,9 @@ let test_cache_corrupt_disk_entry () =
       let key = "beef02" in
       let path = Filename.concat dir (key ^ ".json") in
       let oc = open_out path in
-      output_string oc "{ torn write";
-      close_out oc;
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc "{ torn write");
       let c = Cache.create ~memory_capacity:4 ~dir () in
       checkb "corrupt entry is a miss" true (Cache.find c ~key = None);
       checkb "corrupt entry removed" false (Sys.file_exists path))
@@ -412,8 +413,9 @@ let test_cache_multiprocess_race () =
       let corrupt_key = "dead00" in
       let corrupt_path = Filename.concat dir (corrupt_key ^ ".json") in
       let oc = open_out corrupt_path in
-      output_string oc "{\"torn";
-      close_out oc;
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc "{\"torn");
       (* two separate writer processes (fork is off-limits once any
          domain has run, so spawn a real helper binary twice) *)
       let racer =
